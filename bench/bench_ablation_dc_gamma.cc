@@ -1,0 +1,52 @@
+// Ablation: the divide-and-conquer leaf threshold gamma. Small gamma means
+// deeper recursion (cheaper leaves, more merge work and more duplicated
+// workers); large gamma degenerates into plain SAMPLING.
+
+#include <cstdio>
+#include <vector>
+
+#include "bench/harness.h"
+#include "bench/params.h"
+#include "core/divide_conquer.h"
+
+namespace rdbsc::bench {
+namespace {
+
+int Run(int argc, char** argv) {
+  BenchOptions options = ParseOptions(argc, argv);
+  std::printf("== Ablation: D&C leaf threshold gamma ==\n");
+  std::printf("scale: base=%d, seeds=%d\n", options.base, options.num_seeds);
+
+  std::vector<std::string> rows;
+  std::vector<std::vector<double>> cells;
+  for (int gamma : {4, 8, 16, 32, 64, 1 << 30}) {
+    rows.push_back(gamma == (1 << 30) ? "inf (no split)"
+                                      : std::to_string(gamma));
+    double total_std = 0.0, rel = 0.0, secs = 0.0;
+    for (int seed_index = 0; seed_index < options.num_seeds; ++seed_index) {
+      gen::WorkloadConfig config =
+          DefaultSynthetic(options, options.seed0 + seed_index);
+      core::Instance instance = gen::GenerateInstance(config);
+      core::CandidateGraph graph = core::CandidateGraph::Build(instance);
+      core::SolverOptions so;
+      so.gamma = gamma;
+      so.seed = options.seed0 + seed_index;
+      core::DivideConquerSolver solver(so);
+      core::SolveResult result = solver.Solve(instance, graph);
+      total_std += result.objectives.total_std;
+      rel += result.objectives.min_reliability;
+      secs += result.stats.wall_seconds;
+    }
+    cells.push_back({rel / options.num_seeds, total_std / options.num_seeds,
+                     secs / options.num_seeds});
+  }
+  PrintTable("D&C gamma ablation", "gamma", rows,
+             {"min rel", "total_STD", "time (s)"}, cells, 3);
+  std::printf("\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace rdbsc::bench
+
+int main(int argc, char** argv) { return rdbsc::bench::Run(argc, argv); }

@@ -1,0 +1,72 @@
+// Ablation: the Section 3.2 diversity-matrix reduction vs exhaustive
+// possible-worlds enumeration (Eq. 6). The matrix method is polynomial
+// (O(r^2) here with prefix products); enumeration is O(2^r) and becomes
+// infeasible past ~20 workers -- exactly the paper's motivation.
+
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "core/diversity.h"
+#include "util/rng.h"
+
+namespace rdbsc::core {
+namespace {
+
+std::vector<Observation> RandomObservations(int r, uint64_t seed) {
+  util::Rng rng(seed);
+  std::vector<Observation> obs;
+  obs.reserve(r);
+  for (int i = 0; i < r; ++i) {
+    obs.push_back(Observation{.angle = rng.Uniform(0.0, 6.28),
+                              .arrival = rng.Uniform(0.0, 1.0),
+                              .confidence = rng.Uniform(0.5, 1.0)});
+  }
+  return obs;
+}
+
+Task BenchTask() {
+  Task t;
+  t.location = {0.5, 0.5};
+  t.start = 0.0;
+  t.end = 1.0;
+  t.beta = 0.5;
+  return t;
+}
+
+void BM_ExpectedStdMatrix(benchmark::State& state) {
+  Task task = BenchTask();
+  std::vector<Observation> obs =
+      RandomObservations(static_cast<int>(state.range(0)), 42);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ExpectedStd(task, obs));
+  }
+}
+BENCHMARK(BM_ExpectedStdMatrix)->Arg(4)->Arg(8)->Arg(12)->Arg(16)->Arg(20)
+    ->Arg(50)->Arg(100)->Arg(200);
+
+void BM_ExpectedStdPossibleWorlds(benchmark::State& state) {
+  Task task = BenchTask();
+  std::vector<Observation> obs =
+      RandomObservations(static_cast<int>(state.range(0)), 42);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ExpectedStdBruteForce(task, obs));
+  }
+}
+BENCHMARK(BM_ExpectedStdPossibleWorlds)->Arg(4)->Arg(8)->Arg(12)->Arg(16)
+    ->Arg(20);
+
+void BM_ExpectedStdBoundsOnly(benchmark::State& state) {
+  Task task = BenchTask();
+  std::vector<Observation> obs =
+      RandomObservations(static_cast<int>(state.range(0)), 42);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ExpectedStdBounds(task, obs));
+  }
+}
+BENCHMARK(BM_ExpectedStdBoundsOnly)->Arg(8)->Arg(20)->Arg(50)->Arg(200);
+
+}  // namespace
+}  // namespace rdbsc::core
+
+BENCHMARK_MAIN();

@@ -1,0 +1,97 @@
+// Ablation: dynamic maintenance of the RDB-SC-Grid (Section 7.2). Workers
+// and tasks churn in and out of the system; the index must absorb inserts
+// and removals cheaply (lazy summary repair) while retrieval stays exact.
+// Reports insert/remove throughput and the retrieval cost after churn.
+
+#include <chrono>
+#include <cstdio>
+#include <vector>
+
+#include "bench/harness.h"
+#include "bench/params.h"
+#include "index/grid_index.h"
+#include "util/rng.h"
+
+namespace rdbsc::bench {
+namespace {
+
+double Seconds(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+int Run(int argc, char** argv) {
+  BenchOptions options = ParseOptions(argc, argv);
+  std::printf("== Ablation: RDB-SC-Grid dynamic maintenance ==\n");
+  std::printf("scale: base=%d, seeds=%d\n", options.base, options.num_seeds);
+
+  std::vector<std::string> rows;
+  std::vector<std::vector<double>> cells;
+  for (double churn_fraction : {0.1, 0.3, 0.5}) {
+    double insert_rate = 0.0, remove_rate = 0.0, retrieve_s = 0.0;
+    int64_t edges_index = 0, edges_brute = 0;
+    for (int seed_index = 0; seed_index < options.num_seeds; ++seed_index) {
+      gen::WorkloadConfig config =
+          DefaultSynthetic(options, options.seed0 + seed_index);
+      core::Instance instance = gen::GenerateInstance(config);
+      index::GridIndex index = index::GridIndex::Build(instance, 0.05);
+      util::Rng rng(options.seed0 + seed_index);
+
+      // Remove a churn_fraction of workers and tasks...
+      int removals = static_cast<int>(instance.num_workers() *
+                                      churn_fraction);
+      std::vector<core::WorkerId> removed_workers;
+      std::vector<core::TaskId> removed_tasks;
+      auto t0 = std::chrono::steady_clock::now();
+      for (int r = 0; r < removals; ++r) {
+        core::WorkerId j = static_cast<core::WorkerId>(
+            rng.UniformInt(0, instance.num_workers() - 1));
+        if (index.RemoveWorker(j).ok()) removed_workers.push_back(j);
+        core::TaskId i = static_cast<core::TaskId>(
+            rng.UniformInt(0, instance.num_tasks() - 1));
+        if (index.RemoveTask(i).ok()) removed_tasks.push_back(i);
+      }
+      double remove_elapsed = Seconds(t0);
+      remove_rate += (removed_workers.size() + removed_tasks.size()) /
+                     std::max(remove_elapsed, 1e-9);
+
+      // ... and re-insert them (arrival of "new" workers/tasks).
+      t0 = std::chrono::steady_clock::now();
+      for (core::WorkerId j : removed_workers) {
+        index.InsertWorker(j, instance.worker(j));
+      }
+      for (core::TaskId i : removed_tasks) {
+        index.InsertTask(i, instance.task(i));
+      }
+      double insert_elapsed = Seconds(t0);
+      insert_rate += (removed_workers.size() + removed_tasks.size()) /
+                     std::max(insert_elapsed, 1e-9);
+
+      // Retrieval after churn must match brute force exactly.
+      t0 = std::chrono::steady_clock::now();
+      auto edges = index.RetrieveEdges(instance.num_workers());
+      retrieve_s += Seconds(t0);
+      for (const auto& list : edges) {
+        edges_index += static_cast<int64_t>(list.size());
+      }
+      edges_brute += core::CandidateGraph::Build(instance).NumEdges();
+    }
+    if (edges_index != edges_brute) {
+      std::printf("ERROR: churned index disagrees with brute force\n");
+      return 1;
+    }
+    rows.push_back(std::to_string(churn_fraction));
+    cells.push_back({remove_rate / options.num_seeds,
+                     insert_rate / options.num_seeds,
+                     retrieve_s / options.num_seeds});
+  }
+  PrintTable("dynamic maintenance", "churn", rows,
+             {"removes/s", "inserts/s", "retrieve(s)"}, cells, 1);
+  std::printf("\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace rdbsc::bench
+
+int main(int argc, char** argv) { return rdbsc::bench::Run(argc, argv); }

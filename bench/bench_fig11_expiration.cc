@@ -1,0 +1,43 @@
+// Figure 11: effect of the range of tasks' expiration times rt on the
+// minimum reliability and total_STD, over the real-data substitute.
+// Paper shape: reliability stable, total_STD grows with rt; SAMPLING and
+// D&C above GREEDY, close to G-TRUTH.
+
+#include <cstdio>
+
+#include "bench/harness.h"
+#include "bench/params.h"
+
+namespace rdbsc::bench {
+namespace {
+
+int Run(int argc, char** argv) {
+  BenchOptions options = ParseOptions(argc, argv);
+  struct Range {
+    const char* label;
+    double lo, hi;
+  };
+  const Range ranges[] = {{"[0.25,0.5]", 0.25, 0.5},
+                          {"[0.5,1]", 0.5, 1.0},
+                          {"[1,2]", 1.0, 2.0},
+                          {"[2,3]", 2.0, 3.0}};
+  std::vector<SweepPoint> points;
+  for (const Range& r : ranges) {
+    points.push_back({r.label, [=](uint64_t seed) {
+                        gen::RealWorkloadConfig config =
+                            DefaultReal(options, seed);
+                        config.rt_min = r.lo;
+                        config.rt_max = r.hi;
+                        return gen::GenerateRealInstance(config);
+                      }});
+  }
+  RunQualitySweep(
+      "Figure 11: Effect of Tasks' Expiration Time Range rt (real data)",
+      "rt", points, options);
+  return 0;
+}
+
+}  // namespace
+}  // namespace rdbsc::bench
+
+int main(int argc, char** argv) { return rdbsc::bench::Run(argc, argv); }

@@ -1,0 +1,40 @@
+// Figure 12: effect of the workers' reliability range [p_min, p_max] over
+// the real-data substitute. Paper shape: minimum reliability rises with
+// p_min; total_STD increases slightly.
+
+#include "bench/harness.h"
+#include "bench/params.h"
+
+namespace rdbsc::bench {
+namespace {
+
+int Run(int argc, char** argv) {
+  BenchOptions options = ParseOptions(argc, argv);
+  struct Range {
+    const char* label;
+    double lo;
+  };
+  const Range ranges[] = {{"(0.8,1)", 0.8},
+                          {"(0.85,1)", 0.85},
+                          {"(0.9,1)", 0.9},
+                          {"(0.95,1)", 0.95}};
+  std::vector<SweepPoint> points;
+  for (const Range& r : ranges) {
+    points.push_back({r.label, [=](uint64_t seed) {
+                        gen::RealWorkloadConfig config =
+                            DefaultReal(options, seed);
+                        config.p_min = r.lo;
+                        config.p_max = 1.0;
+                        return gen::GenerateRealInstance(config);
+                      }});
+  }
+  RunQualitySweep(
+      "Figure 12: Effect of Workers' Reliability [p_min, p_max] (real data)",
+      "[p_min,p_max]", points, options);
+  return 0;
+}
+
+}  // namespace
+}  // namespace rdbsc::bench
+
+int main(int argc, char** argv) { return rdbsc::bench::Run(argc, argv); }

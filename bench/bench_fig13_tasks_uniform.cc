@@ -1,0 +1,14 @@
+// Figure 13: Effect of the Number of Tasks m (UNIFORM)
+// Paper shape: reliability stable ~0.9; GREEDY total_STD grows with m while SAMPLING/D&C decrease.
+
+#include "bench/harness.h"
+#include "bench/sweeps.h"
+
+int main(int argc, char** argv) {
+  using namespace rdbsc::bench;
+  BenchOptions options = ParseOptions(argc, argv);
+  RunQualitySweep(
+      "Figure 13: Effect of the Number of Tasks m (UNIFORM)",
+      "m", TaskCountSweep(options, rdbsc::gen::SpatialDistribution::kUniform), options);
+  return 0;
+}

@@ -1,0 +1,14 @@
+// Figure 14: Effect of the Number of Workers n (UNIFORM)
+// Paper shape: reliability insensitive to n; total_STD grows with n for all approaches.
+
+#include "bench/harness.h"
+#include "bench/sweeps.h"
+
+int main(int argc, char** argv) {
+  using namespace rdbsc::bench;
+  BenchOptions options = ParseOptions(argc, argv);
+  RunQualitySweep(
+      "Figure 14: Effect of the Number of Workers n (UNIFORM)",
+      "n", WorkerCountSweep(options, rdbsc::gen::SpatialDistribution::kUniform), options);
+  return 0;
+}

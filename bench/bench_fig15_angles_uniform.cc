@@ -1,0 +1,14 @@
+// Figure 15: Effect of the Range of Moving Angles (UNIFORM)
+// Paper shape: reliability stable; GREEDY total_STD drops as the angle range widens.
+
+#include "bench/harness.h"
+#include "bench/sweeps.h"
+
+int main(int argc, char** argv) {
+  using namespace rdbsc::bench;
+  BenchOptions options = ParseOptions(argc, argv);
+  RunQualitySweep(
+      "Figure 15: Effect of the Range of Moving Angles (UNIFORM)",
+      "(a+-a-)", AngleRangeSweep(options, rdbsc::gen::SpatialDistribution::kUniform), options);
+  return 0;
+}

@@ -1,0 +1,62 @@
+// Figure 16: CPU time of the four approaches as m and n grow (UNIFORM).
+// Paper shape: GREEDY (and at large m also D&C / G-TRUTH) grow quickly,
+// SAMPLING stays nearly flat thanks to the small (epsilon, delta)-bounded
+// sample size.
+
+#include <chrono>
+#include <cstdio>
+
+#include "bench/harness.h"
+#include "bench/sweeps.h"
+
+namespace rdbsc::bench {
+namespace {
+
+void RunAxis(const char* axis, const std::vector<SweepPoint>& points,
+             const BenchOptions& options) {
+  std::vector<std::string> solver_names;
+  for (const auto& solver : MakeSolvers(0)) {
+    solver_names.emplace_back(solver->name());
+  }
+  std::vector<std::string> row_labels;
+  std::vector<std::vector<double>> cells;
+  for (const SweepPoint& point : points) {
+    row_labels.push_back(point.label);
+    std::vector<double> row(solver_names.size(), 0.0);
+    for (int seed_index = 0; seed_index < options.num_seeds; ++seed_index) {
+      uint64_t seed = options.seed0 + 17 * seed_index;
+      core::Instance instance = point.make(seed);
+      core::CandidateGraph graph = core::CandidateGraph::Build(instance);
+      auto solvers = MakeSolvers(seed);
+      for (size_t s = 0; s < solvers.size(); ++s) {
+        auto t0 = std::chrono::steady_clock::now();
+        solvers[s]->Solve(instance, graph);
+        row[s] += std::chrono::duration<double>(
+                      std::chrono::steady_clock::now() - t0)
+                      .count();
+      }
+    }
+    for (double& v : row) v /= options.num_seeds;
+    cells.push_back(row);
+  }
+  PrintTable(std::string("CPU time (s) vs ") + axis, axis, row_labels,
+             solver_names, cells, 4);
+}
+
+int Run(int argc, char** argv) {
+  BenchOptions options = ParseOptions(argc, argv);
+  std::printf("== Figure 16: Running Time Comparisons (UNIFORM) ==\n");
+  std::printf("scale: base=%d (paper 10K), seeds=%d\n", options.base,
+              options.num_seeds);
+  RunAxis("m", TaskCountSweep(options, gen::SpatialDistribution::kUniform),
+          options);
+  RunAxis("n", WorkerCountSweep(options, gen::SpatialDistribution::kUniform),
+          options);
+  std::printf("\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace rdbsc::bench
+
+int main(int argc, char** argv) { return rdbsc::bench::Run(argc, argv); }

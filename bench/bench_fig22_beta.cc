@@ -1,0 +1,41 @@
+// Figure 22: effect of the requester-specified weight range beta over the
+// real-data substitute. Paper shape: both objectives are insensitive to
+// beta (robustness check).
+
+#include "bench/harness.h"
+#include "bench/params.h"
+
+namespace rdbsc::bench {
+namespace {
+
+int Run(int argc, char** argv) {
+  BenchOptions options = ParseOptions(argc, argv);
+  struct Range {
+    const char* label;
+    double lo, hi;
+  };
+  const Range ranges[] = {{"(0,0.2]", 0.0, 0.2},
+                          {"(0.2,0.4]", 0.2, 0.4},
+                          {"(0.4,0.6]", 0.4, 0.6},
+                          {"(0.6,0.8]", 0.6, 0.8},
+                          {"(0.8,1)", 0.8, 1.0}};
+  std::vector<SweepPoint> points;
+  for (const Range& r : ranges) {
+    points.push_back({r.label, [=](uint64_t seed) {
+                        gen::RealWorkloadConfig config =
+                            DefaultReal(options, seed);
+                        config.beta_min = r.lo;
+                        config.beta_max = r.hi;
+                        return gen::GenerateRealInstance(config);
+                      }});
+  }
+  RunQualitySweep(
+      "Figure 22: Effect of the Requester-Specified Weight beta (real data)",
+      "beta", points, options);
+  return 0;
+}
+
+}  // namespace
+}  // namespace rdbsc::bench
+
+int main(int argc, char** argv) { return rdbsc::bench::Run(argc, argv); }

@@ -1,0 +1,14 @@
+// Figure 23: Effect of the Number of Tasks m (SKEWED)
+// Paper shape: same trends as Figure 13 on skewed data.
+
+#include "bench/harness.h"
+#include "bench/sweeps.h"
+
+int main(int argc, char** argv) {
+  using namespace rdbsc::bench;
+  BenchOptions options = ParseOptions(argc, argv);
+  RunQualitySweep(
+      "Figure 23: Effect of the Number of Tasks m (SKEWED)",
+      "m", TaskCountSweep(options, rdbsc::gen::SpatialDistribution::kSkewed), options);
+  return 0;
+}

@@ -1,0 +1,14 @@
+// Figure 24: Effect of the Number of Workers n (SKEWED)
+// Paper shape: same trends as Figure 14 on skewed data.
+
+#include "bench/harness.h"
+#include "bench/sweeps.h"
+
+int main(int argc, char** argv) {
+  using namespace rdbsc::bench;
+  BenchOptions options = ParseOptions(argc, argv);
+  RunQualitySweep(
+      "Figure 24: Effect of the Number of Workers n (SKEWED)",
+      "n", WorkerCountSweep(options, rdbsc::gen::SpatialDistribution::kSkewed), options);
+  return 0;
+}

@@ -1,0 +1,14 @@
+// Figure 25: Effect of the Range of Velocities [v-,v+] (UNIFORM)
+// Paper shape: reliability ~0.9 throughout; total_STD decreases as workers get faster.
+
+#include "bench/harness.h"
+#include "bench/sweeps.h"
+
+int main(int argc, char** argv) {
+  using namespace rdbsc::bench;
+  BenchOptions options = ParseOptions(argc, argv);
+  RunQualitySweep(
+      "Figure 25: Effect of the Range of Velocities [v-,v+] (UNIFORM)",
+      "[v-,v+]", VelocitySweep(options, rdbsc::gen::SpatialDistribution::kUniform), options);
+  return 0;
+}

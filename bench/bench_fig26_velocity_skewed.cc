@@ -1,0 +1,14 @@
+// Figure 26: Effect of the Range of Velocities [v-,v+] (SKEWED)
+// Paper shape: same trends as Figure 25 on skewed data.
+
+#include "bench/harness.h"
+#include "bench/sweeps.h"
+
+int main(int argc, char** argv) {
+  using namespace rdbsc::bench;
+  BenchOptions options = ParseOptions(argc, argv);
+  RunQualitySweep(
+      "Figure 26: Effect of the Range of Velocities [v-,v+] (SKEWED)",
+      "[v-,v+]", VelocitySweep(options, rdbsc::gen::SpatialDistribution::kSkewed), options);
+  return 0;
+}

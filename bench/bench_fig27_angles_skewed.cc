@@ -1,0 +1,14 @@
+// Figure 27: Effect of the Range of Moving Angles (SKEWED)
+// Paper shape: same trends as Figure 15 on skewed data.
+
+#include "bench/harness.h"
+#include "bench/sweeps.h"
+
+int main(int argc, char** argv) {
+  using namespace rdbsc::bench;
+  BenchOptions options = ParseOptions(argc, argv);
+  RunQualitySweep(
+      "Figure 27: Effect of the Range of Moving Angles (SKEWED)",
+      "(a+-a-)", AngleRangeSweep(options, rdbsc::gen::SpatialDistribution::kSkewed), options);
+  return 0;
+}

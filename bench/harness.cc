@@ -1,0 +1,143 @@
+#include "bench/harness.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "core/divide_conquer.h"
+#include "core/greedy.h"
+#include "core/sampling.h"
+
+namespace rdbsc::bench {
+namespace {
+
+constexpr int kPaperBase = 10'000;
+
+}  // namespace
+
+BenchOptions ParseOptions(int argc, char** argv) {
+  BenchOptions options;
+  for (int a = 1; a < argc; ++a) {
+    const char* arg = argv[a];
+    if (std::strcmp(arg, "--paper-scale") == 0) {
+      options.paper_scale = true;
+      options.base = kPaperBase;
+    } else if (std::strncmp(arg, "--base=", 7) == 0) {
+      options.base = std::atoi(arg + 7);
+    } else if (std::strncmp(arg, "--seeds=", 8) == 0) {
+      options.num_seeds = std::atoi(arg + 8);
+    }
+  }
+  if (options.base < 10) options.base = 10;
+  if (options.num_seeds < 1) options.num_seeds = 1;
+  return options;
+}
+
+int Scaled(const BenchOptions& options, int paper_count) {
+  if (options.paper_scale) return paper_count;
+  int64_t scaled = static_cast<int64_t>(paper_count) * options.base /
+                   kPaperBase;
+  return static_cast<int>(std::max<int64_t>(scaled, 10));
+}
+
+std::vector<std::unique_ptr<core::Solver>> MakeSolvers(uint64_t seed) {
+  core::SolverOptions options;
+  options.seed = seed;
+  std::vector<std::unique_ptr<core::Solver>> solvers;
+  solvers.push_back(std::make_unique<core::GreedySolver>(options));
+  solvers.push_back(std::make_unique<core::SamplingSolver>(options));
+  solvers.push_back(std::make_unique<core::DivideConquerSolver>(options));
+  solvers.push_back(std::make_unique<core::GroundTruthSolver>(options));
+  return solvers;
+}
+
+void PrintTable(const std::string& metric, const std::string& x_label,
+                const std::vector<std::string>& row_labels,
+                const std::vector<std::string>& column_labels,
+                const std::vector<std::vector<double>>& cells,
+                int precision) {
+  std::printf("\n-- %s --\n", metric.c_str());
+  std::printf("%-16s", x_label.c_str());
+  for (const std::string& col : column_labels) {
+    std::printf("%12s", col.c_str());
+  }
+  std::printf("\n");
+  for (size_t r = 0; r < row_labels.size(); ++r) {
+    std::printf("%-16s", row_labels[r].c_str());
+    for (double v : cells[r]) {
+      std::printf("%12.*f", precision, v);
+    }
+    std::printf("\n");
+  }
+}
+
+std::vector<std::vector<PointResult>> RunQualitySweep(
+    const std::string& figure_title, const std::string& x_label,
+    const std::vector<SweepPoint>& points, const BenchOptions& options) {
+  std::printf("== %s ==\n", figure_title.c_str());
+  std::printf("scale: base=%d (paper 10K)%s, seeds=%d\n", options.base,
+              options.paper_scale ? " [paper scale]" : "", options.num_seeds);
+
+  std::vector<std::string> solver_names;
+  for (const auto& solver : MakeSolvers(0)) {
+    solver_names.emplace_back(solver->name());
+  }
+  const size_t num_solvers = solver_names.size();
+
+  std::vector<std::vector<PointResult>> results(points.size());
+  for (size_t p = 0; p < points.size(); ++p) {
+    results[p].resize(num_solvers);
+    for (size_t s = 0; s < num_solvers; ++s) {
+      results[p][s].solver = solver_names[s];
+    }
+    for (int seed_index = 0; seed_index < options.num_seeds; ++seed_index) {
+      uint64_t seed = options.seed0 + 17 * seed_index;
+      core::Instance instance = points[p].make(seed);
+      core::CandidateGraph graph = core::CandidateGraph::Build(instance);
+      auto solvers = MakeSolvers(seed);
+      for (size_t s = 0; s < num_solvers; ++s) {
+        auto t0 = std::chrono::steady_clock::now();
+        core::SolveResult solve = solvers[s]->Solve(instance, graph);
+        double elapsed =
+            std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                          t0)
+                .count();
+        results[p][s].min_reliability += solve.objectives.min_reliability;
+        results[p][s].total_std += solve.objectives.total_std;
+        results[p][s].wall_seconds += elapsed;
+      }
+    }
+    for (size_t s = 0; s < num_solvers; ++s) {
+      results[p][s].min_reliability /= options.num_seeds;
+      results[p][s].total_std /= options.num_seeds;
+      results[p][s].wall_seconds /= options.num_seeds;
+    }
+  }
+
+  std::vector<std::string> row_labels;
+  for (const SweepPoint& point : points) row_labels.push_back(point.label);
+
+  auto cells_of = [&](auto getter) {
+    std::vector<std::vector<double>> cells(points.size());
+    for (size_t p = 0; p < points.size(); ++p) {
+      for (size_t s = 0; s < num_solvers; ++s) {
+        cells[p].push_back(getter(results[p][s]));
+      }
+    }
+    return cells;
+  };
+
+  PrintTable("Minimum Reliability", x_label, row_labels, solver_names,
+             cells_of([](const PointResult& r) { return r.min_reliability; }));
+  PrintTable("total_STD", x_label, row_labels, solver_names,
+             cells_of([](const PointResult& r) { return r.total_std; }), 2);
+  PrintTable("CPU time (s)", x_label, row_labels, solver_names,
+             cells_of([](const PointResult& r) { return r.wall_seconds; }));
+  std::printf("\n");
+  return results;
+}
+
+}  // namespace rdbsc::bench

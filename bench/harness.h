@@ -1,0 +1,75 @@
+#ifndef RDBSC_BENCH_HARNESS_H_
+#define RDBSC_BENCH_HARNESS_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/instance.h"
+#include "core/solver.h"
+
+namespace rdbsc::bench {
+
+/// Command-line options shared by every figure bench.
+///
+///   --paper-scale   run the paper's full sizes (m = n = 10K defaults);
+///                   hours per figure on one core -- the default is a
+///                   laptop-scale reduction that preserves the trends
+///   --base=N        the scaled stand-in for the paper's 10K (default 300)
+///   --seeds=K       number of random seeds averaged per point (default 3)
+struct BenchOptions {
+  int base = 300;
+  int num_seeds = 3;
+  bool paper_scale = false;
+  uint64_t seed0 = 1'000;
+};
+
+/// Parses the options above; unknown flags are ignored so binaries can add
+/// their own.
+BenchOptions ParseOptions(int argc, char** argv);
+
+/// Maps a paper-sized count (e.g. 5'000 tasks) to the bench scale:
+/// count * base / 10'000, at least 10. With --paper-scale it is identity.
+int Scaled(const BenchOptions& options, int paper_count);
+
+/// The four approaches of Section 8.1, freshly constructed with `seed`:
+/// GREEDY, SAMPLING, D&C, G-TRUTH.
+std::vector<std::unique_ptr<core::Solver>> MakeSolvers(uint64_t seed);
+
+/// One x-axis point of a figure sweep: a label plus an instance factory.
+struct SweepPoint {
+  std::string label;
+  std::function<core::Instance(uint64_t seed)> make;
+};
+
+/// Per-solver aggregate of one sweep point.
+struct PointResult {
+  std::string solver;
+  double min_reliability = 0.0;
+  double total_std = 0.0;
+  double wall_seconds = 0.0;
+};
+
+/// Runs the standard quality sweep of the paper's figures: for every point
+/// and seed, builds the instance, runs all four approaches, and prints the
+/// figure's two series (minimum reliability and total_STD) plus CPU time,
+/// one row per x value and one column per approach.
+/// Returns the per-point results (outer index = point) for callers that
+/// assert on trends.
+std::vector<std::vector<PointResult>> RunQualitySweep(
+    const std::string& figure_title, const std::string& x_label,
+    const std::vector<SweepPoint>& points, const BenchOptions& options);
+
+/// Prints one aligned metric table (used by RunQualitySweep and the
+/// irregular benches like Fig. 16-18).
+void PrintTable(const std::string& metric, const std::string& x_label,
+                const std::vector<std::string>& row_labels,
+                const std::vector<std::string>& column_labels,
+                const std::vector<std::vector<double>>& cells,
+                int precision = 4);
+
+}  // namespace rdbsc::bench
+
+#endif  // RDBSC_BENCH_HARNESS_H_

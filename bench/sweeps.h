@@ -1,0 +1,109 @@
+#ifndef RDBSC_BENCH_SWEEPS_H_
+#define RDBSC_BENCH_SWEEPS_H_
+
+#include <numbers>
+#include <string>
+#include <vector>
+
+#include "bench/harness.h"
+#include "bench/params.h"
+
+namespace rdbsc::bench {
+
+/// Shared sweep builders for the synthetic-data figures (13-15 and 23-27).
+/// Each figure varies one Table 2 knob with the others at their defaults;
+/// the UNIFORM and SKEWED variants differ only in the spatial distribution.
+
+inline gen::WorkloadConfig SyntheticWith(const BenchOptions& options,
+                                         uint64_t seed,
+                                         gen::SpatialDistribution dist) {
+  gen::WorkloadConfig config = DefaultSynthetic(options, seed);
+  config.task_distribution = dist;
+  config.worker_distribution = dist;
+  return config;
+}
+
+/// Figures 13/23: number of tasks m in {5K, 8K, 10K, 50K, 100K}.
+inline std::vector<SweepPoint> TaskCountSweep(const BenchOptions& options,
+                                              gen::SpatialDistribution dist) {
+  std::vector<SweepPoint> points;
+  for (int paper_m : {5'000, 8'000, 10'000, 50'000, 100'000}) {
+    std::string label = std::to_string(paper_m / 1'000) + "K";
+    points.push_back({label, [=](uint64_t seed) {
+                        gen::WorkloadConfig config =
+                            SyntheticWith(options, seed, dist);
+                        config.num_tasks = Scaled(options, paper_m);
+                        return gen::GenerateInstance(config);
+                      }});
+  }
+  return points;
+}
+
+/// Figures 14/24: number of workers n in {5K, 8K, 10K, 15K, 20K}.
+inline std::vector<SweepPoint> WorkerCountSweep(
+    const BenchOptions& options, gen::SpatialDistribution dist) {
+  std::vector<SweepPoint> points;
+  for (int paper_n : {5'000, 8'000, 10'000, 15'000, 20'000}) {
+    std::string label = std::to_string(paper_n / 1'000) + "K";
+    points.push_back({label, [=](uint64_t seed) {
+                        gen::WorkloadConfig config =
+                            SyntheticWith(options, seed, dist);
+                        config.num_workers = Scaled(options, paper_n);
+                        return gen::GenerateInstance(config);
+                      }});
+  }
+  return points;
+}
+
+/// Figures 15/27: moving-angle range (0, pi/8] .. (0, pi/4].
+inline std::vector<SweepPoint> AngleRangeSweep(
+    const BenchOptions& options, gen::SpatialDistribution dist) {
+  struct Entry {
+    const char* label;
+    int denominator;
+  };
+  const Entry entries[] = {{"(0,pi/8]", 8},
+                           {"(0,pi/7]", 7},
+                           {"(0,pi/6]", 6},
+                           {"(0,pi/5]", 5},
+                           {"(0,pi/4]", 4}};
+  std::vector<SweepPoint> points;
+  for (const Entry& e : entries) {
+    points.push_back({e.label, [=](uint64_t seed) {
+                        gen::WorkloadConfig config =
+                            SyntheticWith(options, seed, dist);
+                        config.angle_range =
+                            std::numbers::pi / e.denominator;
+                        return gen::GenerateInstance(config);
+                      }});
+  }
+  return points;
+}
+
+/// Figures 25/26: velocity range [0.1,0.2] .. [0.4,0.5].
+inline std::vector<SweepPoint> VelocitySweep(const BenchOptions& options,
+                                             gen::SpatialDistribution dist) {
+  struct Entry {
+    const char* label;
+    double lo, hi;
+  };
+  const Entry entries[] = {{"[0.1,0.2]", 0.1, 0.2},
+                           {"[0.2,0.3]", 0.2, 0.3},
+                           {"[0.3,0.4]", 0.3, 0.4},
+                           {"[0.4,0.5]", 0.4, 0.5}};
+  std::vector<SweepPoint> points;
+  for (const Entry& e : entries) {
+    points.push_back({e.label, [=](uint64_t seed) {
+                        gen::WorkloadConfig config =
+                            SyntheticWith(options, seed, dist);
+                        config.v_min = e.lo;
+                        config.v_max = e.hi;
+                        return gen::GenerateInstance(config);
+                      }});
+  }
+  return points;
+}
+
+}  // namespace rdbsc::bench
+
+#endif  // RDBSC_BENCH_SWEEPS_H_

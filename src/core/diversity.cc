@@ -1,0 +1,285 @@
+#include "core/diversity.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+
+#include "geo/angle.h"
+#include "util/math.h"
+
+namespace rdbsc::core {
+namespace {
+
+using geo::kTwoPi;
+using util::ClampConfidence;
+using util::EntropyTerm;
+
+// Entropy of a two-way split a : (1-a); the diversity of a two-ray world.
+double TwoWayEntropy(double a) { return EntropyTerm(a) + EntropyTerm(1.0 - a); }
+
+// Observations sorted by approach angle, with circular gap g[i] from ray i
+// to ray i+1 (cyclic).
+struct AngularLayout {
+  std::vector<double> angle;
+  std::vector<double> confidence;
+  std::vector<double> gap;
+};
+
+AngularLayout SortByAngle(const std::vector<Observation>& obs) {
+  AngularLayout layout;
+  const size_t r = obs.size();
+  std::vector<size_t> order(r);
+  for (size_t i = 0; i < r; ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&obs](size_t a, size_t b) {
+    return obs[a].angle < obs[b].angle;
+  });
+  layout.angle.reserve(r);
+  layout.confidence.reserve(r);
+  for (size_t i : order) {
+    layout.angle.push_back(geo::NormalizeAngle(obs[i].angle));
+    layout.confidence.push_back(ClampConfidence(obs[i].confidence));
+  }
+  layout.gap.resize(r);
+  for (size_t i = 0; i < r; ++i) {
+    size_t next = (i + 1) % r;
+    double delta = geo::CcwDelta(layout.angle[i], layout.angle[next]);
+    // All-equal angles make every delta 0 except the wrap, which CcwDelta
+    // reports as 0 too; patch the final wrap gap so gaps sum to 2*pi.
+    layout.gap[i] = delta;
+  }
+  if (r > 0) {
+    double sum = 0.0;
+    for (size_t i = 0; i + 1 < r; ++i) sum += layout.gap[i];
+    layout.gap[r - 1] = kTwoPi - sum;
+  }
+  return layout;
+}
+
+// Observations sorted by arrival, with the virtual boundary dividers at
+// `start` and `end` prepended/appended (probability 1 each).
+struct TemporalLayout {
+  std::vector<double> time;  // size r + 2, time[0] = start, back() = end
+  std::vector<double> confidence;
+};
+
+TemporalLayout SortByArrival(const std::vector<Observation>& obs,
+                             double start, double end) {
+  TemporalLayout layout;
+  layout.time.reserve(obs.size() + 2);
+  layout.confidence.reserve(obs.size() + 2);
+  layout.time.push_back(start);
+  layout.confidence.push_back(1.0);
+  std::vector<size_t> order(obs.size());
+  for (size_t i = 0; i < obs.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&obs](size_t a, size_t b) {
+    return obs[a].arrival < obs[b].arrival;
+  });
+  for (size_t i : order) {
+    layout.time.push_back(std::clamp(obs[i].arrival, start, end));
+    layout.confidence.push_back(ClampConfidence(obs[i].confidence));
+  }
+  layout.time.push_back(end);
+  layout.confidence.push_back(1.0);
+  return layout;
+}
+
+}  // namespace
+
+Observation MakeObservation(const Task& t, const Worker& w, double now,
+                            ArrivalPolicy policy) {
+  Observation obs;
+  obs.angle = ApproachAngle(t, w);
+  obs.arrival = std::clamp(ArrivalTime(w, t, now, policy), t.start, t.end);
+  obs.confidence = w.confidence;
+  return obs;
+}
+
+double SpatialDiversity(const std::vector<double>& angles) {
+  const size_t r = angles.size();
+  if (r < 2) return 0.0;
+  std::vector<double> sorted(angles);
+  for (double& a : sorted) a = geo::NormalizeAngle(a);
+  std::sort(sorted.begin(), sorted.end());
+  double entropy = 0.0;
+  double sum = 0.0;
+  for (size_t i = 0; i + 1 < r; ++i) {
+    double gap = sorted[i + 1] - sorted[i];
+    sum += gap;
+    entropy += EntropyTerm(gap / kTwoPi);
+  }
+  entropy += EntropyTerm((kTwoPi - sum) / kTwoPi);
+  return entropy;
+}
+
+double TemporalDiversity(const std::vector<double>& arrivals, double start,
+                         double end) {
+  assert(end > start);
+  if (arrivals.empty()) return 0.0;
+  std::vector<double> sorted(arrivals);
+  std::sort(sorted.begin(), sorted.end());
+  const double duration = end - start;
+  double entropy = 0.0;
+  double prev = start;
+  for (double t : sorted) {
+    double clamped = std::clamp(t, prev, end);
+    entropy += EntropyTerm((clamped - prev) / duration);
+    prev = clamped;
+  }
+  entropy += EntropyTerm((end - prev) / duration);
+  return entropy;
+}
+
+double Std(const Task& task, const std::vector<Observation>& obs) {
+  std::vector<double> angles;
+  std::vector<double> arrivals;
+  angles.reserve(obs.size());
+  arrivals.reserve(obs.size());
+  for (const Observation& o : obs) {
+    angles.push_back(o.angle);
+    arrivals.push_back(o.arrival);
+  }
+  return task.beta * SpatialDiversity(angles) +
+         (1.0 - task.beta) * TemporalDiversity(arrivals, task.start, task.end);
+}
+
+double ExpectedSpatialDiversity(const std::vector<Observation>& obs) {
+  const size_t r = obs.size();
+  if (r < 2) return 0.0;
+  AngularLayout layout = SortByAngle(obs);
+
+  // M_SD[j][k] summed on the fly (Eq. 9): for each ordered pair (j, k) of
+  // rays, the entropy of the angle swept CCW from j to k, weighted by the
+  // probability that j and k are both realized and everything strictly
+  // between them is not -- i.e. the probability that (j, k) are adjacent
+  // rays in the realized world.
+  double expected = 0.0;
+  for (size_t j = 0; j < r; ++j) {
+    double between_absent = 1.0;  // prod of (1 - p_x) for x strictly between
+    double swept = 0.0;           // angle from ray j to ray k
+    for (size_t step = 1; step < r; ++step) {
+      size_t k = (j + step) % r;
+      swept += layout.gap[(j + step - 1) % r];
+      expected += EntropyTerm(swept / kTwoPi) * layout.confidence[j] *
+                  layout.confidence[k] * between_absent;
+      between_absent *= 1.0 - layout.confidence[k];
+    }
+  }
+  return expected;
+}
+
+double ExpectedTemporalDiversity(const std::vector<Observation>& obs,
+                                 double start, double end) {
+  assert(end > start);
+  if (obs.empty()) return 0.0;
+  TemporalLayout layout = SortByArrival(obs, start, end);
+  const double duration = end - start;
+  const size_t b = layout.time.size();  // r + 2 boundary candidates
+
+  // M_TD summed on the fly (Eq. 10): a sub-interval [time[a], time[k]]
+  // materializes exactly when both of its dividers are realized and every
+  // divider strictly between them is not. The valid-period endpoints are
+  // always-present dividers (confidence 1).
+  double expected = 0.0;
+  for (size_t a = 0; a + 1 < b; ++a) {
+    double between_absent = 1.0;
+    for (size_t k = a + 1; k < b; ++k) {
+      double len = layout.time[k] - layout.time[a];
+      expected += EntropyTerm(len / duration) * layout.confidence[a] *
+                  layout.confidence[k] * between_absent;
+      between_absent *= 1.0 - layout.confidence[k];
+    }
+  }
+  return expected;
+}
+
+double ExpectedStd(const Task& task, const std::vector<Observation>& obs) {
+  double spatial =
+      task.beta > 0.0 ? ExpectedSpatialDiversity(obs) : 0.0;
+  double temporal =
+      task.beta < 1.0
+          ? ExpectedTemporalDiversity(obs, task.start, task.end)
+          : 0.0;
+  return task.beta * spatial + (1.0 - task.beta) * temporal;
+}
+
+double ExpectedStdBruteForce(const Task& task,
+                             const std::vector<Observation>& obs) {
+  const size_t r = obs.size();
+  assert(r <= 25 && "possible-worlds enumeration limited to 2^25 worlds");
+  double expected = 0.0;
+  for (uint64_t world = 0; world < (uint64_t{1} << r); ++world) {
+    double prob = 1.0;
+    std::vector<Observation> present;
+    for (size_t i = 0; i < r; ++i) {
+      double p = ClampConfidence(obs[i].confidence);
+      if (world & (uint64_t{1} << i)) {
+        prob *= p;
+        present.push_back(obs[i]);
+      } else {
+        prob *= 1.0 - p;
+      }
+    }
+    if (prob > 0.0) expected += prob * Std(task, present);
+  }
+  return expected;
+}
+
+DiversityBounds ExpectedStdBounds(const Task& task,
+                                  const std::vector<Observation>& obs) {
+  DiversityBounds bounds;
+  const size_t r = obs.size();
+  if (r == 0) return bounds;
+
+  bounds.ub = Std(task, obs);  // Lemma 4.2: diversity peaks with all present.
+
+  // P(at least one present) and P(at least two present).
+  double none = 1.0;
+  for (const Observation& o : obs) none *= 1.0 - ClampConfidence(o.confidence);
+  double exactly_one = 0.0;
+  {
+    // prefix[i] = prod of (1-p) over obs[0..i); suffix analogous.
+    std::vector<double> prefix(r + 1, 1.0);
+    for (size_t i = 0; i < r; ++i) {
+      prefix[i + 1] = prefix[i] * (1.0 - ClampConfidence(obs[i].confidence));
+    }
+    double suffix = 1.0;
+    for (size_t i = r; i-- > 0;) {
+      exactly_one += ClampConfidence(obs[i].confidence) * prefix[i] * suffix;
+      suffix *= 1.0 - ClampConfidence(obs[i].confidence);
+    }
+  }
+  double p_ge1 = 1.0 - none;
+  double p_ge2 = std::max(0.0, p_ge1 - exactly_one);
+
+  // Smallest realizable non-zero SD: the two rays across the narrowest gap
+  // (Section 4.3; minimizer of the concave two-way entropy).
+  double min_sd = 0.0;
+  if (r >= 2) {
+    AngularLayout layout = SortByAngle(obs);
+    double min_gap = kTwoPi;
+    for (double g : layout.gap) min_gap = std::min(min_gap, g);
+    min_sd = TwoWayEntropy(min_gap / kTwoPi);
+  }
+
+  // Smallest realizable non-zero TD: the single worker whose arrival splits
+  // the period most unevenly.
+  double min_td = 0.0;
+  {
+    double best = std::numeric_limits<double>::infinity();
+    const double duration = task.Duration();
+    for (const Observation& o : obs) {
+      double a = (std::clamp(o.arrival, task.start, task.end) - task.start) /
+                 duration;
+      best = std::min(best, TwoWayEntropy(a));
+    }
+    min_td = best;
+  }
+
+  bounds.lb = task.beta * p_ge2 * min_sd + (1.0 - task.beta) * p_ge1 * min_td;
+  bounds.lb = std::min(bounds.lb, bounds.ub);
+  return bounds;
+}
+
+}  // namespace rdbsc::core

@@ -1,0 +1,69 @@
+#ifndef RDBSC_CORE_DIVERSITY_H_
+#define RDBSC_CORE_DIVERSITY_H_
+
+#include <vector>
+
+#include "core/model.h"
+
+namespace rdbsc::core {
+
+/// One assigned worker as seen from its task: the approach angle at the task
+/// location (Figure 2(a)), the arrival time inside the valid period
+/// (Figure 2(b)) and the worker's confidence.
+struct Observation {
+  double angle = 0.0;       ///< approach direction, radians in [0, 2*pi)
+  double arrival = 0.0;     ///< arrival time, clamped into [task.start, end]
+  double confidence = 0.9;  ///< worker reliability p_j
+};
+
+/// Builds the observation of worker `w` for task `t` given the system time.
+Observation MakeObservation(const Task& t, const Worker& w, double now,
+                            ArrivalPolicy policy);
+
+/// Spatial diversity SD (Eq. 3): entropy of the circular gaps between the
+/// given approach angles. 0 for fewer than two distinct rays.
+double SpatialDiversity(const std::vector<double>& angles);
+
+/// Temporal diversity TD (Eq. 4): entropy of the sub-intervals into which
+/// the arrival times divide [start, end]. 0 for an empty set of arrivals.
+double TemporalDiversity(const std::vector<double>& arrivals, double start,
+                         double end);
+
+/// Deterministic spatial/temporal diversity STD (Eq. 5) of a concrete
+/// worker set, i.e. assuming every observation is realized.
+double Std(const Task& task, const std::vector<Observation>& obs);
+
+/// Expected spatial diversity E[SD] under possible-worlds semantics,
+/// computed with the spatial diversity matrix M_SD of Section 3.2
+/// (prefix-product formulation, O(r^2) time instead of the paper's O(r^3)).
+double ExpectedSpatialDiversity(const std::vector<Observation>& obs);
+
+/// Expected temporal diversity E[TD], computed with the temporal diversity
+/// matrix M_TD of Section 3.2. The valid period boundaries act as virtual
+/// always-present dividers (see DESIGN.md on the Eq. 10 index convention).
+double ExpectedTemporalDiversity(const std::vector<Observation>& obs,
+                                 double start, double end);
+
+/// Expected combined diversity E[STD] = beta*E[SD] + (1-beta)*E[TD]
+/// (Lemma 3.1).
+double ExpectedStd(const Task& task, const std::vector<Observation>& obs);
+
+/// Test oracle: E[STD] by exhaustive enumeration of all 2^r possible worlds
+/// (Eq. 6). Requires obs.size() <= 25.
+double ExpectedStdBruteForce(const Task& task,
+                             const std::vector<Observation>& obs);
+
+/// Lower/upper bounds on E[STD] used by the greedy pruning strategy
+/// (Section 4.3): ub is STD with every worker present (Lemma 4.2 maximum);
+/// lb is P(diversity non-zero) times the smallest realizable non-zero
+/// diversity. Both are O(r log r).
+struct DiversityBounds {
+  double lb = 0.0;
+  double ub = 0.0;
+};
+DiversityBounds ExpectedStdBounds(const Task& task,
+                                  const std::vector<Observation>& obs);
+
+}  // namespace rdbsc::core
+
+#endif  // RDBSC_CORE_DIVERSITY_H_

@@ -1,0 +1,49 @@
+#ifndef RDBSC_CORE_DIVIDE_CONQUER_H_
+#define RDBSC_CORE_DIVIDE_CONQUER_H_
+
+#include <string>
+
+#include "core/solver.h"
+
+namespace rdbsc::core {
+
+/// RDB-SC_DC (Figures 6-9): recursively bisects the bipartite validity
+/// graph with BG_Partition (2-means on task locations, Fig. 7), solves
+/// leaf subproblems with SAMPLING (or GREEDY), and reconciles duplicated
+/// ("conflicting") workers with SA_Merge (Fig. 9), classifying them into
+/// independent (ICW) and dependent (DCW) conflicting workers per Lemmas
+/// 6.1-6.2 and enumerating each DCW group's 2^k keep-side combinations.
+class DivideConquerSolver : public Solver {
+ public:
+  explicit DivideConquerSolver(SolverOptions options = {},
+                               std::string name = "D&C")
+      : options_(options), name_(std::move(name)) {}
+
+  std::string_view name() const override { return name_; }
+
+  SolveResult Solve(const Instance& instance,
+                    const CandidateGraph& graph) override;
+
+ private:
+  SolverOptions options_;
+  std::string name_;
+};
+
+/// The paper's ground-truth proxy G-TRUTH: D&C with the embedded sampling
+/// budget raised 10x (Section 8.1).
+class GroundTruthSolver : public DivideConquerSolver {
+ public:
+  explicit GroundTruthSolver(SolverOptions options = {})
+      : DivideConquerSolver(Boost(options), "G-TRUTH") {}
+
+ private:
+  static SolverOptions Boost(SolverOptions options) {
+    options.sample_multiplier = std::max(1, options.sample_multiplier) * 10;
+    options.max_sample_size = options.max_sample_size * 10;
+    return options;
+  }
+};
+
+}  // namespace rdbsc::core
+
+#endif  // RDBSC_CORE_DIVIDE_CONQUER_H_

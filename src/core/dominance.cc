@@ -1,0 +1,72 @@
+#include "core/dominance.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace rdbsc::core {
+
+std::vector<size_t> SkylineIndices(const std::vector<BiPoint>& points) {
+  std::vector<size_t> order(points.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&points](size_t a, size_t b) {
+    if (points[a].x != points[b].x) return points[a].x > points[b].x;
+    if (points[a].y != points[b].y) return points[a].y > points[b].y;
+    return a < b;
+  });
+
+  // Sweep in decreasing x. A point is dominated iff some point with
+  // strictly larger x has y >= its y, or an equal-x point has strictly
+  // larger y. Within an equal-x group only the maximum-y members survive,
+  // and only if they beat the best y seen at strictly larger x.
+  std::vector<size_t> skyline;
+  double best_y_strictly_before = -std::numeric_limits<double>::infinity();
+  size_t g = 0;
+  while (g < order.size()) {
+    size_t h = g;
+    double group_max_y = -std::numeric_limits<double>::infinity();
+    while (h < order.size() && points[order[h]].x == points[order[g]].x) {
+      group_max_y = std::max(group_max_y, points[order[h]].y);
+      ++h;
+    }
+    if (group_max_y > best_y_strictly_before) {
+      for (size_t k = g; k < h; ++k) {
+        if (points[order[k]].y == group_max_y) skyline.push_back(order[k]);
+      }
+    }
+    best_y_strictly_before = std::max(best_y_strictly_before, group_max_y);
+    g = h;
+  }
+  std::sort(skyline.begin(), skyline.end());
+  return skyline;
+}
+
+std::vector<int64_t> DominanceScores(const std::vector<BiPoint>& points,
+                                     const std::vector<size_t>& candidates) {
+  std::vector<int64_t> scores(candidates.size(), 0);
+  for (size_t c = 0; c < candidates.size(); ++c) {
+    const BiPoint& a = points[candidates[c]];
+    for (size_t p = 0; p < points.size(); ++p) {
+      if (p != candidates[c] && DominatesPoint(a, points[p])) ++scores[c];
+    }
+  }
+  return scores;
+}
+
+size_t TopDominating(const std::vector<BiPoint>& points) {
+  if (points.empty()) return std::numeric_limits<size_t>::max();
+  std::vector<size_t> skyline = SkylineIndices(points);
+  std::vector<int64_t> scores = DominanceScores(points, skyline);
+  size_t best = 0;
+  for (size_t c = 1; c < skyline.size(); ++c) {
+    const BiPoint& a = points[skyline[c]];
+    const BiPoint& b = points[skyline[best]];
+    bool better = scores[c] > scores[best];
+    if (scores[c] == scores[best]) {
+      better = a.y > b.y || (a.y == b.y && a.x > b.x);
+    }
+    if (better) best = c;
+  }
+  return skyline[best];
+}
+
+}  // namespace rdbsc::core

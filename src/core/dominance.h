@@ -1,0 +1,45 @@
+#ifndef RDBSC_CORE_DOMINANCE_H_
+#define RDBSC_CORE_DOMINANCE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace rdbsc::core {
+
+/// A point in the bi-objective plane the RDB-SC algorithms rank in:
+/// x = reliability-type gain, y = diversity-type gain. Larger is better on
+/// both axes.
+struct BiPoint {
+  double x = 0.0;
+  double y = 0.0;
+};
+
+/// Skyline dominance (the operator of Borzsonyi et al., reference [13] of
+/// the paper): `a` dominates `b` when it is no worse on both axes and
+/// strictly better on at least one.
+inline bool DominatesPoint(const BiPoint& a, const BiPoint& b) {
+  return a.x >= b.x && a.y >= b.y && (a.x > b.x || a.y > b.y);
+}
+
+/// Indices of the non-dominated points (the skyline), in input order.
+/// O(n log n): sweep after sorting by (x desc, y desc). Ties on both axes
+/// are all kept (none dominates another).
+std::vector<std::size_t> SkylineIndices(const std::vector<BiPoint>& points);
+
+/// Dominance score of selected points: for each index in `candidates`,
+/// the number of `points` it dominates (the top-k dominating ranking of
+/// Yiu & Mamoulis, reference [22]). O(|candidates| * |points|).
+std::vector<int64_t> DominanceScores(const std::vector<BiPoint>& points,
+                                     const std::vector<std::size_t>& candidates);
+
+/// The paper's selection rule used by GREEDY (Fig 3 lines 6-8), SAMPLING
+/// (Fig 5 lines 8-9) and SA_Merge: take the skyline, rank its members by
+/// how many points they dominate, and return the index of the winner.
+/// Ties break towards larger y, then larger x, then the smaller index,
+/// so the choice is deterministic. Returns SIZE_MAX for empty input.
+std::size_t TopDominating(const std::vector<BiPoint>& points);
+
+}  // namespace rdbsc::core
+
+#endif  // RDBSC_CORE_DOMINANCE_H_

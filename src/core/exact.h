@@ -1,0 +1,50 @@
+#ifndef RDBSC_CORE_EXACT_H_
+#define RDBSC_CORE_EXACT_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/solver.h"
+#include "util/status.h"
+
+namespace rdbsc::core {
+
+/// Exhaustive enumeration over the assignment population of Section 5.1
+/// (every worker with candidates picks one of its valid tasks; N = prod
+/// deg(w_j) assignments). RDB-SC is NP-hard, so this is only usable on
+/// tiny instances -- it exists as the *true* optimum oracle the paper
+/// approximates with G-TRUTH, and as the reference for approximation-
+/// quality tests.
+class ExactSolver : public Solver {
+ public:
+  /// `max_enumeration` caps the population size this solver will walk.
+  explicit ExactSolver(SolverOptions options = {},
+                       int64_t max_enumeration = 2'000'000)
+      : options_(options), max_enumeration_(max_enumeration) {}
+
+  std::string_view name() const override { return "EXACT"; }
+
+  /// Returns the assignment selected by the paper's dominance-score rule
+  /// over the ENTIRE population. Requires the population to fit under the
+  /// enumeration cap (asserts otherwise); check Population() first.
+  SolveResult Solve(const Instance& instance,
+                    const CandidateGraph& graph) override;
+
+  /// Population size, or -1 when it exceeds the cap.
+  static int64_t Population(const CandidateGraph& graph, int64_t cap);
+
+ private:
+  SolverOptions options_;
+  int64_t max_enumeration_;
+};
+
+/// All Pareto-optimal assignments (no enumerated assignment dominates
+/// them), deduplicated by objective value. Fails with kFailedPrecondition
+/// when the population exceeds `max_enumeration`.
+util::StatusOr<std::vector<Assignment>> EnumerateParetoFront(
+    const Instance& instance, const CandidateGraph& graph,
+    int64_t max_enumeration = 2'000'000);
+
+}  // namespace rdbsc::core
+
+#endif  // RDBSC_CORE_EXACT_H_

@@ -1,0 +1,28 @@
+#ifndef RDBSC_CORE_GREEDY_H_
+#define RDBSC_CORE_GREEDY_H_
+
+#include "core/solver.h"
+
+namespace rdbsc::core {
+
+/// RDB-SC_Greedy (Figure 3): iteratively picks the valid task-worker pair
+/// whose assignment yields the best (Delta_min_R, Delta_STD) increase pair,
+/// using skyline dominance filtering and dominance-count ranking, with the
+/// optional Lemma 4.3 lower/upper-bound pruning to avoid exact expected-
+/// diversity evaluations for hopeless candidates.
+class GreedySolver : public Solver {
+ public:
+  explicit GreedySolver(SolverOptions options = {}) : options_(options) {}
+
+  std::string_view name() const override { return "GREEDY"; }
+
+  SolveResult Solve(const Instance& instance,
+                    const CandidateGraph& graph) override;
+
+ private:
+  SolverOptions options_;
+};
+
+}  // namespace rdbsc::core
+
+#endif  // RDBSC_CORE_GREEDY_H_

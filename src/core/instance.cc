@@ -1,0 +1,63 @@
+#include "core/instance.h"
+
+#include <cmath>
+
+namespace rdbsc::core {
+
+util::Status Instance::Validate() const {
+  for (const Task& t : tasks_) {
+    if (!(t.Duration() > 0.0)) {
+      return util::Status::InvalidArgument("task has non-positive duration");
+    }
+    if (t.beta < 0.0 || t.beta > 1.0) {
+      return util::Status::InvalidArgument("task beta outside [0,1]");
+    }
+  }
+  for (const Worker& w : workers_) {
+    if (!(w.velocity > 0.0)) {
+      return util::Status::InvalidArgument("worker velocity not positive");
+    }
+    if (w.confidence < 0.0 || w.confidence > 1.0) {
+      return util::Status::InvalidArgument("worker confidence outside [0,1]");
+    }
+  }
+  return util::Status::OK();
+}
+
+CandidateGraph CandidateGraph::Build(const Instance& instance) {
+  std::vector<std::vector<TaskId>> edges(instance.num_workers());
+  for (WorkerId j = 0; j < instance.num_workers(); ++j) {
+    for (TaskId i = 0; i < instance.num_tasks(); ++i) {
+      if (IsValidPair(instance.task(i), instance.worker(j), instance.now(),
+                      instance.policy())) {
+        edges[j].push_back(i);
+      }
+    }
+  }
+  return FromEdges(instance, std::move(edges));
+}
+
+CandidateGraph CandidateGraph::FromEdges(
+    const Instance& instance, std::vector<std::vector<TaskId>> edges) {
+  CandidateGraph graph;
+  graph.worker_tasks_ = std::move(edges);
+  graph.worker_tasks_.resize(instance.num_workers());
+  graph.task_workers_.assign(instance.num_tasks(), {});
+  for (WorkerId j = 0; j < graph.num_workers(); ++j) {
+    for (TaskId i : graph.worker_tasks_[j]) {
+      graph.task_workers_[i].push_back(j);
+      ++graph.num_edges_;
+    }
+  }
+  return graph;
+}
+
+double CandidateGraph::LogPopulation() const {
+  double log_n = 0.0;
+  for (const auto& tasks : worker_tasks_) {
+    if (!tasks.empty()) log_n += std::log(static_cast<double>(tasks.size()));
+  }
+  return log_n;
+}
+
+}  // namespace rdbsc::core

@@ -1,0 +1,93 @@
+#ifndef RDBSC_CORE_INSTANCE_H_
+#define RDBSC_CORE_INSTANCE_H_
+
+#include <vector>
+
+#include "core/model.h"
+#include "util/status.h"
+
+namespace rdbsc::core {
+
+/// A snapshot of the crowdsourcing system: the current task set T, worker
+/// set W, the wall-clock time `now`, and the arrival policy. Solvers operate
+/// on instances; the dynamic platform (src/sim) produces a fresh instance at
+/// every incremental update round.
+class Instance {
+ public:
+  Instance() = default;
+  Instance(std::vector<Task> tasks, std::vector<Worker> workers,
+           double now = 0.0, ArrivalPolicy policy = ArrivalPolicy::kStrict)
+      : tasks_(std::move(tasks)),
+        workers_(std::move(workers)),
+        now_(now),
+        policy_(policy) {}
+
+  const std::vector<Task>& tasks() const { return tasks_; }
+  const std::vector<Worker>& workers() const { return workers_; }
+  double now() const { return now_; }
+  ArrivalPolicy policy() const { return policy_; }
+
+  int num_tasks() const { return static_cast<int>(tasks_.size()); }
+  int num_workers() const { return static_cast<int>(workers_.size()); }
+
+  const Task& task(TaskId id) const { return tasks_[id]; }
+  const Worker& worker(WorkerId id) const { return workers_[id]; }
+
+  /// Validates basic well-formedness (positive durations, confidences in
+  /// [0,1], positive velocities). Solvers assume a valid instance.
+  util::Status Validate() const;
+
+ private:
+  std::vector<Task> tasks_;
+  std::vector<Worker> workers_;
+  double now_ = 0.0;
+  ArrivalPolicy policy_ = ArrivalPolicy::kStrict;
+};
+
+/// The bipartite validity graph of Figure 4: for every worker the list of
+/// tasks it can validly serve and the transpose. Built once per solve; the
+/// grid index (src/index) offers a faster construction path for large
+/// instances, producing the same edges.
+class CandidateGraph {
+ public:
+  /// Builds the graph by testing every (task, worker) pair; O(m*n).
+  static CandidateGraph Build(const Instance& instance);
+
+  /// Builds the graph from precomputed edges (as retrieved from the grid
+  /// index); `edges[j]` lists the valid tasks of worker j.
+  static CandidateGraph FromEdges(const Instance& instance,
+                                  std::vector<std::vector<TaskId>> edges);
+
+  /// Valid tasks of worker `j` (the edges incident to the worker node).
+  const std::vector<TaskId>& TasksOf(WorkerId j) const {
+    return worker_tasks_[j];
+  }
+  /// Valid workers of task `i`.
+  const std::vector<WorkerId>& WorkersOf(TaskId i) const {
+    return task_workers_[i];
+  }
+
+  /// deg(w_j) in the paper's sampling analysis.
+  int Degree(WorkerId j) const {
+    return static_cast<int>(worker_tasks_[j].size());
+  }
+
+  /// Total number of valid task-worker pairs.
+  int64_t NumEdges() const { return num_edges_; }
+
+  /// ln of the population size N = prod_j max(deg(w_j), 1) (Section 5.2).
+  /// Workers with no valid task contribute factor 1.
+  double LogPopulation() const;
+
+  int num_tasks() const { return static_cast<int>(task_workers_.size()); }
+  int num_workers() const { return static_cast<int>(worker_tasks_.size()); }
+
+ private:
+  std::vector<std::vector<TaskId>> worker_tasks_;
+  std::vector<std::vector<WorkerId>> task_workers_;
+  int64_t num_edges_ = 0;
+};
+
+}  // namespace rdbsc::core
+
+#endif  // RDBSC_CORE_INSTANCE_H_

@@ -1,0 +1,52 @@
+#include "core/metrics.h"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+
+#include "util/math.h"
+
+namespace rdbsc::core {
+
+AssignmentMetrics ComputeMetrics(const Instance& instance,
+                                 const Assignment& assignment,
+                                 int histogram_buckets) {
+  assert(histogram_buckets >= 2);
+  AssignmentMetrics metrics;
+  metrics.roster_histogram.assign(histogram_buckets, 0);
+
+  AssignmentState state(instance);
+  state.Reset(assignment);
+
+  double reliability_sum = 0.0;
+  double min_rel = std::numeric_limits<double>::infinity();
+  int64_t roster_sum = 0;
+  for (TaskId i = 0; i < instance.num_tasks(); ++i) {
+    int roster = static_cast<int>(state.WorkersOf(i).size());
+    int bucket = std::min(roster, histogram_buckets - 1);
+    ++metrics.roster_histogram[bucket];
+    if (roster == 0) {
+      ++metrics.empty_tasks;
+      continue;
+    }
+    ++metrics.nonempty_tasks;
+    roster_sum += roster;
+    metrics.max_roster = std::max(metrics.max_roster, roster);
+    double rel =
+        util::ReducedToProbability(state.TaskReducedReliability(i));
+    reliability_sum += rel;
+    min_rel = std::min(min_rel, rel);
+  }
+  metrics.assigned_workers = assignment.NumAssigned();
+  metrics.total_expected_std = state.TotalExpectedStd();
+  if (metrics.nonempty_tasks > 0) {
+    metrics.mean_roster =
+        static_cast<double>(roster_sum) / metrics.nonempty_tasks;
+    metrics.mean_task_reliability =
+        reliability_sum / metrics.nonempty_tasks;
+    metrics.min_task_reliability = min_rel;
+  }
+  return metrics;
+}
+
+}  // namespace rdbsc::core

@@ -1,0 +1,37 @@
+#ifndef RDBSC_CORE_METRICS_H_
+#define RDBSC_CORE_METRICS_H_
+
+#include <vector>
+
+#include "core/assignment.h"
+#include "core/instance.h"
+
+namespace rdbsc::core {
+
+/// Structural statistics of an assignment, used by the benches and
+/// examples to explain *why* one approach beats another (e.g. GREEDY's
+/// herding shows up as a heavy roster histogram tail plus many empty
+/// tasks).
+struct AssignmentMetrics {
+  int assigned_workers = 0;
+  int nonempty_tasks = 0;
+  int empty_tasks = 0;
+  int max_roster = 0;  ///< largest number of workers on one task
+  double mean_roster = 0.0;  ///< mean workers per non-empty task
+  /// roster_histogram[r] = number of tasks with exactly r workers
+  /// (r capped at the vector size - 1; the last bucket aggregates).
+  std::vector<int> roster_histogram;
+  double mean_task_reliability = 0.0;  ///< over non-empty tasks
+  double min_task_reliability = 0.0;
+  double total_expected_std = 0.0;
+};
+
+/// Computes the metrics above; `histogram_buckets` bounds the roster
+/// histogram length (>= 2).
+AssignmentMetrics ComputeMetrics(const Instance& instance,
+                                 const Assignment& assignment,
+                                 int histogram_buckets = 9);
+
+}  // namespace rdbsc::core
+
+#endif  // RDBSC_CORE_METRICS_H_

@@ -1,0 +1,40 @@
+#include "core/model.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace rdbsc::core {
+
+double TravelTime(const Worker& w, geo::Point location) {
+  if (w.velocity <= 0.0) return std::numeric_limits<double>::infinity();
+  return geo::Distance(w.location, location) / w.velocity;
+}
+
+double ArrivalTime(const Worker& w, const Task& t, double now,
+                   ArrivalPolicy policy) {
+  double depart = std::max(now, w.available_from);
+  double arrival = depart + TravelTime(w, t.location);
+  if (policy == ArrivalPolicy::kAllowWait && arrival < t.start) {
+    arrival = t.start;
+  }
+  return arrival;
+}
+
+bool IsValidPair(const Task& t, const Worker& w, double now,
+                 ArrivalPolicy policy) {
+  // Direction constraint: walking towards the task must not deviate from
+  // the worker's registered cone. A worker standing exactly on the task
+  // trivially satisfies it.
+  if (!(w.location == t.location) &&
+      !w.direction.Contains(geo::Bearing(w.location, t.location))) {
+    return false;
+  }
+  double arrival = ArrivalTime(w, t, now, policy);
+  return arrival >= t.start && arrival <= t.end;
+}
+
+double ApproachAngle(const Task& t, const Worker& w) {
+  return geo::Bearing(t.location, w.location);
+}
+
+}  // namespace rdbsc::core

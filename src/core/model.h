@@ -1,0 +1,79 @@
+#ifndef RDBSC_CORE_MODEL_H_
+#define RDBSC_CORE_MODEL_H_
+
+#include <cstdint>
+
+#include "geo/angle.h"
+#include "geo/point.h"
+
+namespace rdbsc::core {
+
+/// Index of a task inside an Instance.
+using TaskId = int32_t;
+/// Index of a worker inside an Instance.
+using WorkerId = int32_t;
+
+/// Sentinel meaning "no task" / "no worker".
+inline constexpr TaskId kNoTask = -1;
+inline constexpr WorkerId kNoWorker = -1;
+
+/// A time-constrained spatial task (Definition 1): a location plus a valid
+/// period [start, end] during which answers must be produced, and the
+/// requester's diversity weight beta (Eq. 5; beta = 1 means spatial-only,
+/// beta = 0 temporal-only).
+struct Task {
+  geo::Point location;
+  double start = 0.0;
+  double end = 1.0;
+  double beta = 0.5;
+
+  /// Length of the valid period; must be positive for a well-formed task.
+  double Duration() const { return end - start; }
+};
+
+/// A dynamically moving worker (Definition 2): current location, speed,
+/// the cone of directions the worker is willing to move in, and the
+/// confidence (probability of reliably completing an assigned task).
+/// `available_from` is the worker's check-in time (Section 8.1 generates
+/// these per worker): the worker cannot start moving before it.
+struct Worker {
+  geo::Point location;
+  double velocity = 0.1;
+  geo::AngularInterval direction = geo::AngularInterval::FullCircle();
+  double confidence = 0.9;
+  double available_from = 0.0;
+};
+
+/// How arrival times interact with a task's valid period (Definition 4
+/// requires the arrival to fall inside [start, end]).
+enum class ArrivalPolicy {
+  /// Arrival must satisfy start <= arrival <= end (the paper's rule).
+  kStrict,
+  /// Arrival may be early; the worker waits until `start` (used by the
+  /// platform simulator where workers idle at the site).
+  kAllowWait,
+};
+
+/// Travel time for `w` to reach `location` (straight line at w.velocity).
+/// Workers with non-positive velocity can never arrive (returns +infinity).
+double TravelTime(const Worker& w, geo::Point location);
+
+/// The effective time at which `w`, departing at `now`, can perform a task
+/// at `location` under `policy`; +infinity when unreachable.
+double ArrivalTime(const Worker& w, const Task& t, double now,
+                   ArrivalPolicy policy);
+
+/// True when the pair (t, w) is valid: the task lies inside the worker's
+/// direction cone and the arrival time falls inside the valid period
+/// (Section 2.3, "validity of pair").
+bool IsValidPair(const Task& t, const Worker& w, double now,
+                 ArrivalPolicy policy);
+
+/// The direction from which `w` performs the task, measured at the task
+/// location: the bearing from the task towards the worker's starting point
+/// (the worker approaches along this ray; see Figure 2(a)).
+double ApproachAngle(const Task& t, const Worker& w);
+
+}  // namespace rdbsc::core
+
+#endif  // RDBSC_CORE_MODEL_H_

@@ -1,0 +1,87 @@
+#include "core/sample_size.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <limits>
+
+#include "util/math.h"
+
+namespace rdbsc::core {
+namespace {
+
+// Natural-log threshold past which the exact Eq. (18) evaluation loses
+// precision (lgamma(M) ~ M ln M overwhelms the K ln M sized differences we
+// need) and the asymptotic forms take over. At e^25 ~ 7e10 the two regimes
+// agree to ~1e-9.
+constexpr double kLogHuge = 25.0;
+
+}  // namespace
+
+double SampleSizeLowerBound(const SampleSizeParams& params) {
+  assert(params.epsilon > 0.0 && params.epsilon < 1.0);
+  const double e = std::exp(1.0);
+  // p*M = (1 - epsilon) holds exactly because p = 1/N and M = (1-eps)*N.
+  double pm = 1.0 - params.epsilon;
+  double p = params.log_population > kLogHuge
+                 ? 0.0
+                 : std::exp(-params.log_population);
+  return (pm * e - 1.0 + p) / (1.0 - p + e * p);
+}
+
+double LogProbRankAtMost(const SampleSizeParams& params, int64_t k) {
+  assert(k >= 1);
+  const double log_n = params.log_population;
+  const double kk = static_cast<double>(k);
+
+  if (log_n > kLogHuge) {
+    // Asymptotics for huge N (see DESIGN.md):
+    //   N ln(1-p) -> -1,
+    //   ln C(M,K) - K ln(1-p) + K ln p ~ K ln(pM) - ln K! = K ln(1-eps)-lnK!
+    // with p M = 1 - eps held exactly; error terms are O(K^2/M).
+    return -1.0 + kk * std::log(1.0 - params.epsilon) -
+           std::lgamma(kk + 1.0);
+  }
+
+  const double n = std::exp(log_n);
+  const double p = 1.0 / n;
+  const double m = std::floor((1.0 - params.epsilon) * n);
+  if (kk > m) {
+    // More samples than population slots below the rank threshold: the top
+    // sample necessarily ranks above M, so Pr{X <= M} = 0.
+    return -std::numeric_limits<double>::infinity();
+  }
+  // ln Pr{X <= M} = N ln(1-p) + K (ln p - ln(1-p)) + ln C(M, K)  (Eq. 18)
+  double log1mp = std::log1p(-p);
+  return n * log1mp + kk * (std::log(p) - log1mp) +
+         util::LogBinomial(m, kk);
+}
+
+int64_t DetermineSampleSize(const SampleSizeParams& params, int64_t cap) {
+  assert(cap >= 1);
+  assert(params.delta > 0.0 && params.delta < 1.0);
+  const double target = std::log1p(-params.delta);  // ln(1 - delta)
+
+  // Population of one assignment (every worker has degree <= 1): a single
+  // sample is the whole population.
+  if (params.log_population <= 0.0) return 1;
+
+  int64_t lo = std::max<int64_t>(
+      1, static_cast<int64_t>(std::floor(SampleSizeLowerBound(params))) + 1);
+  lo = std::min(lo, cap);
+  if (LogProbRankAtMost(params, cap) > target) return cap;
+  // Pr{X <= M} decreases in K beyond the Eq. (15) bound; find the smallest
+  // K meeting the confidence target.
+  int64_t hi = cap;
+  while (lo < hi) {
+    int64_t mid = lo + (hi - lo) / 2;
+    if (LogProbRankAtMost(params, mid) <= target) {
+      hi = mid;
+    } else {
+      lo = mid + 1;
+    }
+  }
+  return std::max<int64_t>(1, lo);
+}
+
+}  // namespace rdbsc::core

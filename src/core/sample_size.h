@@ -1,0 +1,40 @@
+#ifndef RDBSC_CORE_SAMPLE_SIZE_H_
+#define RDBSC_CORE_SAMPLE_SIZE_H_
+
+#include <cstdint>
+
+namespace rdbsc::core {
+
+/// Inputs of the Section 5.2 sample-size analysis. The population consists
+/// of all N = prod_j deg(w_j) task-and-worker assignments; each sample picks
+/// one edge per worker uniformly, so every assignment is drawn with
+/// probability p = 1/N. N is astronomically large in practice, so the
+/// calculator works with ln(N).
+struct SampleSizeParams {
+  /// Rank error: the best of K samples must rank above (1-epsilon)*N.
+  double epsilon = 0.1;
+  /// Required confidence of that rank guarantee.
+  double delta = 0.9;
+  /// ln(N) = sum_j ln(max(deg(w_j), 1)); see CandidateGraph::LogPopulation.
+  double log_population = 0.0;
+};
+
+/// The closed-form lower bound of Eq. (15):
+/// K > (p*M*e - 1 + p) / (1 - p + e*p) with M = (1-epsilon)*N, p = 1/N.
+/// Note p*M = 1-epsilon exactly, so the bound stays O(1) even for huge N.
+double SampleSizeLowerBound(const SampleSizeParams& params);
+
+/// ln Pr{X <= M}: the probability that the best of K samples ranks at or
+/// below M = (1-epsilon)*N (Eq. 18, evaluated in log space; for very large
+/// N it switches to the asymptotic form ln Pr ~ -1 + K*ln(1-eps) - ln K!).
+double LogProbRankAtMost(const SampleSizeParams& params, int64_t k);
+
+/// K-hat: the smallest K in (lower bound, cap] with
+/// Pr{X <= (1-epsilon)N} <= 1 - delta, found by binary search (the
+/// probability decreases in K past the lower bound). Returns `cap` when
+/// even the cap cannot reach the bound, and at least 1 always.
+int64_t DetermineSampleSize(const SampleSizeParams& params, int64_t cap);
+
+}  // namespace rdbsc::core
+
+#endif  // RDBSC_CORE_SAMPLE_SIZE_H_

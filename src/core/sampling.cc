@@ -1,0 +1,75 @@
+#include "core/sampling.h"
+
+#include <algorithm>
+#include <chrono>
+#include <vector>
+
+#include "core/dominance.h"
+#include "core/sample_size.h"
+#include "util/rng.h"
+
+namespace rdbsc::core {
+
+int SamplingSolver::EffectiveSampleSize(const CandidateGraph& graph) const {
+  int64_t k;
+  if (options_.fixed_sample_size > 0) {
+    k = options_.fixed_sample_size;
+  } else {
+    SampleSizeParams params;
+    params.epsilon = options_.epsilon;
+    params.delta = options_.delta;
+    params.log_population = graph.LogPopulation();
+    k = DetermineSampleSize(params, options_.max_sample_size);
+  }
+  k *= std::max(1, options_.sample_multiplier);
+  k = std::max<int64_t>(k, options_.min_sample_size);
+  k = std::min<int64_t>(k, options_.max_sample_size);
+  return static_cast<int>(k);
+}
+
+SolveResult SamplingSolver::Solve(const Instance& instance,
+                                  const CandidateGraph& graph) {
+  auto t0 = std::chrono::steady_clock::now();
+  util::Rng rng(options_.seed);
+
+  const int k = EffectiveSampleSize(graph);
+
+  std::vector<Assignment> samples;
+  std::vector<ObjectiveValue> values;
+  samples.reserve(k);
+  values.reserve(k);
+
+  SolveResult result;
+  for (int h = 0; h < k; ++h) {
+    // Lines 4-7 of Fig. 5: pick, for every worker, one incident edge
+    // uniformly at random.
+    Assignment sample(instance.num_workers());
+    for (WorkerId j = 0; j < instance.num_workers(); ++j) {
+      const auto& tasks = graph.TasksOf(j);
+      if (tasks.empty()) continue;
+      size_t pick = static_cast<size_t>(
+          rng.UniformInt(0, static_cast<int64_t>(tasks.size()) - 1));
+      sample.Assign(j, tasks[pick]);
+    }
+    values.push_back(EvaluateAssignment(instance, sample));
+    samples.push_back(std::move(sample));
+    result.stats.exact_std_evals += instance.num_tasks();
+  }
+
+  // Line 8: rank samples by how many other samples they dominate.
+  std::vector<BiPoint> sample_points(k);
+  for (int h = 0; h < k; ++h) {
+    sample_points[h] = {values[h].min_reliability, values[h].total_std};
+  }
+  size_t best = TopDominating(sample_points);
+
+  result.assignment = std::move(samples[best]);
+  result.objectives = values[best];
+  result.stats.sample_size = k;
+  result.stats.wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  return result;
+}
+
+}  // namespace rdbsc::core

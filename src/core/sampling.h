@@ -1,0 +1,31 @@
+#ifndef RDBSC_CORE_SAMPLING_H_
+#define RDBSC_CORE_SAMPLING_H_
+
+#include "core/solver.h"
+
+namespace rdbsc::core {
+
+/// RDB-SC_Sampling (Figure 5): draws K random assignments (one uniformly
+/// random valid task per worker), ranks them by skyline dominance score
+/// over (min reliability, total_STD), and returns the top sample. K is the
+/// (epsilon, delta)-bounded K-hat of Section 5.2 unless overridden.
+class SamplingSolver : public Solver {
+ public:
+  explicit SamplingSolver(SolverOptions options = {}) : options_(options) {}
+
+  std::string_view name() const override { return "SAMPLING"; }
+
+  SolveResult Solve(const Instance& instance,
+                    const CandidateGraph& graph) override;
+
+  /// The sample count the solver would use on `graph` (after the
+  /// (epsilon, delta) computation, multiplier and clamping).
+  int EffectiveSampleSize(const CandidateGraph& graph) const;
+
+ private:
+  SolverOptions options_;
+};
+
+}  // namespace rdbsc::core
+
+#endif  // RDBSC_CORE_SAMPLING_H_

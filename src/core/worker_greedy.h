@@ -1,0 +1,34 @@
+#ifndef RDBSC_CORE_WORKER_GREEDY_H_
+#define RDBSC_CORE_WORKER_GREEDY_H_
+
+#include "core/solver.h"
+
+namespace rdbsc::core {
+
+/// The paper's experimental GREEDY (Section 8.1): "assigns each worker to a
+/// 'best' task according to the current situation when processing the
+/// worker, which is just a local optimal approach". Workers are processed
+/// once, in id order; each picks the valid task whose increase pair
+/// (Delta_min_R, Delta_STD) ranks best by skyline dominance.
+///
+/// This is the variant whose start-up herding the paper analyzes (workers
+/// pile onto already-populated tasks, leaving diversity on the table);
+/// the round-based Figure 3 algorithm with global pair selection is
+/// implemented separately in GreedySolver.
+class WorkerGreedySolver : public Solver {
+ public:
+  explicit WorkerGreedySolver(SolverOptions options = {})
+      : options_(options) {}
+
+  std::string_view name() const override { return "GREEDY"; }
+
+  SolveResult Solve(const Instance& instance,
+                    const CandidateGraph& graph) override;
+
+ private:
+  SolverOptions options_;
+};
+
+}  // namespace rdbsc::core
+
+#endif  // RDBSC_CORE_WORKER_GREEDY_H_

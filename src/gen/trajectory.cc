@@ -1,0 +1,173 @@
+#include "gen/trajectory.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <numeric>
+
+#include "geo/angle.h"
+#include "gen/workload.h"
+
+namespace rdbsc::gen {
+namespace {
+
+double Clamp01(double v) { return std::clamp(v, 0.0, 1.0); }
+
+// Minimal angular interval containing all `angles`: the complement of the
+// largest gap between consecutive sorted angles.
+geo::AngularInterval MinimalCoveringSector(std::vector<double> angles) {
+  if (angles.empty()) return geo::AngularInterval::FullCircle();
+  for (double& a : angles) a = geo::NormalizeAngle(a);
+  std::sort(angles.begin(), angles.end());
+  double best_gap = -1.0;
+  size_t gap_after = 0;
+  for (size_t i = 0; i < angles.size(); ++i) {
+    size_t next = (i + 1) % angles.size();
+    double gap = geo::CcwDelta(angles[i], angles[next]);
+    if (angles.size() == 1) gap = geo::kTwoPi;
+    if (gap > best_gap) {
+      best_gap = gap;
+      gap_after = i;
+    }
+  }
+  if (best_gap <= 0.0) {
+    // All bearings identical: a hair-width cone at that direction.
+    return geo::AngularInterval(angles.front(), angles.front());
+  }
+  size_t start = (gap_after + 1) % angles.size();
+  return geo::AngularInterval(angles[start],
+                              angles[start] + (geo::kTwoPi - best_gap));
+}
+
+}  // namespace
+
+std::vector<Trajectory> GenerateTrajectories(const TrajectoryConfig& config) {
+  util::Rng rng(config.seed);
+  std::vector<Trajectory> trajectories;
+  trajectories.reserve(config.num_taxis);
+
+  for (int taxi = 0; taxi < config.num_taxis; ++taxi) {
+    Trajectory traj;
+    geo::Point pos = SampleLocation(SpatialDistribution::kSkewed, rng);
+    double heading = rng.Uniform(0.0, geo::kTwoPi);
+    double speed = rng.Uniform(config.speed_min, config.speed_max);
+    double clock = 0.0;
+    traj.points.push_back(pos);
+    traj.times.push_back(clock);
+
+    for (int leg = 0; leg < config.waypoints_per_trip; ++leg) {
+      double dir = heading + rng.Uniform(-config.heading_jitter,
+                                         config.heading_jitter);
+      double len = rng.Uniform(0.05, 0.2);
+      geo::Point target{Clamp01(pos.x + len * std::cos(dir)),
+                        Clamp01(pos.y + len * std::sin(dir))};
+      for (int s = 1; s <= config.samples_per_leg; ++s) {
+        double frac = static_cast<double>(s) / config.samples_per_leg;
+        geo::Point sample{pos.x + (target.x - pos.x) * frac,
+                          pos.y + (target.y - pos.y) * frac};
+        clock += geo::Distance(traj.points.back(), sample) / speed;
+        traj.points.push_back(sample);
+        traj.times.push_back(clock);
+      }
+      pos = target;
+    }
+    trajectories.push_back(std::move(traj));
+  }
+  return trajectories;
+}
+
+core::Worker WorkerFromTrajectory(const Trajectory& trajectory,
+                                  double confidence) {
+  assert(!trajectory.points.empty());
+  core::Worker w;
+  w.location = trajectory.points.front();
+  w.confidence = confidence;
+
+  // Mean speed over the trace; falls back to a slow walk for a stationary
+  // or single-point trace.
+  double distance = 0.0;
+  for (size_t i = 1; i < trajectory.points.size(); ++i) {
+    distance += geo::Distance(trajectory.points[i - 1], trajectory.points[i]);
+  }
+  double elapsed =
+      trajectory.times.empty()
+          ? 0.0
+          : trajectory.times.back() - trajectory.times.front();
+  w.velocity = (distance > 0.0 && elapsed > 0.0) ? distance / elapsed : 0.05;
+
+  // The enclosing sector of all later points as seen from the start
+  // (the paper's "draw a sector at the start point and contain all the
+  // other points of the trajectory").
+  std::vector<double> bearings;
+  for (size_t i = 1; i < trajectory.points.size(); ++i) {
+    if (!(trajectory.points[i] == w.location)) {
+      bearings.push_back(geo::Bearing(w.location, trajectory.points[i]));
+    }
+  }
+  w.direction = MinimalCoveringSector(std::move(bearings));
+  return w;
+}
+
+std::vector<geo::Point> GeneratePois(const PoiConfig& config) {
+  util::Rng rng(config.seed);
+  std::vector<geo::Point> centers;
+  centers.reserve(config.num_clusters);
+  for (int c = 0; c < config.num_clusters; ++c) {
+    centers.push_back({rng.Uniform(0.15, 0.85), rng.Uniform(0.15, 0.85)});
+  }
+  std::vector<geo::Point> pois;
+  pois.reserve(config.num_pois);
+  for (int i = 0; i < config.num_pois; ++i) {
+    if (centers.empty() || rng.Bernoulli(config.background_fraction)) {
+      pois.push_back({rng.Uniform(0.0, 1.0), rng.Uniform(0.0, 1.0)});
+    } else {
+      const geo::Point& c = centers[static_cast<size_t>(
+          rng.UniformInt(0, static_cast<int64_t>(centers.size()) - 1))];
+      pois.push_back({Clamp01(rng.Gaussian(c.x, config.cluster_sigma)),
+                      Clamp01(rng.Gaussian(c.y, config.cluster_sigma))});
+    }
+  }
+  return pois;
+}
+
+core::Instance GenerateRealInstance(const RealWorkloadConfig& config) {
+  util::Rng rng(config.seed);
+
+  std::vector<geo::Point> pois = GeneratePois(config.poi);
+  // Uniform sample of POIs as task sites, preserving the POI distribution
+  // (Section 8.2 samples 10,000 of the 74,013 Beijing POIs this way).
+  std::vector<size_t> order(pois.size());
+  std::iota(order.begin(), order.end(), size_t{0});
+  std::shuffle(order.begin(), order.end(), rng.engine());
+
+  int num_tasks = std::min<int>(config.num_tasks,
+                                static_cast<int>(pois.size()));
+  std::vector<core::Task> tasks;
+  tasks.reserve(num_tasks);
+  for (int i = 0; i < num_tasks; ++i) {
+    core::Task t;
+    t.location = pois[order[i]];
+    t.start = rng.Uniform(config.start_min, config.start_max);
+    t.end = t.start + rng.Uniform(config.rt_min, config.rt_max);
+    t.beta = rng.Uniform(config.beta_min, config.beta_max);
+    tasks.push_back(t);
+  }
+
+  std::vector<Trajectory> traces = GenerateTrajectories(config.trajectory);
+  const double checkin_max =
+      config.checkin_max < 0.0 ? config.start_max : config.checkin_max;
+  std::vector<core::Worker> workers;
+  workers.reserve(traces.size());
+  for (const Trajectory& trace : traces) {
+    double mean = (config.p_min + config.p_max) / 2.0;
+    double confidence =
+        rng.TruncatedGaussian(mean, 0.02, config.p_min, config.p_max);
+    core::Worker w = WorkerFromTrajectory(trace, confidence);
+    w.available_from = rng.Uniform(config.start_min, checkin_max);
+    workers.push_back(w);
+  }
+
+  return core::Instance(std::move(tasks), std::move(workers), /*now=*/0.0);
+}
+
+}  // namespace rdbsc::gen

@@ -1,0 +1,80 @@
+#ifndef RDBSC_GEN_TRAJECTORY_H_
+#define RDBSC_GEN_TRAJECTORY_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/instance.h"
+#include "util/rng.h"
+
+namespace rdbsc::gen {
+
+/// A taxi-like GPS trace: timestamped positions. Stands in for the T-Drive
+/// dataset (see DESIGN.md substitution table).
+struct Trajectory {
+  std::vector<geo::Point> points;
+  std::vector<double> times;
+};
+
+/// Random-waypoint trace generator: each taxi starts at a city-skewed
+/// location and drives towards a handful of random waypoints at a per-taxi
+/// cruising speed.
+struct TrajectoryConfig {
+  int num_taxis = 1'000;
+  int waypoints_per_trip = 4;
+  int samples_per_leg = 5;
+  double speed_min = 0.15;  ///< space units per hour
+  double speed_max = 0.45;
+  /// Waypoints deviate from the overall heading by at most this angle, so
+  /// traces have a dominant direction like commuting taxis do.
+  double heading_jitter = 0.6;
+  uint64_t seed = 11;
+};
+
+std::vector<Trajectory> GenerateTrajectories(const TrajectoryConfig& config);
+
+/// Derives a worker from a trace exactly as Section 8.2 does with T-Drive:
+/// location = first point, velocity = mean speed along the trace, direction
+/// cone = the minimal sector at the start point containing every later
+/// point. `confidence` is supplied by the caller (peer-rating substitute).
+core::Worker WorkerFromTrajectory(const Trajectory& trajectory,
+                                  double confidence);
+
+/// POI generator standing in for the Beijing POI dataset: a mixture of
+/// `num_clusters` Gaussian city blocks plus a uniform background.
+struct PoiConfig {
+  int num_pois = 5'000;
+  int num_clusters = 12;
+  double cluster_sigma = 0.05;
+  double background_fraction = 0.15;
+  uint64_t seed = 13;
+};
+
+std::vector<geo::Point> GeneratePois(const PoiConfig& config);
+
+/// Assembles the paper's "real data" experiment input: tasks sampled from
+/// POIs, workers derived from trajectories, with the same parameter knobs
+/// as the synthetic generator for periods/confidences/beta.
+struct RealWorkloadConfig {
+  PoiConfig poi;
+  TrajectoryConfig trajectory;
+  int num_tasks = 1'000;  ///< POIs uniformly sampled as task sites
+  double start_min = 0.0;
+  double start_max = 24.0;
+  double rt_min = 1.0;
+  double rt_max = 2.0;
+  double beta_min = 0.4;
+  double beta_max = 0.6;
+  double p_min = 0.9;
+  double p_max = 1.0;
+  /// Check-in times, uniform in [start_min, checkin_max]; negative follows
+  /// start_max (see gen::WorkloadConfig::checkin_max).
+  double checkin_max = -1.0;
+  uint64_t seed = 17;
+};
+
+core::Instance GenerateRealInstance(const RealWorkloadConfig& config);
+
+}  // namespace rdbsc::gen
+
+#endif  // RDBSC_GEN_TRAJECTORY_H_

@@ -1,0 +1,82 @@
+#include "gen/workload.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "geo/angle.h"
+
+namespace rdbsc::gen {
+namespace {
+
+constexpr double kClusterCenter = 0.5;
+constexpr double kClusterSigma = 0.2;
+constexpr double kClusterFraction = 0.9;
+constexpr double kConfidenceSigma = 0.02;
+
+double Clamp01(double v) { return std::clamp(v, 0.0, 1.0); }
+
+}  // namespace
+
+geo::Point SampleLocation(SpatialDistribution distribution, util::Rng& rng) {
+  switch (distribution) {
+    case SpatialDistribution::kUniform:
+      return {rng.Uniform(0.0, 1.0), rng.Uniform(0.0, 1.0)};
+    case SpatialDistribution::kSkewed:
+      if (rng.Bernoulli(kClusterFraction)) {
+        return {Clamp01(rng.Gaussian(kClusterCenter, kClusterSigma)),
+                Clamp01(rng.Gaussian(kClusterCenter, kClusterSigma))};
+      }
+      return {rng.Uniform(0.0, 1.0), rng.Uniform(0.0, 1.0)};
+  }
+  return {0.0, 0.0};
+}
+
+double SampleTime(TimeDistribution distribution, double lo, double hi,
+                  util::Rng& rng) {
+  switch (distribution) {
+    case TimeDistribution::kUniform:
+      return rng.Uniform(lo, hi);
+    case TimeDistribution::kGaussian:
+      return rng.TruncatedGaussian((lo + hi) / 2.0, (hi - lo) / 6.0, lo, hi);
+  }
+  return lo;
+}
+
+core::Instance GenerateInstance(const WorkloadConfig& config) {
+  util::Rng rng(config.seed);
+
+  std::vector<core::Task> tasks;
+  tasks.reserve(config.num_tasks);
+  for (int i = 0; i < config.num_tasks; ++i) {
+    core::Task t;
+    t.location = SampleLocation(config.task_distribution, rng);
+    t.start = SampleTime(config.start_distribution, config.start_min,
+                         config.start_max, rng);
+    t.end = t.start + rng.Uniform(config.rt_min, config.rt_max);
+    t.beta = rng.Uniform(config.beta_min, config.beta_max);
+    tasks.push_back(t);
+  }
+
+  const double checkin_max =
+      config.checkin_max < 0.0 ? config.start_max : config.checkin_max;
+  std::vector<core::Worker> workers;
+  workers.reserve(config.num_workers);
+  for (int j = 0; j < config.num_workers; ++j) {
+    core::Worker w;
+    w.location = SampleLocation(config.worker_distribution, rng);
+    w.available_from = SampleTime(config.checkin_distribution,
+                                  config.start_min, checkin_max, rng);
+    w.velocity = rng.Uniform(config.v_min, config.v_max);
+    double lo = rng.Uniform(0.0, geo::kTwoPi);
+    double width = rng.Uniform(0.0, config.angle_range);
+    w.direction = geo::AngularInterval(lo, lo + width);
+    double mean = (config.p_min + config.p_max) / 2.0;
+    w.confidence = rng.TruncatedGaussian(mean, kConfidenceSigma, config.p_min,
+                                         config.p_max);
+    workers.push_back(w);
+  }
+
+  return core::Instance(std::move(tasks), std::move(workers), /*now=*/0.0);
+}
+
+}  // namespace rdbsc::gen

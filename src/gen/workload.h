@@ -1,0 +1,79 @@
+#ifndef RDBSC_GEN_WORKLOAD_H_
+#define RDBSC_GEN_WORKLOAD_H_
+
+#include <cstdint>
+#include <numbers>
+
+#include "core/instance.h"
+#include "util/rng.h"
+
+namespace rdbsc::gen {
+
+/// Spatial distribution of generated locations (Section 8.1): UNIFORM over
+/// [0,1]^2, or SKEWED with 90% of points in a Gaussian cluster centered at
+/// (0.5, 0.5) with sigma = 0.2 and the rest uniform.
+enum class SpatialDistribution { kUniform, kSkewed };
+
+/// Distribution of task start times and worker check-ins over the day
+/// horizon (Section 8.1: "st in [0,24] follows either Uniform or Gaussian
+/// distribution"). Gaussian is centered on the horizon midpoint with
+/// sigma = range/6, truncated to the range.
+enum class TimeDistribution { kUniform, kGaussian };
+
+/// All Table 2 knobs for the synthetic workload generator. Defaults are the
+/// paper's bold default values (scaled counts are chosen by the benches).
+struct WorkloadConfig {
+  int num_tasks = 10'000;
+  int num_workers = 10'000;
+  SpatialDistribution task_distribution = SpatialDistribution::kUniform;
+  SpatialDistribution worker_distribution = SpatialDistribution::kUniform;
+
+  /// Task valid periods [st, st + rt]: st uniform in [start_min, start_max],
+  /// rt uniform in [rt_min, rt_max] (hours).
+  double start_min = 0.0;
+  double start_max = 24.0;
+  TimeDistribution start_distribution = TimeDistribution::kUniform;
+  double rt_min = 1.0;
+  double rt_max = 2.0;
+
+  /// Requester weight beta, uniform in [beta_min, beta_max].
+  double beta_min = 0.4;
+  double beta_max = 0.6;
+
+  /// Worker confidence: Gaussian with mean (p_min+p_max)/2 and sigma 0.02,
+  /// truncated into [p_min, p_max].
+  double p_min = 0.9;
+  double p_max = 1.0;
+
+  /// Worker velocity, uniform in [v_min, v_max] (space units per hour).
+  double v_min = 0.2;
+  double v_max = 0.3;
+
+  /// Moving-direction cone: alpha- uniform in [0, 2*pi), width uniform in
+  /// (0, angle_range] (Table 2 default (0, pi/6]).
+  double angle_range = std::numbers::pi / 6.0;
+
+  /// Worker check-in times (Section 8.1 generates these alongside the
+  /// locations): uniform in [start_min, checkin_max]; a negative value
+  /// follows start_max. Workers cannot depart before their check-in.
+  double checkin_max = -1.0;
+  TimeDistribution checkin_distribution = TimeDistribution::kUniform;
+
+  uint64_t seed = 7;
+};
+
+/// Generates a synthetic RDB-SC instance per `config`. Deterministic for a
+/// fixed seed.
+core::Instance GenerateInstance(const WorkloadConfig& config);
+
+/// Draws one location from the given distribution (exposed for tests and
+/// for the POI generator).
+geo::Point SampleLocation(SpatialDistribution distribution, util::Rng& rng);
+
+/// Draws one timestamp in [lo, hi] from the given distribution.
+double SampleTime(TimeDistribution distribution, double lo, double hi,
+                  util::Rng& rng);
+
+}  // namespace rdbsc::gen
+
+#endif  // RDBSC_GEN_WORKLOAD_H_

@@ -1,0 +1,39 @@
+#ifndef RDBSC_GEO_BOX_H_
+#define RDBSC_GEO_BOX_H_
+
+#include "geo/angle.h"
+#include "geo/point.h"
+
+namespace rdbsc::geo {
+
+/// An axis-aligned rectangle, used for grid cells in the RDB-SC-Grid index.
+struct Box {
+  Point min;
+  Point max;
+
+  /// True when `p` lies inside (boundaries inclusive).
+  bool Contains(Point p) const {
+    return p.x >= min.x && p.x <= max.x && p.y >= min.y && p.y <= max.y;
+  }
+
+  Point Center() const {
+    return {(min.x + max.x) * 0.5, (min.y + max.y) * 0.5};
+  }
+};
+
+/// Minimum distance between any pair of points drawn from the two boxes
+/// (0 when they overlap). Used by the cell-level pruning rule of Section 7.1.
+double MinDistance(const Box& a, const Box& b);
+
+/// Maximum distance between any pair of points drawn from the two boxes.
+double MaxDistance(const Box& a, const Box& b);
+
+/// The smallest angular interval guaranteed to contain the bearing from any
+/// point of `from` to any point of `to`. When the boxes overlap the answer is
+/// the full circle. Used to prune grid cells against a cell's direction
+/// bounds without examining individual workers.
+AngularInterval BearingInterval(const Box& from, const Box& to);
+
+}  // namespace rdbsc::geo
+
+#endif  // RDBSC_GEO_BOX_H_

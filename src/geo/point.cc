@@ -1,0 +1,12 @@
+#include "geo/point.h"
+
+#include "geo/angle.h"
+
+namespace rdbsc::geo {
+
+double Bearing(Point from, Point to) {
+  if (from == to) return 0.0;
+  return NormalizeAngle(std::atan2(to.y - from.y, to.x - from.x));
+}
+
+}  // namespace rdbsc::geo

@@ -1,0 +1,38 @@
+#ifndef RDBSC_GEO_POINT_H_
+#define RDBSC_GEO_POINT_H_
+
+#include <cmath>
+
+namespace rdbsc::geo {
+
+/// A point (or displacement) in the normalized 2-D data space. The paper's
+/// experiments use [0,1]^2 but nothing here assumes that.
+struct Point {
+  double x = 0.0;
+  double y = 0.0;
+
+  friend Point operator+(Point a, Point b) { return {a.x + b.x, a.y + b.y}; }
+  friend Point operator-(Point a, Point b) { return {a.x - b.x, a.y - b.y}; }
+  friend Point operator*(Point a, double s) { return {a.x * s, a.y * s}; }
+  friend bool operator==(Point a, Point b) { return a.x == b.x && a.y == b.y; }
+};
+
+/// Euclidean distance between two points.
+inline double Distance(Point a, Point b) {
+  return std::hypot(a.x - b.x, a.y - b.y);
+}
+
+/// Squared Euclidean distance (avoids the sqrt on hot paths).
+inline double Distance2(Point a, Point b) {
+  double dx = a.x - b.x;
+  double dy = a.y - b.y;
+  return dx * dx + dy * dy;
+}
+
+/// Bearing of `to` as seen from `from`, in radians normalized to [0, 2*pi).
+/// Undefined (returns 0) when the points coincide.
+double Bearing(Point from, Point to);
+
+}  // namespace rdbsc::geo
+
+#endif  // RDBSC_GEO_POINT_H_

@@ -1,0 +1,59 @@
+#include "index/cost_model.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <numbers>
+
+namespace rdbsc::index {
+namespace {
+
+constexpr double kEtaMin = 1.0 / 1024.0;
+constexpr double kEtaMax = 1.0;
+
+// Left-hand side of Eq. (23): (L_max + eta)^(D2-2) * eta^3, which is
+// monotone increasing in eta for D2 <= 2 (d log/d eta = 3/eta -
+// (2-D2)/(L_max+eta) > 0).
+double Lhs(double eta, const CostModelParams& params) {
+  return std::pow(params.l_max + eta, params.d2 - 2.0) * eta * eta * eta;
+}
+
+}  // namespace
+
+double EstimateUpdateCost(double eta, const CostModelParams& params) {
+  assert(eta > 0.0);
+  const double pi = std::numbers::pi;
+  double reach = pi * (params.l_max + eta) * (params.l_max + eta);
+  double cells = reach / (eta * eta);
+  double tasks =
+      (params.num_points - 1) * std::pow(reach, params.d2 / 2.0);
+  return cells + tasks;
+}
+
+double OptimalEta(const CostModelParams& params) {
+  assert(params.num_points >= 1);
+  assert(params.d2 > 0.0 && params.d2 <= 2.0);
+  if (params.num_points <= 1) return kEtaMax;
+
+  const double pi = std::numbers::pi;
+  // Right-hand side of Eq. (23).
+  double rhs = 2.0 * std::pow(pi, 1.0 - params.d2 / 2.0) * params.l_max /
+               (params.d2 * (params.num_points - 1));
+
+  if (Lhs(kEtaMin, params) >= rhs) return kEtaMin;
+  if (Lhs(kEtaMax, params) <= rhs) return kEtaMax;
+
+  double lo = kEtaMin;
+  double hi = kEtaMax;
+  for (int iter = 0; iter < 80; ++iter) {
+    double mid = 0.5 * (lo + hi);
+    if (Lhs(mid, params) < rhs) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  return 0.5 * (lo + hi);
+}
+
+}  // namespace rdbsc::index

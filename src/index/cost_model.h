@@ -1,0 +1,28 @@
+#ifndef RDBSC_INDEX_COST_MODEL_H_
+#define RDBSC_INDEX_COST_MODEL_H_
+
+namespace rdbsc::index {
+
+/// Inputs of the RDB-SC-Grid cost model (Appendix I of the paper).
+struct CostModelParams {
+  /// Largest moving distance observed in worker history, L_max.
+  double l_max = 0.3;
+  /// Correlation fractal dimension D2 of the task locations (2 for uniform
+  /// data; estimate with util::EstimateCorrelationDimension).
+  double d2 = 2.0;
+  /// Number of indexed tasks, N.
+  int num_points = 10'000;
+};
+
+/// The model's update cost (Eq. 22): cells scanned in the reachable area
+/// plus tasks examined there, for a grid of cell side `eta`.
+double EstimateUpdateCost(double eta, const CostModelParams& params);
+
+/// The optimal cell side: the eta solving Eq. (23), found by bisection on
+/// the monotone left-hand side. Reduces to cbrt(L_max / (N-1)) when D2 = 2.
+/// The result is clamped into [1/1024, 1] so it always yields a sane grid.
+double OptimalEta(const CostModelParams& params);
+
+}  // namespace rdbsc::index
+
+#endif  // RDBSC_INDEX_COST_MODEL_H_

@@ -1,0 +1,310 @@
+#include "index/grid_index.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <limits>
+
+namespace rdbsc::index {
+namespace {
+
+constexpr int kMaxCellsPerAxis = 1024;
+
+}  // namespace
+
+GridIndex::GridIndex(double eta, double now, core::ArrivalPolicy policy)
+    : now_(now), policy_(policy) {
+  double clamped = std::clamp(eta, 1.0 / kMaxCellsPerAxis, 1.0);
+  cells_per_axis_ = std::max(1, static_cast<int>(std::ceil(1.0 / clamped)));
+  cells_per_axis_ = std::min(cells_per_axis_, kMaxCellsPerAxis);
+  eta_ = 1.0 / cells_per_axis_;
+  cells_.resize(static_cast<size_t>(cells_per_axis_) * cells_per_axis_);
+  tcell_cache_.resize(cells_.size());
+  tcell_valid_.assign(cells_.size(), false);
+}
+
+GridIndex GridIndex::Build(const core::Instance& instance, double eta) {
+  GridIndex index(eta, instance.now(), instance.policy());
+  for (core::TaskId i = 0; i < instance.num_tasks(); ++i) {
+    util::Status status = index.InsertTask(i, instance.task(i));
+    assert(status.ok());
+    (void)status;
+  }
+  for (core::WorkerId j = 0; j < instance.num_workers(); ++j) {
+    util::Status status = index.InsertWorker(j, instance.worker(j));
+    assert(status.ok());
+    (void)status;
+  }
+  return index;
+}
+
+int GridIndex::CellOf(geo::Point p) const {
+  int cx = static_cast<int>(std::clamp(p.x, 0.0, 1.0) / eta_);
+  int cy = static_cast<int>(std::clamp(p.y, 0.0, 1.0) / eta_);
+  cx = std::min(cx, cells_per_axis_ - 1);
+  cy = std::min(cy, cells_per_axis_ - 1);
+  return cy * cells_per_axis_ + cx;
+}
+
+geo::Box GridIndex::BoxOf(int cell) const {
+  int cx = cell % cells_per_axis_;
+  int cy = cell / cells_per_axis_;
+  return geo::Box{{cx * eta_, cy * eta_}, {(cx + 1) * eta_, (cy + 1) * eta_}};
+}
+
+void GridIndex::AbsorbWorker(Cell* cell, const core::Worker& worker) {
+  cell->v_max = std::max(cell->v_max, worker.velocity);
+  if (cell->has_dir_cover) {
+    cell->dir_cover = geo::CoverUnion(cell->dir_cover, worker.direction);
+  } else {
+    cell->dir_cover = worker.direction;
+    cell->has_dir_cover = true;
+  }
+}
+
+void GridIndex::AbsorbTask(Cell* cell, const core::Task& task) {
+  if (cell->tasks.size() == 1) {
+    cell->s_min = task.start;
+    cell->e_max = task.end;
+  } else {
+    cell->s_min = std::min(cell->s_min, task.start);
+    cell->e_max = std::max(cell->e_max, task.end);
+  }
+}
+
+void GridIndex::RepairIfDirty(int cell_id) const {
+  Cell& cell = cells_[cell_id];
+  if (!cell.dirty) return;
+  cell.v_max = 0.0;
+  cell.has_dir_cover = false;
+  cell.dir_cover = geo::AngularInterval::FullCircle();
+  for (const auto& [id, worker] : cell.workers) {
+    AbsorbWorker(&cell, worker);
+  }
+  cell.s_min = std::numeric_limits<double>::infinity();
+  cell.e_max = -std::numeric_limits<double>::infinity();
+  for (const auto& [id, task] : cell.tasks) {
+    cell.s_min = std::min(cell.s_min, task.start);
+    cell.e_max = std::max(cell.e_max, task.end);
+  }
+  cell.dirty = false;
+}
+
+util::Status GridIndex::InsertWorker(core::WorkerId id,
+                                     const core::Worker& worker) {
+  if (worker_cell_.contains(id)) {
+    return util::Status::AlreadyExists("worker id already indexed");
+  }
+  int cell_id = CellOf(worker.location);
+  worker_cell_[id] = cell_id;
+  Cell& cell = cells_[cell_id];
+  cell.workers.emplace_back(id, worker);
+  if (!cell.dirty) AbsorbWorker(&cell, worker);
+  InvalidateReachability(cell_id);
+  return util::Status::OK();
+}
+
+util::Status GridIndex::RemoveWorker(core::WorkerId id) {
+  auto it = worker_cell_.find(id);
+  if (it == worker_cell_.end()) {
+    return util::Status::NotFound("worker id not indexed");
+  }
+  int cell_id = it->second;
+  Cell& cell = cells_[cell_id];
+  auto pos = std::find_if(cell.workers.begin(), cell.workers.end(),
+                          [id](const auto& entry) {
+                            return entry.first == id;
+                          });
+  assert(pos != cell.workers.end());
+  cell.workers.erase(pos);
+  cell.dirty = true;  // summaries may have shrunk; repair lazily
+  worker_cell_.erase(it);
+  InvalidateReachability(cell_id);
+  return util::Status::OK();
+}
+
+util::Status GridIndex::InsertTask(core::TaskId id, const core::Task& task) {
+  if (task_cell_.contains(id)) {
+    return util::Status::AlreadyExists("task id already indexed");
+  }
+  int cell_id = CellOf(task.location);
+  task_cell_[id] = cell_id;
+  Cell& cell = cells_[cell_id];
+  cell.tasks.emplace_back(id, task);
+  if (!cell.dirty) AbsorbTask(&cell, task);
+  PatchReachability(cell_id);
+  return util::Status::OK();
+}
+
+util::Status GridIndex::RemoveTask(core::TaskId id) {
+  auto it = task_cell_.find(id);
+  if (it == task_cell_.end()) {
+    return util::Status::NotFound("task id not indexed");
+  }
+  int cell_id = it->second;
+  Cell& cell = cells_[cell_id];
+  auto pos = std::find_if(cell.tasks.begin(), cell.tasks.end(),
+                          [id](const auto& entry) {
+                            return entry.first == id;
+                          });
+  assert(pos != cell.tasks.end());
+  cell.tasks.erase(pos);
+  cell.dirty = true;
+  task_cell_.erase(it);
+  PatchReachability(cell_id);
+  return util::Status::OK();
+}
+
+bool GridIndex::CanPrune(const Cell& from, int from_id, const Cell& to,
+                         int to_id) const {
+  geo::Box from_box = BoxOf(from_id);
+  geo::Box to_box = BoxOf(to_id);
+  // Temporal rule (Section 7.1): even the fastest worker of `from` cannot
+  // reach the nearest point of `to` before the latest deadline there.
+  // (The paper prints e_max(cell_i); tasks live in the target cell, so we
+  // use e_max(cell_j) -- see DESIGN.md.)
+  if (from.v_max <= 0.0) return true;
+  double t_min = now_ + geo::MinDistance(from_box, to_box) / from.v_max;
+  if (t_min > to.e_max) return true;
+  // Direction rule: the bearing interval between the two boxes must meet
+  // the covering interval of the workers' cones.
+  if (from_id != to_id && from.has_dir_cover) {
+    if (!geo::BearingInterval(from_box, to_box).Intersects(from.dir_cover)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+void GridIndex::InvalidateReachability(int cell) {
+  tcell_valid_[cell] = false;
+}
+
+void GridIndex::PatchReachability(int target) {
+  // Task churn in `target`: re-evaluate that single target cell in every
+  // valid cached list (Section 7.2's task insertion/removal maintenance).
+  RepairIfDirty(target);
+  const Cell& to = cells_[target];
+  for (int from_id = 0; from_id < num_cells(); ++from_id) {
+    if (!tcell_valid_[from_id]) continue;
+    RepairIfDirty(from_id);
+    const Cell& from = cells_[from_id];
+    bool reachable = !to.tasks.empty() && !from.workers.empty() &&
+                     !CanPrune(from, from_id, to, target);
+    auto& list = tcell_cache_[from_id];
+    auto pos = std::lower_bound(list.begin(), list.end(), target);
+    bool present = pos != list.end() && *pos == target;
+    if (reachable && !present) {
+      list.insert(pos, target);
+    } else if (!reachable && present) {
+      list.erase(pos);
+    }
+    ++reachability_patches_;
+  }
+}
+
+const std::vector<int>& GridIndex::CachedReachable(int cell) const {
+  if (!tcell_valid_[cell]) {
+    RepairIfDirty(cell);
+    const Cell& from = cells_[cell];
+    std::vector<int>& list = tcell_cache_[cell];
+    list.clear();
+    if (!from.workers.empty()) {
+      for (int to_id = 0; to_id < num_cells(); ++to_id) {
+        const Cell& to = cells_[to_id];
+        if (to.tasks.empty()) continue;
+        RepairIfDirty(to_id);
+        if (!CanPrune(from, cell, to, to_id)) list.push_back(to_id);
+      }
+    }
+    tcell_valid_[cell] = true;
+    ++reachability_rebuilds_;
+  }
+  return tcell_cache_[cell];
+}
+
+std::vector<std::vector<core::TaskId>> GridIndex::RetrieveEdges(
+    int num_workers, RetrievalStats* stats) const {
+  std::vector<std::vector<core::TaskId>> edges(num_workers);
+  RetrievalStats local;
+  for (int from_id = 0; from_id < num_cells(); ++from_id) {
+    RepairIfDirty(from_id);
+    const Cell& from = cells_[from_id];
+    if (from.workers.empty()) continue;
+    bool was_cached = tcell_valid_[from_id];
+    const std::vector<int>& targets = CachedReachable(from_id);
+    if (was_cached) {
+      local.cell_pairs_examined += static_cast<int64_t>(targets.size());
+    } else {
+      local.cell_pairs_examined += num_cells();
+      local.cell_pairs_pruned +=
+          num_cells() - static_cast<int64_t>(targets.size());
+    }
+    for (int to_id : targets) {
+      const Cell& to = cells_[to_id];
+      for (const auto& [wid, worker] : from.workers) {
+        assert(wid < num_workers);
+        for (const auto& [tid, task] : to.tasks) {
+          ++local.pair_tests;
+          if (core::IsValidPair(task, worker, now_, policy_)) {
+            edges[wid].push_back(tid);
+            ++local.edges;
+          }
+        }
+      }
+    }
+  }
+  for (auto& list : edges) std::sort(list.begin(), list.end());
+  if (stats != nullptr) *stats = local;
+  return edges;
+}
+
+std::vector<std::pair<core::WorkerId, core::TaskId>> GridIndex::RetrievePairs(
+    RetrievalStats* stats) const {
+  std::vector<std::pair<core::WorkerId, core::TaskId>> pairs;
+  RetrievalStats local;
+  for (int from_id = 0; from_id < num_cells(); ++from_id) {
+    RepairIfDirty(from_id);
+    const Cell& from = cells_[from_id];
+    if (from.workers.empty()) continue;
+    const std::vector<int>& targets = CachedReachable(from_id);
+    local.cell_pairs_examined += static_cast<int64_t>(targets.size());
+    for (int to_id : targets) {
+      const Cell& to = cells_[to_id];
+      for (const auto& [wid, worker] : from.workers) {
+        for (const auto& [tid, task] : to.tasks) {
+          ++local.pair_tests;
+          if (core::IsValidPair(task, worker, now_, policy_)) {
+            pairs.emplace_back(wid, tid);
+            ++local.edges;
+          }
+        }
+      }
+    }
+  }
+  std::sort(pairs.begin(), pairs.end());
+  if (stats != nullptr) *stats = local;
+  return pairs;
+}
+
+void GridIndex::set_now(double now) {
+  assert(now >= now_ && "the index clock must be non-decreasing");
+  now_ = now;
+}
+
+std::vector<int> GridIndex::ReachableCells(geo::Point location) const {
+  int from_id = CellOf(location);
+  RepairIfDirty(from_id);
+  const Cell& from = cells_[from_id];
+  std::vector<int> reachable;
+  if (from.workers.empty()) return reachable;
+  for (int to_id = 0; to_id < num_cells(); ++to_id) {
+    const Cell& to = cells_[to_id];
+    if (to.tasks.empty()) continue;
+    RepairIfDirty(to_id);
+    if (!CanPrune(from, from_id, to, to_id)) reachable.push_back(to_id);
+  }
+  return reachable;
+}
+
+}  // namespace rdbsc::index

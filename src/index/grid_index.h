@@ -1,0 +1,135 @@
+#ifndef RDBSC_INDEX_GRID_INDEX_H_
+#define RDBSC_INDEX_GRID_INDEX_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "core/instance.h"
+#include "core/model.h"
+#include "geo/box.h"
+#include "util/status.h"
+
+namespace rdbsc::index {
+
+/// Counters describing one valid-pair retrieval pass (Figure 17 metrics).
+struct RetrievalStats {
+  int64_t cell_pairs_examined = 0;
+  int64_t cell_pairs_pruned = 0;
+  int64_t pair_tests = 0;  ///< individual (worker, task) validity checks
+  int64_t edges = 0;       ///< valid pairs found
+};
+
+/// RDB-SC-Grid (Section 7): a uniform grid over [0,1]^2 with cell side eta.
+/// Each cell keeps its workers and tasks together with summary bounds
+/// (maximum speed, a covering direction interval, earliest start / latest
+/// deadline), enabling the cell-level pruning rule when retrieving valid
+/// task-and-worker pairs. Workers and tasks can be inserted and removed
+/// dynamically; summaries are repaired lazily.
+class GridIndex {
+ public:
+  /// Creates an empty grid with cell side `eta` (clamped so the grid has
+  /// between 1 and 1024 cells per axis). `now`/`policy` parameterize the
+  /// validity predicate used during retrieval.
+  explicit GridIndex(double eta, double now = 0.0,
+                     core::ArrivalPolicy policy = core::ArrivalPolicy::kStrict);
+
+  /// Bulk-loads every worker and task of `instance`.
+  static GridIndex Build(const core::Instance& instance, double eta);
+
+  /// Inserts a worker under `id`; fails with kAlreadyExists on duplicates.
+  util::Status InsertWorker(core::WorkerId id, const core::Worker& worker);
+  /// Removes a worker; fails with kNotFound when absent.
+  util::Status RemoveWorker(core::WorkerId id);
+  /// Inserts a task under `id`; fails with kAlreadyExists on duplicates.
+  util::Status InsertTask(core::TaskId id, const core::Task& task);
+  /// Removes a task; fails with kNotFound when absent.
+  util::Status RemoveTask(core::TaskId id);
+
+  /// Retrieves all valid (worker, task) pairs using the cell-level pruning.
+  /// The result is indexed by worker id (ids must be < `num_workers`).
+  /// Produces exactly the same edge set as CandidateGraph::Build.
+  std::vector<std::vector<core::TaskId>> RetrieveEdges(
+      int num_workers, RetrievalStats* stats = nullptr) const;
+
+  /// Same retrieval as a flat (worker, task) pair list; works with
+  /// arbitrary (sparse) external ids.
+  std::vector<std::pair<core::WorkerId, core::TaskId>> RetrievePairs(
+      RetrievalStats* stats = nullptr) const;
+
+  /// Advances the clock used by validity tests and temporal pruning.
+  /// Must be non-decreasing: cached reachability lists stay conservative
+  /// (supersets) only when deadlines can only get closer.
+  void set_now(double now);
+  double now() const { return now_; }
+
+  /// The target-cell list of the cell containing `location`: ids of cells
+  /// holding at least one task some worker of that cell might reach
+  /// (Section 7.1 "tcell_list"). Exposed for inspection and tests.
+  std::vector<int> ReachableCells(geo::Point location) const;
+
+  /// The cached tcell_list of `cell` (Section 7.2 dynamic maintenance):
+  /// rebuilt lazily after worker churn in the cell, membership-patched
+  /// after task churn elsewhere. RetrieveEdges consults this cache.
+  const std::vector<int>& CachedReachable(int cell) const;
+
+  /// Number of tcell_list rebuilds / membership patches performed so far
+  /// (the cost the Appendix I model estimates).
+  int64_t reachability_rebuilds() const { return reachability_rebuilds_; }
+  int64_t reachability_patches() const { return reachability_patches_; }
+
+  int cells_per_axis() const { return cells_per_axis_; }
+  int num_cells() const { return cells_per_axis_ * cells_per_axis_; }
+  double eta() const { return eta_; }
+  int num_workers() const { return static_cast<int>(worker_cell_.size()); }
+  int num_tasks() const { return static_cast<int>(task_cell_.size()); }
+
+ private:
+  struct Cell {
+    std::vector<std::pair<core::WorkerId, core::Worker>> workers;
+    std::vector<std::pair<core::TaskId, core::Task>> tasks;
+    // Worker summaries.
+    double v_max = 0.0;
+    geo::AngularInterval dir_cover = geo::AngularInterval::FullCircle();
+    bool has_dir_cover = false;
+    // Task summaries.
+    double s_min = 0.0;
+    double e_max = 0.0;
+    bool dirty = false;  ///< summaries need a rebuild after a removal
+  };
+
+  int CellOf(geo::Point p) const;
+  geo::Box BoxOf(int cell) const;
+  static void AbsorbWorker(Cell* cell, const core::Worker& worker);
+  static void AbsorbTask(Cell* cell, const core::Task& task);
+  void RepairIfDirty(int cell_id) const;
+
+  /// Invalidates the cached tcell_list of `cell` (worker churn there).
+  void InvalidateReachability(int cell);
+  /// Re-evaluates target cell `target` in every valid cached list (task
+  /// churn in `target`).
+  void PatchReachability(int target);
+
+  /// True when no worker of `from` can reach any task of `to` before its
+  /// deadline or within its direction cover (the pruning rule).
+  bool CanPrune(const Cell& from, int from_id, const Cell& to,
+                int to_id) const;
+
+  double eta_;
+  int cells_per_axis_;
+  double now_;
+  core::ArrivalPolicy policy_;
+  mutable std::vector<Cell> cells_;
+  std::unordered_map<core::WorkerId, int> worker_cell_;
+  std::unordered_map<core::TaskId, int> task_cell_;
+  // Per-source-cell cached tcell_lists (sorted), built on demand.
+  mutable std::vector<std::vector<int>> tcell_cache_;
+  mutable std::vector<bool> tcell_valid_;
+  mutable int64_t reachability_rebuilds_ = 0;
+  mutable int64_t reachability_patches_ = 0;
+};
+
+}  // namespace rdbsc::index
+
+#endif  // RDBSC_INDEX_GRID_INDEX_H_

@@ -1,0 +1,42 @@
+#include "sim/aggregation.h"
+
+#include <algorithm>
+#include <cassert>
+#include <map>
+#include <utility>
+
+#include "geo/angle.h"
+
+namespace rdbsc::sim {
+
+std::vector<Answer> AggregateAnswers(const core::Task& task,
+                                     const std::vector<Answer>& answers,
+                                     const AggregationConfig& config) {
+  assert(config.angle_buckets > 0 && config.time_buckets > 0);
+  const double duration = task.Duration();
+
+  // (angle bucket, time bucket) -> best answer seen so far.
+  std::map<std::pair<int, int>, Answer> best;
+  for (const Answer& answer : answers) {
+    double angle = geo::NormalizeAngle(answer.angle);
+    int ab = std::min(config.angle_buckets - 1,
+                      static_cast<int>(angle / geo::kTwoPi *
+                                       config.angle_buckets));
+    double frac =
+        std::clamp((answer.time - task.start) / duration, 0.0, 1.0);
+    int tb = std::min(config.time_buckets - 1,
+                      static_cast<int>(frac * config.time_buckets));
+    auto key = std::make_pair(ab, tb);
+    auto it = best.find(key);
+    if (it == best.end() || answer.quality > it->second.quality) {
+      best[key] = answer;
+    }
+  }
+
+  std::vector<Answer> representatives;
+  representatives.reserve(best.size());
+  for (const auto& [key, answer] : best) representatives.push_back(answer);
+  return representatives;
+}
+
+}  // namespace rdbsc::sim

@@ -1,0 +1,28 @@
+#ifndef RDBSC_SIM_AGGREGATION_H_
+#define RDBSC_SIM_AGGREGATION_H_
+
+#include <vector>
+
+#include "core/model.h"
+#include "sim/platform.h"
+
+namespace rdbsc::sim {
+
+/// Controls the answer aggregation of Section 2.3 ("Answer Aggregation for
+/// a Spatial Task"): answers are grouped by similar shooting angle and
+/// capture time, and one representative per group is kept.
+struct AggregationConfig {
+  int angle_buckets = 8;
+  int time_buckets = 4;
+};
+
+/// Groups `answers` (all belonging to `task`) into angle x time buckets and
+/// returns the highest-quality representative of each occupied bucket,
+/// ordered by (angle bucket, time bucket).
+std::vector<Answer> AggregateAnswers(const core::Task& task,
+                                     const std::vector<Answer>& answers,
+                                     const AggregationConfig& config = {});
+
+}  // namespace rdbsc::sim
+
+#endif  // RDBSC_SIM_AGGREGATION_H_

@@ -1,0 +1,199 @@
+#include "sim/incremental.h"
+
+#include <algorithm>
+#include <limits>
+#include <vector>
+
+#include "core/diversity.h"
+#include "util/math.h"
+
+namespace rdbsc::sim {
+
+IncrementalAssigner::IncrementalAssigner(core::Solver* solver, double eta,
+                                         core::ArrivalPolicy policy)
+    : solver_(solver),
+      policy_(policy),
+      eta_(eta),
+      index_(eta, /*now=*/0.0, policy) {}
+
+util::Status IncrementalAssigner::AddTask(core::TaskId id,
+                                          const core::Task& task) {
+  if (tasks_.contains(id)) {
+    return util::Status::AlreadyExists("task id already registered");
+  }
+  util::Status status = index_.InsertTask(id, task);
+  if (!status.ok()) return status;
+  tasks_.emplace(id, task);
+  ledger_.emplace(id, LedgerEntry{task, {}});
+  return util::Status::OK();
+}
+
+util::Status IncrementalAssigner::RemoveTask(core::TaskId id) {
+  auto it = tasks_.find(id);
+  if (it == tasks_.end()) {
+    return util::Status::NotFound("task id not registered");
+  }
+  index_.RemoveTask(id).ok();
+  tasks_.erase(it);
+  // Pending commitments to the vanished task are voided: the workers
+  // become available again and their provisional contributions disappear.
+  for (auto& [wid, record] : workers_) {
+    if (record.committed == id && record.busy) {
+      record.committed = core::kNoTask;
+      record.busy = false;
+      index_.InsertWorker(wid, record.worker).ok();
+      auto& contributions = ledger_.at(id).contributions;
+      std::erase_if(contributions, [wid = wid](const auto& entry) {
+        return entry.first == wid;
+      });
+    }
+  }
+  return util::Status::OK();
+}
+
+util::Status IncrementalAssigner::AddWorker(core::WorkerId id,
+                                            const core::Worker& worker) {
+  if (workers_.contains(id)) {
+    return util::Status::AlreadyExists("worker id already registered");
+  }
+  util::Status status = index_.InsertWorker(id, worker);
+  if (!status.ok()) return status;
+  WorkerRecord record;
+  record.worker = worker;
+  workers_.emplace(id, record);
+  return util::Status::OK();
+}
+
+util::Status IncrementalAssigner::RemoveWorker(core::WorkerId id) {
+  auto it = workers_.find(id);
+  if (it == workers_.end()) {
+    return util::Status::NotFound("worker id not registered");
+  }
+  if (!it->second.busy) index_.RemoveWorker(id).ok();
+  if (it->second.committed != core::kNoTask && it->second.busy) {
+    // The worker left mid-route: void the provisional contribution.
+    auto ledger_it = ledger_.find(it->second.committed);
+    if (ledger_it != ledger_.end()) {
+      std::erase_if(ledger_it->second.contributions,
+                    [id](const auto& entry) { return entry.first == id; });
+    }
+  }
+  workers_.erase(it);
+  return util::Status::OK();
+}
+
+util::Status IncrementalAssigner::CompleteWorker(core::WorkerId id,
+                                                 geo::Point position) {
+  auto it = workers_.find(id);
+  if (it == workers_.end()) {
+    return util::Status::NotFound("worker id not registered");
+  }
+  if (!it->second.busy) {
+    return util::Status::FailedPrecondition("worker has no pending task");
+  }
+  it->second.busy = false;
+  it->second.committed = core::kNoTask;
+  it->second.worker.location = position;
+  return index_.InsertWorker(id, it->second.worker);
+}
+
+std::vector<std::pair<core::TaskId, core::WorkerId>>
+IncrementalAssigner::Update(double now) {
+  index_.set_now(std::max(now, index_.now()));
+
+  // Drop expired tasks (Figure 10 keeps only the opening ones).
+  std::vector<core::TaskId> expired;
+  for (const auto& [tid, task] : tasks_) {
+    if (task.end < now) expired.push_back(tid);
+  }
+  for (core::TaskId tid : expired) RemoveTask(tid).ok();
+
+  // Valid pairs among available workers and open tasks, via the index.
+  std::vector<std::pair<core::WorkerId, core::TaskId>> pairs =
+      index_.RetrievePairs();
+
+  // Compact snapshot for the solver.
+  std::vector<core::TaskId> task_ids;
+  std::unordered_map<core::TaskId, core::TaskId> task_local;
+  std::vector<core::Task> snapshot_tasks;
+  for (const auto& [tid, task] : tasks_) task_ids.push_back(tid);
+  std::sort(task_ids.begin(), task_ids.end());
+  for (core::TaskId tid : task_ids) {
+    task_local[tid] = static_cast<core::TaskId>(snapshot_tasks.size());
+    snapshot_tasks.push_back(tasks_.at(tid));
+  }
+  std::vector<core::WorkerId> worker_ids;
+  std::unordered_map<core::WorkerId, core::WorkerId> worker_local;
+  std::vector<core::Worker> snapshot_workers;
+  for (const auto& [wid, record] : workers_) {
+    if (!record.busy) worker_ids.push_back(wid);
+  }
+  std::sort(worker_ids.begin(), worker_ids.end());
+  for (core::WorkerId wid : worker_ids) {
+    worker_local[wid] = static_cast<core::WorkerId>(snapshot_workers.size());
+    snapshot_workers.push_back(workers_.at(wid).worker);
+  }
+
+  std::vector<std::pair<core::TaskId, core::WorkerId>> committed;
+  if (snapshot_tasks.empty() || snapshot_workers.empty()) return committed;
+
+  std::vector<std::vector<core::TaskId>> edges(snapshot_workers.size());
+  for (const auto& [wid, tid] : pairs) {
+    auto w_it = worker_local.find(wid);
+    auto t_it = task_local.find(tid);
+    if (w_it != worker_local.end() && t_it != task_local.end()) {
+      edges[w_it->second].push_back(t_it->second);
+    }
+  }
+
+  core::Instance snapshot(std::move(snapshot_tasks),
+                          std::move(snapshot_workers), now, policy_);
+  core::CandidateGraph graph =
+      core::CandidateGraph::FromEdges(snapshot, std::move(edges));
+  core::SolveResult solve = solver_->Solve(snapshot, graph);
+
+  for (size_t local = 0; local < worker_ids.size(); ++local) {
+    core::TaskId local_task =
+        solve.assignment.TaskOf(static_cast<core::WorkerId>(local));
+    if (local_task == core::kNoTask) continue;
+    core::WorkerId wid = worker_ids[local];
+    core::TaskId tid = task_ids[local_task];
+    WorkerRecord& record = workers_.at(wid);
+    record.committed = tid;
+    record.busy = true;
+    record.observation = core::MakeObservation(
+        tasks_.at(tid), record.worker, now, policy_);
+    ledger_.at(tid).contributions.emplace_back(wid, record.observation);
+    index_.RemoveWorker(wid).ok();
+    committed.emplace_back(tid, wid);
+  }
+  return committed;
+}
+
+core::TaskId IncrementalAssigner::CommittedTask(core::WorkerId id) const {
+  auto it = workers_.find(id);
+  return it == workers_.end() ? core::kNoTask : it->second.committed;
+}
+
+core::ObjectiveValue IncrementalAssigner::Objectives() const {
+  core::ObjectiveValue value;
+  double min_r = std::numeric_limits<double>::infinity();
+  bool any = false;
+  for (const auto& [tid, entry] : ledger_) {
+    if (entry.contributions.empty()) continue;
+    any = true;
+    double r = 0.0;
+    std::vector<core::Observation> observations;
+    observations.reserve(entry.contributions.size());
+    for (const auto& [wid, obs] : entry.contributions) {
+      r += util::ReliabilityWeight(obs.confidence);
+      observations.push_back(obs);
+    }
+    min_r = std::min(min_r, r);
+    value.total_std += core::ExpectedStd(entry.task, observations);
+  }
+  value.min_reliability = any ? util::ReducedToProbability(min_r) : 0.0;
+  return value;
+}
+
+}  // namespace rdbsc::sim

@@ -1,0 +1,88 @@
+#ifndef RDBSC_SIM_INCREMENTAL_H_
+#define RDBSC_SIM_INCREMENTAL_H_
+
+#include <unordered_map>
+#include <vector>
+
+#include "core/assignment.h"
+#include "core/diversity.h"
+#include "core/model.h"
+#include "core/solver.h"
+#include "index/grid_index.h"
+#include "util/status.h"
+
+namespace rdbsc::sim {
+
+/// The incremental updating strategy of Figure 10, decoupled from the toy
+/// platform: tasks and workers arrive and leave dynamically, the
+/// RDB-SC-Grid index maintains them, and each Update(now) round assigns the
+/// currently available workers to the currently open tasks with the
+/// supplied solver, *keeping* earlier commitments (line 7, S = S u S_c).
+///
+/// External ids are caller-chosen and stable; internally each round builds
+/// a compact snapshot instance for the solver.
+class IncrementalAssigner {
+ public:
+  /// `solver` must outlive the assigner. `eta` sizes the grid index (use
+  /// index::OptimalEta); `policy` is applied to every validity test.
+  IncrementalAssigner(core::Solver* solver, double eta,
+                      core::ArrivalPolicy policy =
+                          core::ArrivalPolicy::kAllowWait);
+
+  /// Registers a new open task; fails on duplicate id.
+  util::Status AddTask(core::TaskId id, const core::Task& task);
+  /// Removes a task (completed or expired); its workers become available.
+  util::Status RemoveTask(core::TaskId id);
+  /// Registers an available worker; fails on duplicate id.
+  util::Status AddWorker(core::WorkerId id, const core::Worker& worker);
+  /// Deregisters a worker (left the system); any commitment is dropped.
+  util::Status RemoveWorker(core::WorkerId id);
+
+  /// Marks a committed worker as done with its task (answer received or
+  /// rejected): the commitment is kept for objective accounting but the
+  /// worker becomes assignable again from `position`.
+  util::Status CompleteWorker(core::WorkerId id, geo::Point position);
+
+  /// One round of Figure 10: assigns available workers to open tasks that
+  /// are still live at `now` (expired tasks are dropped first). Returns
+  /// the pairs newly committed this round.
+  std::vector<std::pair<core::TaskId, core::WorkerId>> Update(double now);
+
+  /// Current task of a worker, or kNoTask.
+  core::TaskId CommittedTask(core::WorkerId id) const;
+
+  /// Objectives of the cumulative commitments (per-task contributions of
+  /// all committed workers, pending and completed).
+  core::ObjectiveValue Objectives() const;
+
+  int num_open_tasks() const { return static_cast<int>(tasks_.size()); }
+  int num_workers() const { return static_cast<int>(workers_.size()); }
+
+ private:
+  struct WorkerRecord {
+    core::Worker worker;
+    core::TaskId committed = core::kNoTask;
+    bool busy = false;
+    /// Observation captured at commit time (for objective accounting).
+    core::Observation observation;
+  };
+
+  /// A task's lifetime record: the task itself plus every committed
+  /// contribution (kept after the task closes, for objective accounting).
+  struct LedgerEntry {
+    core::Task task;
+    std::vector<std::pair<core::WorkerId, core::Observation>> contributions;
+  };
+
+  core::Solver* solver_;
+  core::ArrivalPolicy policy_;
+  double eta_;
+  index::GridIndex index_;
+  std::unordered_map<core::TaskId, core::Task> tasks_;
+  std::unordered_map<core::WorkerId, WorkerRecord> workers_;
+  std::unordered_map<core::TaskId, LedgerEntry> ledger_;
+};
+
+}  // namespace rdbsc::sim
+
+#endif  // RDBSC_SIM_INCREMENTAL_H_

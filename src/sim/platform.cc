@@ -1,0 +1,215 @@
+#include "sim/platform.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numbers>
+#include <vector>
+
+#include "core/diversity.h"
+#include "geo/angle.h"
+#include "util/math.h"
+#include "util/rng.h"
+
+namespace rdbsc::sim {
+namespace {
+
+// Mutable worker state tracked across rounds.
+struct MobileWorker {
+  core::Worker profile;  ///< profile.location tracks the current position
+  bool traveling = false;
+  double arrival_time = 0.0;
+  core::TaskId target = core::kNoTask;
+};
+
+// Mutable task state: the site, its requirements, and its contributions.
+struct Site {
+  core::Task task;
+  double required_angle = 0.0;  ///< desired shooting direction
+  std::vector<core::Observation> contributions;
+  int pending = 0;  ///< workers en route
+};
+
+core::ObjectiveValue ComputeObjectives(const std::vector<Site>& sites) {
+  core::ObjectiveValue value;
+  double min_r = std::numeric_limits<double>::infinity();
+  bool any = false;
+  for (const Site& site : sites) {
+    if (site.contributions.empty()) continue;
+    any = true;
+    double r = 0.0;
+    for (const core::Observation& obs : site.contributions) {
+      r += util::ReliabilityWeight(obs.confidence);
+    }
+    min_r = std::min(min_r, r);
+    value.total_std += core::ExpectedStd(site.task, site.contributions);
+  }
+  value.min_reliability = any ? util::ReducedToProbability(min_r) : 0.0;
+  return value;
+}
+
+}  // namespace
+
+Platform::Platform(const PlatformConfig& config, core::Solver* solver)
+    : config_(config), solver_(solver) {}
+
+PlatformResult Platform::Run() {
+  util::Rng rng(config_.seed);
+  PlatformResult result;
+
+  // --- Set up the campus: sites clustered around the center. ---
+  const geo::Point center{0.5, 0.5};
+  std::vector<Site> sites;
+  sites.reserve(config_.num_sites);
+  for (int s = 0; s < config_.num_sites; ++s) {
+    Site site;
+    double angle = rng.Uniform(0.0, geo::kTwoPi);
+    double radius = rng.Uniform(0.2, 1.0) * config_.site_spread;
+    site.task.location = {center.x + radius * std::cos(angle),
+                          center.y + radius * std::sin(angle)};
+    site.task.start = 0.0;
+    site.task.end = config_.task_open_time;
+    site.task.beta = rng.Uniform(config_.beta_min, config_.beta_max);
+    site.required_angle = rng.Uniform(0.0, geo::kTwoPi);
+    sites.push_back(site);
+  }
+
+  // --- The user pool: free-roaming workers near campus. ---
+  std::vector<MobileWorker> workers(config_.num_workers);
+  for (MobileWorker& mw : workers) {
+    double angle = rng.Uniform(0.0, geo::kTwoPi);
+    double radius = rng.Uniform(0.5, 3.0) * config_.site_spread;
+    mw.profile.location = {center.x + radius * std::cos(angle),
+                           center.y + radius * std::sin(angle)};
+    mw.profile.velocity =
+        rng.Uniform(config_.worker_speed_min, config_.worker_speed_max);
+    mw.profile.direction = geo::AngularInterval::FullCircle();
+    mw.profile.confidence = rng.TruncatedGaussian(
+        (config_.p_min + config_.p_max) / 2.0, 0.05, config_.p_min,
+        config_.p_max);
+  }
+
+  double accuracy_error_sum = 0.0;
+
+  auto deliver_arrivals = [&](double until) {
+    for (core::WorkerId j = 0; j < config_.num_workers; ++j) {
+      MobileWorker& mw = workers[j];
+      if (!mw.traveling || mw.arrival_time > until) continue;
+      Site& site = sites[mw.target];
+      const geo::Point approach_from = mw.profile.location;
+      mw.traveling = false;
+      mw.profile.location = site.task.location;
+      --site.pending;
+      // The worker succeeds with its confidence; otherwise the task request
+      // was rejected / answered wrongly and yields nothing.
+      if (rng.Bernoulli(mw.profile.confidence)) {
+        Answer answer;
+        answer.task = mw.target;
+        answer.worker = j;
+        // Achieved angle: the approach direction with a little aiming noise.
+        answer.angle = geo::NormalizeAngle(
+            geo::Bearing(site.task.location, approach_from) +
+            rng.Gaussian(0.0, 0.1));
+        answer.time = std::clamp(mw.arrival_time, site.task.start,
+                                 site.task.end);
+        answer.quality = rng.Uniform(0.5, 1.0) * mw.profile.confidence;
+        result.answers.push_back(answer);
+        ++result.answers_received;
+
+        // Received answers are certain contributions.
+        site.contributions.push_back(core::Observation{
+            .angle = answer.angle,
+            .arrival = answer.time,
+            .confidence = 1.0});
+
+        // The paper's per-answer accuracy (Section 8.1):
+        // beta * dtheta / pi + (1 - beta) * dt / (e - s).
+        double dtheta = std::min(
+            geo::CcwDelta(site.required_angle, answer.angle),
+            geo::CcwDelta(answer.angle, site.required_angle));
+        double required_time = 0.5 * (site.task.start + site.task.end);
+        double dt = std::fabs(answer.time - required_time);
+        accuracy_error_sum +=
+            site.task.beta * dtheta / std::numbers::pi +
+            (1.0 - site.task.beta) * dt / site.task.Duration();
+      }
+      mw.target = core::kNoTask;
+    }
+  };
+
+  // --- Incremental updating loop (Figure 10). ---
+  for (double t = 0.0; t < config_.horizon; t += config_.t_interval) {
+    deliver_arrivals(t);
+
+    // Snapshot the open tasks and available workers.
+    std::vector<core::Task> open_tasks;
+    std::vector<core::TaskId> open_ids;
+    for (core::TaskId i = 0; i < config_.num_sites; ++i) {
+      if (sites[i].task.end >= t) {
+        open_tasks.push_back(sites[i].task);
+        open_ids.push_back(i);
+      }
+    }
+    std::vector<core::Worker> free_workers;
+    std::vector<core::WorkerId> free_ids;
+    for (core::WorkerId j = 0; j < config_.num_workers; ++j) {
+      if (!workers[j].traveling) {
+        free_workers.push_back(workers[j].profile);
+        free_ids.push_back(j);
+      }
+    }
+    if (open_tasks.empty() || free_workers.empty()) continue;
+
+    core::Instance snapshot(std::move(open_tasks), std::move(free_workers),
+                            /*now=*/t, core::ArrivalPolicy::kStrict);
+    core::CandidateGraph graph = core::CandidateGraph::Build(snapshot);
+    core::SolveResult solve = solver_->Solve(snapshot, graph);
+
+    RoundRecord record;
+    record.time = t;
+    for (core::WorkerId lj = 0; lj < snapshot.num_workers(); ++lj) {
+      core::TaskId li = solve.assignment.TaskOf(lj);
+      if (li == core::kNoTask) continue;
+      MobileWorker& mw = workers[free_ids[lj]];
+      Site& site = sites[open_ids[li]];
+      mw.traveling = true;
+      mw.target = open_ids[li];
+      mw.arrival_time =
+          core::ArrivalTime(mw.profile, site.task, t,
+                            core::ArrivalPolicy::kStrict);
+      ++site.pending;
+      ++record.newly_assigned;
+      ++result.assignments_made;
+
+      // Pending assignments contribute with the worker's confidence
+      // (removed again if the answer never materializes -- modeled by
+      // keeping only realized answers in `contributions`; the round
+      // objectives add pending observations on the fly below).
+    }
+
+    // Round objectives: realized answers plus en-route workers.
+    std::vector<Site> preview = sites;
+    for (core::WorkerId j = 0; j < config_.num_workers; ++j) {
+      const MobileWorker& mw = workers[j];
+      if (!mw.traveling) continue;
+      Site& site = preview[mw.target];
+      site.contributions.push_back(core::Observation{
+          .angle = geo::Bearing(site.task.location, mw.profile.location),
+          .arrival = std::clamp(mw.arrival_time, site.task.start,
+                                site.task.end),
+          .confidence = mw.profile.confidence});
+    }
+    record.objectives = ComputeObjectives(preview);
+    result.rounds.push_back(record);
+  }
+
+  deliver_arrivals(config_.horizon + 10.0);  // flush everyone still en route
+  result.final_objectives = ComputeObjectives(sites);
+  result.mean_accuracy_error =
+      result.answers_received > 0
+          ? accuracy_error_sum / result.answers_received
+          : 0.0;
+  return result;
+}
+
+}  // namespace rdbsc::sim

@@ -1,0 +1,63 @@
+#include "util/fractal.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+
+namespace rdbsc::util {
+namespace {
+
+double Clamp01(double v) { return std::min(1.0, std::max(0.0, v)); }
+
+// Sum of squared occupancy fractions for boxes of side 1/grid.
+double SumSquaredOccupancy(const std::vector<KmPoint>& points, int grid) {
+  std::unordered_map<int64_t, int64_t> counts;
+  counts.reserve(points.size());
+  for (const KmPoint& p : points) {
+    int64_t cx = static_cast<int64_t>(Clamp01(p.x) * grid);
+    int64_t cy = static_cast<int64_t>(Clamp01(p.y) * grid);
+    cx = std::min<int64_t>(cx, grid - 1);
+    cy = std::min<int64_t>(cy, grid - 1);
+    ++counts[cx * grid + cy];
+  }
+  const double n = static_cast<double>(points.size());
+  double s2 = 0.0;
+  for (const auto& [cell, c] : counts) {
+    double frac = static_cast<double>(c) / n;
+    s2 += frac * frac;
+  }
+  return s2;
+}
+
+}  // namespace
+
+double EstimateCorrelationDimension(const std::vector<KmPoint>& points) {
+  if (points.size() < 8) return 2.0;
+
+  // Geometric ladder of grid resolutions: eta = 1/2, 1/4, ..., 1/64.
+  std::vector<double> log_eta;
+  std::vector<double> log_s2;
+  for (int grid = 2; grid <= 64; grid *= 2) {
+    double s2 = SumSquaredOccupancy(points, grid);
+    if (s2 <= 0.0) break;
+    log_eta.push_back(std::log(1.0 / grid));
+    log_s2.push_back(std::log(s2));
+  }
+  if (log_eta.size() < 2) return 2.0;
+
+  // Least-squares slope of log S2 against log eta; S2(eta) ~ eta^D2.
+  double n = static_cast<double>(log_eta.size());
+  double sx = 0.0, sy = 0.0, sxx = 0.0, sxy = 0.0;
+  for (size_t i = 0; i < log_eta.size(); ++i) {
+    sx += log_eta[i];
+    sy += log_s2[i];
+    sxx += log_eta[i] * log_eta[i];
+    sxy += log_eta[i] * log_s2[i];
+  }
+  double denom = n * sxx - sx * sx;
+  if (std::fabs(denom) < 1e-12) return 2.0;
+  double slope = (n * sxy - sx * sy) / denom;
+  return std::min(2.0, std::max(0.5, slope));
+}
+
+}  // namespace rdbsc::util

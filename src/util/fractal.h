@@ -1,0 +1,26 @@
+#ifndef RDBSC_UTIL_FRACTAL_H_
+#define RDBSC_UTIL_FRACTAL_H_
+
+#include <vector>
+
+#include "util/kmeans.h"
+
+namespace rdbsc::util {
+
+/// Estimates the correlation fractal dimension D2 of a 2-D point set by
+/// box counting, following the power-law model of Belussi & Faloutsos
+/// (reference [12] of the paper) used by the grid cost model (Appendix I).
+///
+/// The estimator computes S2(eta) = sum over occupied boxes of (count/N)^2
+/// at a geometric ladder of box sides and fits the slope of
+/// log S2 vs log eta by least squares. For uniform data the slope is ~2,
+/// for a point mass it approaches 0.
+///
+/// Points are expected to lie (mostly) inside [0,1]^2; outliers are clamped.
+/// Returns 2.0 for degenerate inputs (fewer than 8 points), clamped to
+/// [0.5, 2.0] which is the meaningful range for the cost model.
+double EstimateCorrelationDimension(const std::vector<KmPoint>& points);
+
+}  // namespace rdbsc::util
+
+#endif  // RDBSC_UTIL_FRACTAL_H_

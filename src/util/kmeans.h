@@ -1,0 +1,36 @@
+#ifndef RDBSC_UTIL_KMEANS_H_
+#define RDBSC_UTIL_KMEANS_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace rdbsc::util {
+
+/// One 2-D point for clustering. Kept separate from geo::Point so the util
+/// layer stays dependency-free.
+struct KmPoint {
+  double x = 0.0;
+  double y = 0.0;
+};
+
+/// Result of a 2-means run: per-point cluster labels (0 or 1) and the two
+/// centroids.
+struct TwoMeansResult {
+  std::vector<int> label;
+  KmPoint centroid[2];
+};
+
+/// Lloyd's algorithm with k = 2, used by BG_Partition (Fig. 7 of the paper)
+/// to split the task set "into two almost even subsets based on their
+/// locations".
+///
+/// Deterministic given `rng`; runs at most `max_iters` Lloyd iterations.
+/// With fewer than two points, all labels are 0.
+TwoMeansResult TwoMeans(const std::vector<KmPoint>& points, Rng& rng,
+                        int max_iters = 50);
+
+}  // namespace rdbsc::util
+
+#endif  // RDBSC_UTIL_KMEANS_H_

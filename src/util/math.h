@@ -1,0 +1,54 @@
+#ifndef RDBSC_UTIL_MATH_H_
+#define RDBSC_UTIL_MATH_H_
+
+#include <cassert>
+#include <cmath>
+
+namespace rdbsc::util {
+
+/// Smallest probability gap kept between a worker confidence and 1.0 so that
+/// -ln(1 - p) stays finite (Eq. 8 of the paper diverges at p = 1).
+inline constexpr double kMaxConfidence = 1.0 - 1e-12;
+
+/// Clamps a worker confidence into [0, kMaxConfidence].
+inline double ClampConfidence(double p) {
+  if (p < 0.0) return 0.0;
+  if (p > kMaxConfidence) return kMaxConfidence;
+  return p;
+}
+
+/// The entropy term -x * ln(x) with the standard continuous extension
+/// -0*ln(0) = 0. `x` must lie in [0, 1] up to rounding error.
+inline double EntropyTerm(double x) {
+  assert(x >= -1e-12 && x <= 1.0 + 1e-9);
+  if (x <= 0.0) return 0.0;
+  return -x * std::log(x);
+}
+
+/// ln C(n, k) via log-gamma; valid for real n >= k >= 0. Used by the
+/// sampling-size bound (Section 5.2) where n can exceed any integer type.
+inline double LogBinomial(double n, double k) {
+  assert(n >= 0.0 && k >= 0.0 && k <= n);
+  return std::lgamma(n + 1.0) - std::lgamma(k + 1.0) - std::lgamma(n - k + 1.0);
+}
+
+/// The reduced reliability weight of one worker, -ln(1 - p) (Eq. 8).
+inline double ReliabilityWeight(double p) {
+  return -std::log1p(-ClampConfidence(p));
+}
+
+/// Converts the reduced (summed-weight) reliability R back to the
+/// probability form rel = 1 - exp(-R) (inverse of Eq. 8).
+inline double ReducedToProbability(double reduced) {
+  assert(reduced >= 0.0);
+  return -std::expm1(-reduced);
+}
+
+/// True when |a - b| <= tol, for cheap float comparisons in invariants.
+inline bool NearlyEqual(double a, double b, double tol = 1e-9) {
+  return std::fabs(a - b) <= tol;
+}
+
+}  // namespace rdbsc::util
+
+#endif  // RDBSC_UTIL_MATH_H_

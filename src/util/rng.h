@@ -1,0 +1,68 @@
+#ifndef RDBSC_UTIL_RNG_H_
+#define RDBSC_UTIL_RNG_H_
+
+#include <cassert>
+#include <cstdint>
+#include <random>
+
+namespace rdbsc::util {
+
+/// Deterministic pseudo-random source used everywhere in the library so that
+/// every experiment is reproducible from a single seed.
+///
+/// Wraps std::mt19937_64 with the distributions the RDB-SC workloads need.
+class Rng {
+ public:
+  /// Seeds the generator. The same seed yields the same stream on every
+  /// platform we target (mt19937_64 is fully specified by the standard).
+  explicit Rng(uint64_t seed) : engine_(seed) {}
+
+  /// Uniform double in [lo, hi).
+  double Uniform(double lo, double hi) {
+    assert(lo <= hi);
+    return std::uniform_real_distribution<double>(lo, hi)(engine_);
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  int64_t UniformInt(int64_t lo, int64_t hi) {
+    assert(lo <= hi);
+    return std::uniform_int_distribution<int64_t>(lo, hi)(engine_);
+  }
+
+  /// Gaussian with the given mean and standard deviation.
+  double Gaussian(double mean, double stddev) {
+    return std::normal_distribution<double>(mean, stddev)(engine_);
+  }
+
+  /// Gaussian clamped (by re-drawing, then clamping as a last resort) to
+  /// [lo, hi]; used by the paper's confidence model "Gaussian within
+  /// [p_min, p_max]".
+  double TruncatedGaussian(double mean, double stddev, double lo, double hi) {
+    assert(lo <= hi);
+    for (int attempt = 0; attempt < 16; ++attempt) {
+      double x = Gaussian(mean, stddev);
+      if (x >= lo && x <= hi) return x;
+    }
+    double x = Gaussian(mean, stddev);
+    return x < lo ? lo : (x > hi ? hi : x);
+  }
+
+  /// Bernoulli trial with success probability p in [0, 1].
+  bool Bernoulli(double p) {
+    return std::bernoulli_distribution(p)(engine_);
+  }
+
+  /// Derives an independent child stream; used to give each subsystem its
+  /// own generator without correlated draws.
+  Rng Fork() { return Rng(engine_()); }
+
+  /// Access to the raw engine for std::shuffle and friends.
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+}  // namespace rdbsc::util
+
+#endif  // RDBSC_UTIL_RNG_H_

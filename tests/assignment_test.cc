@@ -1,0 +1,189 @@
+#include "core/assignment.h"
+
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "test_util.h"
+#include "util/math.h"
+#include "util/rng.h"
+
+namespace rdbsc::core {
+namespace {
+
+TEST(DominatesTest, StrictAndTiedCases) {
+  ObjectiveValue a{.min_reliability = 0.9, .total_std = 10.0};
+  ObjectiveValue b{.min_reliability = 0.8, .total_std = 9.0};
+  ObjectiveValue c{.min_reliability = 0.9, .total_std = 9.0};
+  ObjectiveValue d{.min_reliability = 0.8, .total_std = 11.0};
+  EXPECT_TRUE(Dominates(a, b));
+  EXPECT_TRUE(Dominates(a, c));   // tie on one axis, better on the other
+  EXPECT_FALSE(Dominates(b, a));
+  EXPECT_FALSE(Dominates(a, a));  // no self-domination
+  EXPECT_FALSE(Dominates(a, d));  // incomparable
+  EXPECT_FALSE(Dominates(d, a));
+}
+
+TEST(AssignmentTest, AssignUnassignRoundTrip) {
+  Assignment assignment(5);
+  EXPECT_EQ(assignment.TaskOf(2), kNoTask);
+  assignment.Assign(2, 7);
+  EXPECT_EQ(assignment.TaskOf(2), 7);
+  EXPECT_EQ(assignment.NumAssigned(), 1);
+  assignment.Unassign(2);
+  EXPECT_EQ(assignment.TaskOf(2), kNoTask);
+  EXPECT_EQ(assignment.NumAssigned(), 0);
+}
+
+TEST(AssignmentTest, TaskGroupsInvertsMapping) {
+  Assignment assignment(4);
+  assignment.Assign(0, 1);
+  assignment.Assign(1, 1);
+  assignment.Assign(3, 0);
+  auto groups = assignment.TaskGroups(3);
+  EXPECT_EQ(groups[0], std::vector<WorkerId>{3});
+  EXPECT_EQ(groups[1], (std::vector<WorkerId>{0, 1}));
+  EXPECT_TRUE(groups[2].empty());
+}
+
+TEST(AssignmentStateTest, EmptyStateObjectives) {
+  Instance instance = test::SmallInstance(1);
+  AssignmentState state(instance);
+  EXPECT_DOUBLE_EQ(state.Objectives().min_reliability, 0.0);
+  EXPECT_DOUBLE_EQ(state.Objectives().total_std, 0.0);
+  EXPECT_DOUBLE_EQ(state.MinReducedReliabilityAllTasks(), 0.0);
+}
+
+TEST(AssignmentStateTest, SingleAddMatchesWorkerConfidence) {
+  Instance instance = test::SmallInstance(2);
+  AssignmentState state(instance);
+  state.Add(0, 0);
+  // Only one non-empty task: min reliability equals that worker's p.
+  EXPECT_NEAR(state.Objectives().min_reliability,
+              instance.worker(0).confidence, 1e-9);
+  EXPECT_EQ(state.TaskOf(0), 0);
+}
+
+TEST(AssignmentStateTest, AddRemoveIsIdentity) {
+  Instance instance = test::SmallInstance(3);
+  AssignmentState state(instance);
+  state.Add(1, 2);
+  state.Add(1, 3);
+  double r_before = state.TaskReducedReliability(1);
+  double std_before = state.TaskExpectedStd(1);
+  double total_before = state.TotalExpectedStd();
+
+  state.Add(1, 4);
+  state.Remove(4);
+
+  EXPECT_NEAR(state.TaskReducedReliability(1), r_before, 1e-9);
+  EXPECT_NEAR(state.TaskExpectedStd(1), std_before, 1e-9);
+  EXPECT_NEAR(state.TotalExpectedStd(), total_before, 1e-9);
+  EXPECT_EQ(state.TaskOf(4), kNoTask);
+}
+
+TEST(AssignmentStateTest, RemoveLastWorkerZeroesTask) {
+  Instance instance = test::SmallInstance(4);
+  AssignmentState state(instance);
+  state.Add(2, 1);
+  state.Remove(1);
+  EXPECT_DOUBLE_EQ(state.TaskReducedReliability(2), 0.0);
+  EXPECT_DOUBLE_EQ(state.TaskExpectedStd(2), 0.0);
+  EXPECT_DOUBLE_EQ(state.Objectives().min_reliability, 0.0);
+}
+
+// Property: incremental maintenance equals from-scratch evaluation.
+class IncrementalVsScratchTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(IncrementalVsScratchTest, StateMatchesEvaluateAssignment) {
+  Instance instance = test::SmallInstance(GetParam());
+  CandidateGraph graph = CandidateGraph::Build(instance);
+  util::Rng rng(GetParam() * 100);
+
+  AssignmentState state(instance);
+  Assignment assignment(instance.num_workers());
+  for (WorkerId j = 0; j < instance.num_workers(); ++j) {
+    const auto& tasks = graph.TasksOf(j);
+    if (tasks.empty() || rng.Bernoulli(0.3)) continue;
+    TaskId i = tasks[static_cast<size_t>(
+        rng.UniformInt(0, static_cast<int64_t>(tasks.size()) - 1))];
+    state.Add(i, j);
+    assignment.Assign(j, i);
+  }
+
+  ObjectiveValue incremental = state.Objectives();
+  ObjectiveValue scratch = EvaluateAssignment(instance, assignment);
+  EXPECT_NEAR(incremental.min_reliability, scratch.min_reliability, 1e-9);
+  EXPECT_NEAR(incremental.total_std, scratch.total_std, 1e-9);
+}
+
+TEST_P(IncrementalVsScratchTest, RandomAddRemoveChurnStaysConsistent) {
+  Instance instance = test::SmallInstance(GetParam() + 50);
+  CandidateGraph graph = CandidateGraph::Build(instance);
+  util::Rng rng(GetParam() * 31);
+
+  AssignmentState state(instance);
+  for (int step = 0; step < 200; ++step) {
+    WorkerId j = static_cast<WorkerId>(
+        rng.UniformInt(0, instance.num_workers() - 1));
+    if (state.TaskOf(j) != kNoTask) {
+      state.Remove(j);
+    } else if (!graph.TasksOf(j).empty()) {
+      const auto& tasks = graph.TasksOf(j);
+      state.Add(tasks[static_cast<size_t>(rng.UniformInt(
+                    0, static_cast<int64_t>(tasks.size()) - 1))],
+                j);
+    }
+  }
+  ObjectiveValue incremental = state.Objectives();
+  ObjectiveValue scratch = EvaluateAssignment(instance, state.assignment());
+  EXPECT_NEAR(incremental.min_reliability, scratch.min_reliability, 1e-9);
+  EXPECT_NEAR(incremental.total_std, scratch.total_std, 1e-9);
+}
+
+TEST_P(IncrementalVsScratchTest, PreviewAddMatchesCommit) {
+  Instance instance = test::SmallInstance(GetParam() + 99);
+  CandidateGraph graph = CandidateGraph::Build(instance);
+  util::Rng rng(GetParam() * 7);
+
+  AssignmentState state(instance);
+  for (int step = 0; step < 30; ++step) {
+    WorkerId j = static_cast<WorkerId>(
+        rng.UniformInt(0, instance.num_workers() - 1));
+    if (state.TaskOf(j) != kNoTask || graph.TasksOf(j).empty()) continue;
+    const auto& tasks = graph.TasksOf(j);
+    TaskId i = tasks[static_cast<size_t>(
+        rng.UniformInt(0, static_cast<int64_t>(tasks.size()) - 1))];
+
+    ObjectiveValue preview = state.PreviewAdd(i, j);
+    double preview_std = state.PreviewTaskStd(i, j);
+    state.Add(i, j);
+    EXPECT_NEAR(preview.total_std, state.Objectives().total_std, 1e-9);
+    EXPECT_NEAR(preview.min_reliability,
+                state.Objectives().min_reliability, 1e-9);
+    EXPECT_NEAR(preview_std, state.TaskExpectedStd(i), 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, IncrementalVsScratchTest,
+                         ::testing::Values(1, 2, 3, 4, 5));
+
+TEST(AssignmentStateTest, ResetReplaysAssignment) {
+  Instance instance = test::SmallInstance(9);
+  CandidateGraph graph = CandidateGraph::Build(instance);
+  Assignment assignment(instance.num_workers());
+  for (WorkerId j = 0; j < instance.num_workers(); ++j) {
+    if (!graph.TasksOf(j).empty()) {
+      assignment.Assign(j, graph.TasksOf(j).front());
+    }
+  }
+  AssignmentState state(instance);
+  state.Add(graph.TasksOf(0).empty() ? 0 : graph.TasksOf(0).front(), 0);
+  state.Reset(assignment);
+  ObjectiveValue scratch = EvaluateAssignment(instance, assignment);
+  EXPECT_NEAR(state.Objectives().total_std, scratch.total_std, 1e-9);
+  EXPECT_NEAR(state.Objectives().min_reliability, scratch.min_reliability,
+              1e-9);
+}
+
+}  // namespace
+}  // namespace rdbsc::core

@@ -1,0 +1,111 @@
+#include "geo/box.h"
+
+#include <cmath>
+
+#include "geo/angle.h"
+#include "geo/point.h"
+#include "gtest/gtest.h"
+#include "util/rng.h"
+
+namespace rdbsc::geo {
+namespace {
+
+TEST(PointTest, DistanceBasics) {
+  EXPECT_DOUBLE_EQ(Distance({0, 0}, {3, 4}), 5.0);
+  EXPECT_DOUBLE_EQ(Distance({1, 1}, {1, 1}), 0.0);
+  EXPECT_DOUBLE_EQ(Distance2({0, 0}, {3, 4}), 25.0);
+}
+
+TEST(PointTest, BearingQuadrants) {
+  EXPECT_NEAR(Bearing({0, 0}, {1, 0}), 0.0, 1e-12);
+  EXPECT_NEAR(Bearing({0, 0}, {0, 1}), std::numbers::pi / 2, 1e-12);
+  EXPECT_NEAR(Bearing({0, 0}, {-1, 0}), std::numbers::pi, 1e-12);
+  EXPECT_NEAR(Bearing({0, 0}, {0, -1}), 3 * std::numbers::pi / 2, 1e-12);
+}
+
+TEST(PointTest, BearingOfCoincidentPointsIsZero) {
+  EXPECT_DOUBLE_EQ(Bearing({0.3, 0.7}, {0.3, 0.7}), 0.0);
+}
+
+TEST(BoxTest, ContainsAndCenter) {
+  Box box{{0.0, 0.0}, {1.0, 2.0}};
+  EXPECT_TRUE(box.Contains({0.5, 1.0}));
+  EXPECT_TRUE(box.Contains({0.0, 0.0}));
+  EXPECT_FALSE(box.Contains({1.5, 1.0}));
+  EXPECT_DOUBLE_EQ(box.Center().x, 0.5);
+  EXPECT_DOUBLE_EQ(box.Center().y, 1.0);
+}
+
+TEST(BoxDistanceTest, OverlappingBoxesHaveZeroMinDistance) {
+  Box a{{0, 0}, {1, 1}};
+  Box b{{0.5, 0.5}, {2, 2}};
+  EXPECT_DOUBLE_EQ(MinDistance(a, b), 0.0);
+}
+
+TEST(BoxDistanceTest, AxisAlignedGap) {
+  Box a{{0, 0}, {1, 1}};
+  Box b{{3, 0}, {4, 1}};
+  EXPECT_DOUBLE_EQ(MinDistance(a, b), 2.0);
+}
+
+TEST(BoxDistanceTest, DiagonalGap) {
+  Box a{{0, 0}, {1, 1}};
+  Box b{{2, 2}, {3, 3}};
+  EXPECT_DOUBLE_EQ(MinDistance(a, b), std::sqrt(2.0));
+}
+
+TEST(BoxDistanceTest, MaxDistanceIsFarthestCorners) {
+  Box a{{0, 0}, {1, 1}};
+  Box b{{2, 2}, {3, 3}};
+  EXPECT_DOUBLE_EQ(MaxDistance(a, b), std::sqrt(18.0));
+}
+
+TEST(BoxDistanceTest, SameBox) {
+  Box a{{0, 0}, {1, 2}};
+  EXPECT_DOUBLE_EQ(MinDistance(a, a), 0.0);
+  EXPECT_DOUBLE_EQ(MaxDistance(a, a), std::sqrt(5.0));
+}
+
+TEST(BearingIntervalTest, OverlappingBoxesGiveFullCircle) {
+  Box a{{0, 0}, {1, 1}};
+  Box b{{0.5, 0.5}, {1.5, 1.5}};
+  EXPECT_DOUBLE_EQ(BearingInterval(a, b).width(), kTwoPi);
+}
+
+TEST(BearingIntervalTest, BoxDueEast) {
+  Box a{{0, 0}, {1, 1}};
+  Box b{{5, 0}, {6, 1}};
+  AngularInterval interval = BearingInterval(a, b);
+  // Every from->to bearing is near 0 (east), never west.
+  EXPECT_TRUE(interval.Contains(0.0));
+  EXPECT_FALSE(interval.Contains(std::numbers::pi));
+  EXPECT_LT(interval.width(), std::numbers::pi);
+}
+
+// Property: the interval contains the bearing between any sampled pair.
+class BearingIntervalPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(BearingIntervalPropertyTest, ContainsAllSampledBearings) {
+  util::Rng rng(GetParam());
+  for (int trial = 0; trial < 100; ++trial) {
+    Box a{{rng.Uniform(0, 1), rng.Uniform(0, 1)}, {0, 0}};
+    a.max = {a.min.x + rng.Uniform(0.01, 0.3), a.min.y + rng.Uniform(0.01, 0.3)};
+    Box b{{rng.Uniform(0, 2), rng.Uniform(0, 2)}, {0, 0}};
+    b.max = {b.min.x + rng.Uniform(0.01, 0.3), b.min.y + rng.Uniform(0.01, 0.3)};
+    AngularInterval interval = BearingInterval(a, b);
+    for (int s = 0; s < 30; ++s) {
+      Point p{rng.Uniform(a.min.x, a.max.x), rng.Uniform(a.min.y, a.max.y)};
+      Point q{rng.Uniform(b.min.x, b.max.x), rng.Uniform(b.min.y, b.max.y)};
+      if (p == q) continue;
+      EXPECT_TRUE(interval.Contains(Bearing(p, q)))
+          << "bearing " << Bearing(p, q) << " outside [" << interval.lo()
+          << " w=" << interval.width() << "]";
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BearingIntervalPropertyTest,
+                         ::testing::Values(10, 11, 12, 13));
+
+}  // namespace
+}  // namespace rdbsc::geo

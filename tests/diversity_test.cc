@@ -1,0 +1,258 @@
+#include "core/diversity.h"
+
+#include <cmath>
+#include <numbers>
+#include <vector>
+
+#include "geo/angle.h"
+#include "gtest/gtest.h"
+#include "test_util.h"
+#include "util/rng.h"
+
+namespace rdbsc::core {
+namespace {
+
+using test::MakeTask;
+using test::Obs;
+
+constexpr double kPi = std::numbers::pi;
+
+// ---------- Exact spatial diversity (Eq. 3) ----------
+
+TEST(SpatialDiversityTest, FewerThanTwoRaysIsZero) {
+  EXPECT_DOUBLE_EQ(SpatialDiversity({}), 0.0);
+  EXPECT_DOUBLE_EQ(SpatialDiversity({1.0}), 0.0);
+}
+
+TEST(SpatialDiversityTest, OppositeRaysMaximizeTwoRayEntropy) {
+  // Two rays splitting the circle in half: entropy ln 2.
+  EXPECT_NEAR(SpatialDiversity({0.0, kPi}), std::log(2.0), 1e-12);
+}
+
+TEST(SpatialDiversityTest, CoincidentRaysHaveZeroDiversity) {
+  EXPECT_NEAR(SpatialDiversity({1.0, 1.0}), 0.0, 1e-12);
+  EXPECT_NEAR(SpatialDiversity({1.0, 1.0, 1.0}), 0.0, 1e-12);
+}
+
+TEST(SpatialDiversityTest, EvenSplitGivesLogR) {
+  // r equally spaced rays: entropy ln r.
+  for (int r = 2; r <= 8; ++r) {
+    std::vector<double> angles;
+    for (int i = 0; i < r; ++i) angles.push_back(i * geo::kTwoPi / r);
+    EXPECT_NEAR(SpatialDiversity(angles), std::log(static_cast<double>(r)),
+                1e-9)
+        << "r=" << r;
+  }
+}
+
+TEST(SpatialDiversityTest, InvariantUnderRotation) {
+  util::Rng rng(77);
+  std::vector<double> angles = {0.3, 1.7, 2.9, 4.4};
+  double base = SpatialDiversity(angles);
+  for (int trial = 0; trial < 20; ++trial) {
+    double shift = rng.Uniform(0, geo::kTwoPi);
+    std::vector<double> rotated;
+    for (double a : angles) rotated.push_back(a + shift);
+    EXPECT_NEAR(SpatialDiversity(rotated), base, 1e-9);
+  }
+}
+
+// ---------- Exact temporal diversity (Eq. 4) ----------
+
+TEST(TemporalDiversityTest, NoArrivalsIsZero) {
+  EXPECT_DOUBLE_EQ(TemporalDiversity({}, 0.0, 1.0), 0.0);
+}
+
+TEST(TemporalDiversityTest, MidpointSplitsEvenly) {
+  EXPECT_NEAR(TemporalDiversity({0.5}, 0.0, 1.0), std::log(2.0), 1e-12);
+}
+
+TEST(TemporalDiversityTest, BoundaryArrivalAddsNothing) {
+  EXPECT_NEAR(TemporalDiversity({0.0}, 0.0, 1.0), 0.0, 1e-12);
+  EXPECT_NEAR(TemporalDiversity({1.0}, 0.0, 1.0), 0.0, 1e-12);
+}
+
+TEST(TemporalDiversityTest, EvenSplitGivesLogIntervals) {
+  // r arrivals at the (r+1)-quantiles: entropy ln(r+1).
+  for (int r = 1; r <= 6; ++r) {
+    std::vector<double> arrivals;
+    for (int i = 1; i <= r; ++i) {
+      arrivals.push_back(static_cast<double>(i) / (r + 1));
+    }
+    EXPECT_NEAR(TemporalDiversity(arrivals, 0.0, 1.0),
+                std::log(static_cast<double>(r + 1)), 1e-9);
+  }
+}
+
+TEST(TemporalDiversityTest, ScalesWithPeriod) {
+  // The same relative split yields the same entropy on any period.
+  double base = TemporalDiversity({0.25, 0.5}, 0.0, 1.0);
+  EXPECT_NEAR(TemporalDiversity({2.5, 5.0}, 0.0, 10.0), base, 1e-12);
+  EXPECT_NEAR(TemporalDiversity({3.25, 3.5}, 3.0, 4.0), base, 1e-12);
+}
+
+// ---------- STD combination (Eq. 5) ----------
+
+TEST(StdTest, BetaBlendsSpatialAndTemporal) {
+  std::vector<Observation> obs = {Obs(0.0, 0.25, 0.9), Obs(kPi, 0.75, 0.9)};
+  double sd = SpatialDiversity({0.0, kPi});
+  double td = TemporalDiversity({0.25, 0.75}, 0.0, 1.0);
+  EXPECT_NEAR(Std(MakeTask(1.0), obs), sd, 1e-12);
+  EXPECT_NEAR(Std(MakeTask(0.0), obs), td, 1e-12);
+  EXPECT_NEAR(Std(MakeTask(0.3), obs), 0.3 * sd + 0.7 * td, 1e-12);
+}
+
+// ---------- Expected diversity: matrix method vs possible worlds ----------
+
+TEST(ExpectedDiversityTest, EmptyAndSingleWorker) {
+  Task task = MakeTask(0.5);
+  EXPECT_DOUBLE_EQ(ExpectedStd(task, {}), 0.0);
+  // A single worker has no spatial diversity but splits the period.
+  std::vector<Observation> one = {Obs(1.0, 0.5, 0.8)};
+  double expected = 0.5 * 0.8 * std::log(2.0);
+  EXPECT_NEAR(ExpectedStd(task, one), expected, 1e-12);
+}
+
+TEST(ExpectedDiversityTest, TwoWorkerClosedForm) {
+  // With two workers the only diverse world is both-present.
+  Task task = MakeTask(1.0);  // spatial only
+  std::vector<Observation> obs = {Obs(0.0, 0.2, 0.7), Obs(kPi, 0.8, 0.6)};
+  EXPECT_NEAR(ExpectedSpatialDiversity(obs), 0.7 * 0.6 * std::log(2.0),
+              1e-12);
+  EXPECT_NEAR(ExpectedStd(task, obs), 0.7 * 0.6 * std::log(2.0), 1e-12);
+}
+
+TEST(ExpectedDiversityTest, CertainWorkersReduceToDeterministicStd) {
+  Task task = MakeTask(0.4);
+  std::vector<Observation> obs = {Obs(0.1, 0.2, 1.0), Obs(2.0, 0.5, 1.0),
+                                  Obs(4.0, 0.9, 1.0)};
+  EXPECT_NEAR(ExpectedStd(task, obs), Std(task, obs), 1e-9);
+}
+
+// The central correctness property: the O(r^2) matrix computation equals
+// exhaustive possible-worlds enumeration (Lemma 3.1).
+class MatrixVsBruteForceTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(MatrixVsBruteForceTest, ExpectedStdMatchesEnumeration) {
+  util::Rng rng(GetParam());
+  for (int trial = 0; trial < 40; ++trial) {
+    int r = static_cast<int>(rng.UniformInt(0, 10));
+    double beta = rng.Uniform(0.0, 1.0);
+    double start = rng.Uniform(0.0, 5.0);
+    double end = start + rng.Uniform(0.5, 3.0);
+    Task task = MakeTask(beta, start, end);
+    std::vector<Observation> obs;
+    for (int i = 0; i < r; ++i) {
+      obs.push_back(Obs(rng.Uniform(0.0, geo::kTwoPi),
+                        rng.Uniform(start, end), rng.Uniform(0.0, 1.0)));
+    }
+    double matrix = ExpectedStd(task, obs);
+    double brute = ExpectedStdBruteForce(task, obs);
+    EXPECT_NEAR(matrix, brute, 1e-9)
+        << "r=" << r << " beta=" << beta << " trial=" << trial;
+  }
+}
+
+TEST_P(MatrixVsBruteForceTest, SpatialOnlyMatches) {
+  util::Rng rng(GetParam() + 1000);
+  for (int trial = 0; trial < 30; ++trial) {
+    int r = static_cast<int>(rng.UniformInt(2, 9));
+    Task task = MakeTask(1.0);
+    std::vector<Observation> obs;
+    for (int i = 0; i < r; ++i) {
+      obs.push_back(Obs(rng.Uniform(0.0, geo::kTwoPi), 0.5,
+                        rng.Uniform(0.1, 1.0)));
+    }
+    EXPECT_NEAR(ExpectedSpatialDiversity(obs),
+                ExpectedStdBruteForce(task, obs), 1e-9);
+  }
+}
+
+TEST_P(MatrixVsBruteForceTest, TemporalOnlyMatches) {
+  util::Rng rng(GetParam() + 2000);
+  for (int trial = 0; trial < 30; ++trial) {
+    int r = static_cast<int>(rng.UniformInt(1, 9));
+    Task task = MakeTask(0.0, 1.0, 3.0);
+    std::vector<Observation> obs;
+    for (int i = 0; i < r; ++i) {
+      obs.push_back(Obs(0.0, rng.Uniform(1.0, 3.0), rng.Uniform(0.1, 1.0)));
+    }
+    EXPECT_NEAR(ExpectedTemporalDiversity(obs, task.start, task.end),
+                ExpectedStdBruteForce(task, obs), 1e-9);
+  }
+}
+
+// Duplicate angles / arrival collisions must agree with enumeration too.
+TEST_P(MatrixVsBruteForceTest, DegenerateGeometryMatches) {
+  util::Rng rng(GetParam() + 3000);
+  for (int trial = 0; trial < 20; ++trial) {
+    Task task = MakeTask(rng.Uniform(0.0, 1.0));
+    double shared_angle = rng.Uniform(0.0, geo::kTwoPi);
+    double shared_time = rng.Uniform(0.0, 1.0);
+    std::vector<Observation> obs;
+    int r = static_cast<int>(rng.UniformInt(2, 7));
+    for (int i = 0; i < r; ++i) {
+      bool duplicate = rng.Bernoulli(0.5);
+      obs.push_back(Obs(duplicate ? shared_angle
+                                  : rng.Uniform(0.0, geo::kTwoPi),
+                        duplicate ? shared_time : rng.Uniform(0.0, 1.0),
+                        rng.Uniform(0.0, 1.0)));
+    }
+    EXPECT_NEAR(ExpectedStd(task, obs), ExpectedStdBruteForce(task, obs),
+                1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MatrixVsBruteForceTest,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+// ---------- Monotonicity (Lemma 4.2) ----------
+
+class MonotonicityTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(MonotonicityTest, AddingWorkerNeverDecreasesExpectedStd) {
+  util::Rng rng(GetParam());
+  for (int trial = 0; trial < 30; ++trial) {
+    Task task = MakeTask(rng.Uniform(0.0, 1.0));
+    std::vector<Observation> obs;
+    double previous = 0.0;
+    for (int i = 0; i < 8; ++i) {
+      obs.push_back(Obs(rng.Uniform(0.0, geo::kTwoPi), rng.Uniform(0.0, 1.0),
+                        rng.Uniform(0.0, 1.0)));
+      double current = ExpectedStd(task, obs);
+      EXPECT_GE(current, previous - 1e-12)
+          << "adding worker " << i << " decreased E[STD]";
+      previous = current;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MonotonicityTest,
+                         ::testing::Values(21, 22, 23, 24));
+
+// ---------- Bounds (Section 4.3) ----------
+
+class BoundsTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(BoundsTest, BoundsSandwichExactValue) {
+  util::Rng rng(GetParam());
+  for (int trial = 0; trial < 60; ++trial) {
+    Task task = MakeTask(rng.Uniform(0.0, 1.0));
+    int r = static_cast<int>(rng.UniformInt(0, 9));
+    std::vector<Observation> obs;
+    for (int i = 0; i < r; ++i) {
+      obs.push_back(Obs(rng.Uniform(0.0, geo::kTwoPi), rng.Uniform(0.0, 1.0),
+                        rng.Uniform(0.0, 1.0)));
+    }
+    DiversityBounds bounds = ExpectedStdBounds(task, obs);
+    double exact = ExpectedStd(task, obs);
+    EXPECT_LE(bounds.lb, exact + 1e-9) << "lower bound violated, r=" << r;
+    EXPECT_GE(bounds.ub, exact - 1e-9) << "upper bound violated, r=" << r;
+    EXPECT_LE(bounds.lb, bounds.ub + 1e-12);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BoundsTest, ::testing::Values(31, 32, 33, 34));
+
+}  // namespace
+}  // namespace rdbsc::core

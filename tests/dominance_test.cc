@@ -1,0 +1,125 @@
+#include "core/dominance.h"
+
+#include <algorithm>
+
+#include "gtest/gtest.h"
+#include "util/rng.h"
+
+namespace rdbsc::core {
+namespace {
+
+TEST(DominatesPointTest, BasicRelations) {
+  EXPECT_TRUE(DominatesPoint({2, 2}, {1, 1}));
+  EXPECT_TRUE(DominatesPoint({2, 1}, {1, 1}));
+  EXPECT_TRUE(DominatesPoint({1, 2}, {1, 1}));
+  EXPECT_FALSE(DominatesPoint({1, 1}, {1, 1}));  // equal: no domination
+  EXPECT_FALSE(DominatesPoint({2, 0}, {1, 1}));  // incomparable
+  EXPECT_FALSE(DominatesPoint({0, 2}, {1, 1}));
+}
+
+TEST(SkylineTest, SimpleStaircase) {
+  // (3,1), (2,2), (1,3) are mutually incomparable; the rest are dominated.
+  std::vector<BiPoint> points = {{3, 1}, {2, 2}, {1, 3},
+                                 {1, 1}, {2, 1}, {0, 0}};
+  std::vector<size_t> skyline = SkylineIndices(points);
+  EXPECT_EQ(skyline, (std::vector<size_t>{0, 1, 2}));
+}
+
+TEST(SkylineTest, DuplicatesAllKept) {
+  std::vector<BiPoint> points = {{1, 1}, {1, 1}, {0, 0}};
+  std::vector<size_t> skyline = SkylineIndices(points);
+  EXPECT_EQ(skyline, (std::vector<size_t>{0, 1}));
+}
+
+TEST(SkylineTest, EqualXKeepsOnlyMaxY) {
+  std::vector<BiPoint> points = {{1, 5}, {1, 3}, {1, 5}};
+  std::vector<size_t> skyline = SkylineIndices(points);
+  EXPECT_EQ(skyline, (std::vector<size_t>{0, 2}));
+}
+
+TEST(SkylineTest, SinglePointAndEmpty) {
+  EXPECT_TRUE(SkylineIndices({}).empty());
+  EXPECT_EQ(SkylineIndices({{1, 1}}), std::vector<size_t>{0});
+}
+
+// Property: the skyline computed by the sweep equals the O(n^2) oracle.
+class SkylinePropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(SkylinePropertyTest, MatchesQuadraticOracle) {
+  util::Rng rng(GetParam());
+  for (int trial = 0; trial < 50; ++trial) {
+    int n = static_cast<int>(rng.UniformInt(0, 40));
+    std::vector<BiPoint> points;
+    for (int i = 0; i < n; ++i) {
+      // Small integer grid so ties are frequent.
+      points.push_back({static_cast<double>(rng.UniformInt(0, 5)),
+                        static_cast<double>(rng.UniformInt(0, 5))});
+    }
+    std::vector<size_t> expected;
+    for (size_t a = 0; a < points.size(); ++a) {
+      bool dominated = false;
+      for (size_t b = 0; b < points.size(); ++b) {
+        if (DominatesPoint(points[b], points[a])) dominated = true;
+      }
+      if (!dominated) expected.push_back(a);
+    }
+    EXPECT_EQ(SkylineIndices(points), expected) << "trial " << trial;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SkylinePropertyTest,
+                         ::testing::Values(1, 2, 3, 4, 5, 6));
+
+TEST(DominanceScoresTest, CountsDominatedPoints) {
+  std::vector<BiPoint> points = {{3, 3}, {1, 1}, {2, 2}, {0, 4}};
+  std::vector<int64_t> scores = DominanceScores(points, {0, 3});
+  EXPECT_EQ(scores[0], 2);  // (3,3) dominates (1,1) and (2,2)
+  EXPECT_EQ(scores[1], 0);  // (0,4) dominates nothing
+}
+
+TEST(TopDominatingTest, PicksHighestScore) {
+  // (2,2) dominates two points; (0,5) dominates none.
+  std::vector<BiPoint> points = {{2, 2}, {1, 1}, {2, 1}, {0, 5}};
+  EXPECT_EQ(TopDominating(points), 0u);
+}
+
+TEST(TopDominatingTest, TieBreaksTowardsY) {
+  // Both skyline points dominate one point each.
+  std::vector<BiPoint> points = {{3, 1}, {1, 3}, {2, 0}, {0, 2}};
+  EXPECT_EQ(TopDominating(points), 1u);  // y = 3 wins the tie
+}
+
+TEST(TopDominatingTest, EmptyInput) {
+  EXPECT_EQ(TopDominating({}), std::numeric_limits<size_t>::max());
+}
+
+TEST(TopDominatingTest, AllEqual) {
+  std::vector<BiPoint> points = {{1, 1}, {1, 1}, {1, 1}};
+  size_t best = TopDominating(points);
+  EXPECT_LT(best, points.size());
+}
+
+// Property: the winner is never dominated by any point.
+class TopDominatingPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(TopDominatingPropertyTest, WinnerIsParetoOptimal) {
+  util::Rng rng(GetParam() + 100);
+  for (int trial = 0; trial < 50; ++trial) {
+    int n = static_cast<int>(rng.UniformInt(1, 60));
+    std::vector<BiPoint> points;
+    for (int i = 0; i < n; ++i) {
+      points.push_back({rng.Uniform(0, 1), rng.Uniform(0, 1)});
+    }
+    size_t best = TopDominating(points);
+    ASSERT_LT(best, points.size());
+    for (const BiPoint& p : points) {
+      EXPECT_FALSE(DominatesPoint(p, points[best]));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TopDominatingPropertyTest,
+                         ::testing::Values(11, 12, 13, 14));
+
+}  // namespace
+}  // namespace rdbsc::core

@@ -1,0 +1,156 @@
+#include "core/exact.h"
+
+#include <memory>
+
+#include "core/divide_conquer.h"
+#include "core/dominance.h"
+#include "core/greedy.h"
+#include "core/sampling.h"
+#include "gtest/gtest.h"
+#include "test_util.h"
+#include "util/math.h"
+#include "util/rng.h"
+
+namespace rdbsc::core {
+namespace {
+
+// Tiny instances so the population stays enumerable.
+Instance TinyInstance(uint64_t seed) {
+  return test::SmallInstance(seed, /*num_tasks=*/4, /*num_workers=*/8);
+}
+
+// Dominance with a tolerance: the exact optimum and an approximation can
+// evaluate the same assignment along different arithmetic paths, so
+// equality must absorb ~1e-12 of float drift.
+bool DominatesEps(const ObjectiveValue& a, const ObjectiveValue& b,
+                  double eps = 1e-9) {
+  bool no_worse = a.min_reliability >= b.min_reliability - eps &&
+                  a.total_std >= b.total_std - eps;
+  bool strict = a.min_reliability > b.min_reliability + eps ||
+                a.total_std > b.total_std + eps;
+  return no_worse && strict;
+}
+
+TEST(ExactSolverTest, PopulationArithmetic) {
+  Instance instance = TinyInstance(1);
+  CandidateGraph graph = CandidateGraph::Build(instance);
+  int64_t expected = 1;
+  for (WorkerId j = 0; j < instance.num_workers(); ++j) {
+    if (graph.Degree(j) > 0) expected *= graph.Degree(j);
+  }
+  EXPECT_EQ(ExactSolver::Population(graph, 1'000'000'000), expected);
+}
+
+TEST(ExactSolverTest, PopulationOverCapIsNegative) {
+  Instance instance = test::SmallInstance(2, 20, 60);
+  CandidateGraph graph = CandidateGraph::Build(instance);
+  EXPECT_EQ(ExactSolver::Population(graph, 4), -1);
+}
+
+TEST(ExactSolverTest, FeasibleAndConsistent) {
+  Instance instance = TinyInstance(3);
+  CandidateGraph graph = CandidateGraph::Build(instance);
+  ExactSolver solver;
+  SolveResult result = solver.Solve(instance, graph);
+  test::ExpectFeasible(instance, graph, result.assignment);
+  ObjectiveValue check = EvaluateAssignment(instance, result.assignment);
+  EXPECT_NEAR(result.objectives.total_std, check.total_std, 1e-9);
+  EXPECT_NEAR(result.objectives.min_reliability, check.min_reliability,
+              1e-9);
+}
+
+// The defining property of the exact answer: no assignment in the
+// population dominates it.
+class ExactOptimalityTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(ExactOptimalityTest, NoSampledAssignmentDominatesExact) {
+  Instance instance = TinyInstance(GetParam());
+  CandidateGraph graph = CandidateGraph::Build(instance);
+  ExactSolver exact;
+  ObjectiveValue best = exact.Solve(instance, graph).objectives;
+
+  // Heavy randomized probing of the population.
+  util::Rng rng(GetParam() * 7);
+  for (int trial = 0; trial < 500; ++trial) {
+    Assignment sample(instance.num_workers());
+    for (WorkerId j = 0; j < instance.num_workers(); ++j) {
+      const auto& tasks = graph.TasksOf(j);
+      if (tasks.empty()) continue;
+      sample.Assign(j, tasks[static_cast<size_t>(rng.UniformInt(
+                           0, static_cast<int64_t>(tasks.size()) - 1))]);
+    }
+    ObjectiveValue value = EvaluateAssignment(instance, sample);
+    EXPECT_FALSE(DominatesEps(value, best)) << "trial " << trial;
+  }
+}
+
+TEST_P(ExactOptimalityTest, ApproximationsNeverDominateExact) {
+  Instance instance = TinyInstance(GetParam() + 40);
+  CandidateGraph graph = CandidateGraph::Build(instance);
+  ExactSolver exact;
+  ObjectiveValue best = exact.Solve(instance, graph).objectives;
+
+  SolverOptions options;
+  options.gamma = 2;
+  std::vector<std::unique_ptr<Solver>> approximations;
+  approximations.push_back(std::make_unique<GreedySolver>(options));
+  approximations.push_back(std::make_unique<SamplingSolver>(options));
+  approximations.push_back(std::make_unique<DivideConquerSolver>(options));
+  approximations.push_back(std::make_unique<GroundTruthSolver>(options));
+  for (auto& solver : approximations) {
+    ObjectiveValue value = solver->Solve(instance, graph).objectives;
+    EXPECT_FALSE(DominatesEps(value, best)) << solver->name();
+    // And the approximations should recover a decent share of the optimum.
+    EXPECT_GT(value.total_std, 0.25 * best.total_std) << solver->name();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ExactOptimalityTest,
+                         ::testing::Values(5, 6, 7, 8, 9));
+
+TEST(ParetoFrontTest, FrontIsMutuallyNonDominating) {
+  Instance instance = TinyInstance(11);
+  CandidateGraph graph = CandidateGraph::Build(instance);
+  auto front = EnumerateParetoFront(instance, graph);
+  ASSERT_TRUE(front.ok());
+  ASSERT_FALSE(front.value().empty());
+  std::vector<ObjectiveValue> values;
+  for (const Assignment& assignment : front.value()) {
+    values.push_back(EvaluateAssignment(instance, assignment));
+  }
+  for (size_t a = 0; a < values.size(); ++a) {
+    for (size_t b = 0; b < values.size(); ++b) {
+      EXPECT_FALSE(DominatesEps(values[a], values[b]))
+          << "front member " << a << " dominates member " << b;
+    }
+  }
+}
+
+TEST(ParetoFrontTest, ExactWinnerOnTheFront) {
+  Instance instance = TinyInstance(12);
+  CandidateGraph graph = CandidateGraph::Build(instance);
+  ExactSolver exact;
+  ObjectiveValue best = exact.Solve(instance, graph).objectives;
+  auto front = EnumerateParetoFront(instance, graph);
+  ASSERT_TRUE(front.ok());
+  bool found = false;
+  for (const Assignment& assignment : front.value()) {
+    ObjectiveValue value = EvaluateAssignment(instance, assignment);
+    if (util::NearlyEqual(value.total_std, best.total_std) &&
+        util::NearlyEqual(value.min_reliability, best.min_reliability)) {
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(ParetoFrontTest, OverCapFails) {
+  Instance instance = test::SmallInstance(13, 20, 60);
+  CandidateGraph graph = CandidateGraph::Build(instance);
+  auto front = EnumerateParetoFront(instance, graph, /*max_enumeration=*/8);
+  EXPECT_FALSE(front.ok());
+  EXPECT_EQ(front.status().code(), util::StatusCode::kFailedPrecondition);
+}
+
+}  // namespace
+}  // namespace rdbsc::core

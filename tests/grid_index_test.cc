@@ -1,0 +1,312 @@
+#include "index/grid_index.h"
+
+#include <algorithm>
+#include <set>
+
+#include "core/instance.h"
+#include "gtest/gtest.h"
+#include "index/cost_model.h"
+#include "util/rng.h"
+#include "test_util.h"
+
+namespace rdbsc::index {
+namespace {
+
+using core::CandidateGraph;
+using core::Instance;
+using core::TaskId;
+using core::WorkerId;
+
+// Canonical comparison: the index must produce exactly the edges the
+// brute-force predicate produces.
+void ExpectSameEdges(const Instance& instance, const GridIndex& index) {
+  CandidateGraph brute = CandidateGraph::Build(instance);
+  std::vector<std::vector<TaskId>> indexed =
+      index.RetrieveEdges(instance.num_workers());
+  for (WorkerId j = 0; j < instance.num_workers(); ++j) {
+    std::vector<TaskId> expected = brute.TasksOf(j);
+    std::sort(expected.begin(), expected.end());
+    EXPECT_EQ(indexed[j], expected) << "worker " << j;
+  }
+}
+
+TEST(GridIndexTest, MatchesBruteForceOnRandomInstances) {
+  for (uint64_t seed : {1, 2, 3, 4, 5}) {
+    Instance instance = test::SmallInstance(seed, 40, 60);
+    GridIndex index = GridIndex::Build(instance, /*eta=*/0.1);
+    ExpectSameEdges(instance, index);
+  }
+}
+
+TEST(GridIndexTest, MatchesBruteForceAcrossCellSizes) {
+  Instance instance = test::SmallInstance(7, 30, 50);
+  for (double eta : {0.02, 0.05, 0.1, 0.25, 0.5, 1.0}) {
+    GridIndex index = GridIndex::Build(instance, eta);
+    ExpectSameEdges(instance, index);
+  }
+}
+
+TEST(GridIndexTest, PruningActuallyFires) {
+  // Narrow cones and short periods make many cells unreachable.
+  gen::WorkloadConfig config;
+  config.num_tasks = 60;
+  config.num_workers = 60;
+  config.angle_range = 0.3;
+  config.rt_min = 0.2;
+  config.rt_max = 0.4;
+  config.v_min = 0.05;
+  config.v_max = 0.1;
+  config.seed = 13;
+  Instance instance = gen::GenerateInstance(config);
+  GridIndex index = GridIndex::Build(instance, 0.08);
+  RetrievalStats stats;
+  index.RetrieveEdges(instance.num_workers(), &stats);
+  EXPECT_GT(stats.cell_pairs_pruned, 0);
+  ExpectSameEdges(instance, index);  // and pruning is safe
+}
+
+TEST(GridIndexTest, DuplicateInsertRejected) {
+  GridIndex index(0.1);
+  core::Worker w;
+  w.location = {0.2, 0.2};
+  EXPECT_TRUE(index.InsertWorker(1, w).ok());
+  util::Status dup = index.InsertWorker(1, w);
+  EXPECT_EQ(dup.code(), util::StatusCode::kAlreadyExists);
+  core::Task t = test::MakeTask();
+  EXPECT_TRUE(index.InsertTask(1, t).ok());
+  EXPECT_EQ(index.InsertTask(1, t).code(),
+            util::StatusCode::kAlreadyExists);
+}
+
+TEST(GridIndexTest, RemoveMissingRejected) {
+  GridIndex index(0.1);
+  EXPECT_EQ(index.RemoveWorker(5).code(), util::StatusCode::kNotFound);
+  EXPECT_EQ(index.RemoveTask(5).code(), util::StatusCode::kNotFound);
+}
+
+TEST(GridIndexTest, DynamicChurnStaysConsistent) {
+  Instance instance = test::SmallInstance(11, 30, 40);
+  GridIndex index = GridIndex::Build(instance, 0.1);
+  // Remove half the workers and a third of the tasks...
+  std::vector<core::Task> tasks;
+  std::vector<core::Worker> workers;
+  for (WorkerId j = 0; j < instance.num_workers(); ++j) {
+    if (j % 2 == 0) {
+      ASSERT_TRUE(index.RemoveWorker(j).ok());
+    }
+  }
+  for (TaskId i = 0; i < instance.num_tasks(); ++i) {
+    if (i % 3 == 0) {
+      ASSERT_TRUE(index.RemoveTask(i).ok());
+    }
+  }
+  // ... and rebuild the same reduced instance for brute-force comparison,
+  // re-inserting under fresh contiguous ids.
+  GridIndex fresh(0.1);
+  std::vector<core::Task> kept_tasks;
+  std::vector<core::Worker> kept_workers;
+  for (TaskId i = 0; i < instance.num_tasks(); ++i) {
+    if (i % 3 != 0) kept_tasks.push_back(instance.task(i));
+  }
+  for (WorkerId j = 0; j < instance.num_workers(); ++j) {
+    if (j % 2 != 0) kept_workers.push_back(instance.worker(j));
+  }
+  Instance reduced(kept_tasks, kept_workers, instance.now(),
+                   instance.policy());
+  for (TaskId i = 0; i < reduced.num_tasks(); ++i) {
+    ASSERT_TRUE(fresh.InsertTask(i, reduced.task(i)).ok());
+  }
+  for (WorkerId j = 0; j < reduced.num_workers(); ++j) {
+    ASSERT_TRUE(fresh.InsertWorker(j, reduced.worker(j)).ok());
+  }
+  ExpectSameEdges(reduced, fresh);
+
+  // The churned index must agree with brute force on the surviving ids.
+  CandidateGraph brute = CandidateGraph::Build(instance);
+  std::vector<std::vector<TaskId>> edges =
+      index.RetrieveEdges(instance.num_workers());
+  for (WorkerId j = 0; j < instance.num_workers(); ++j) {
+    if (j % 2 == 0) {
+      EXPECT_TRUE(edges[j].empty());
+      continue;
+    }
+    std::vector<TaskId> expected;
+    for (TaskId i : brute.TasksOf(j)) {
+      if (i % 3 != 0) expected.push_back(i);
+    }
+    std::sort(expected.begin(), expected.end());
+    EXPECT_EQ(edges[j], expected) << "worker " << j;
+  }
+}
+
+TEST(GridIndexTest, ReinsertAfterRemoveWorks) {
+  GridIndex index(0.2);
+  core::Worker w;
+  w.location = {0.5, 0.5};
+  ASSERT_TRUE(index.InsertWorker(0, w).ok());
+  ASSERT_TRUE(index.RemoveWorker(0).ok());
+  EXPECT_TRUE(index.InsertWorker(0, w).ok());
+  EXPECT_EQ(index.num_workers(), 1);
+}
+
+TEST(GridIndexTest, ReachableCellsSubsetOfAllTaskCells) {
+  Instance instance = test::SmallInstance(17, 40, 40);
+  GridIndex index = GridIndex::Build(instance, 0.1);
+  std::vector<int> reachable =
+      index.ReachableCells(instance.worker(0).location);
+  EXPECT_LE(static_cast<int>(reachable.size()), index.num_cells());
+  for (int cell : reachable) {
+    EXPECT_GE(cell, 0);
+    EXPECT_LT(cell, index.num_cells());
+  }
+}
+
+TEST(GridIndexTest, CachedReachabilityMatchesFreshAfterChurn) {
+  Instance instance = test::SmallInstance(19, 50, 50);
+  GridIndex index = GridIndex::Build(instance, 0.1);
+  util::Rng rng(19);
+
+  // Warm the cache everywhere.
+  for (int cell = 0; cell < index.num_cells(); ++cell) {
+    index.CachedReachable(cell);
+  }
+  int64_t rebuilds_after_warm = index.reachability_rebuilds();
+
+  // Random insert/remove churn with cache patching along the way.
+  std::vector<bool> worker_in(instance.num_workers(), true);
+  std::vector<bool> task_in(instance.num_tasks(), true);
+  for (int step = 0; step < 120; ++step) {
+    if (rng.Bernoulli(0.5)) {
+      WorkerId j = static_cast<WorkerId>(
+          rng.UniformInt(0, instance.num_workers() - 1));
+      if (worker_in[j]) {
+        ASSERT_TRUE(index.RemoveWorker(j).ok());
+      } else {
+        ASSERT_TRUE(index.InsertWorker(j, instance.worker(j)).ok());
+      }
+      worker_in[j] = !worker_in[j];
+    } else {
+      TaskId i = static_cast<TaskId>(
+          rng.UniformInt(0, instance.num_tasks() - 1));
+      if (task_in[i]) {
+        ASSERT_TRUE(index.RemoveTask(i).ok());
+      } else {
+        ASSERT_TRUE(index.InsertTask(i, instance.task(i)).ok());
+      }
+      task_in[i] = !task_in[i];
+    }
+  }
+  EXPECT_GT(index.reachability_patches(), 0);
+
+  // The cached lists must equal a from-scratch index over the survivors.
+  GridIndex fresh(0.1, instance.now(), instance.policy());
+  for (TaskId i = 0; i < instance.num_tasks(); ++i) {
+    if (task_in[i]) {
+      ASSERT_TRUE(fresh.InsertTask(i, instance.task(i)).ok());
+    }
+  }
+  for (WorkerId j = 0; j < instance.num_workers(); ++j) {
+    if (worker_in[j]) {
+      ASSERT_TRUE(fresh.InsertWorker(j, instance.worker(j)).ok());
+    }
+  }
+  for (int cell = 0; cell < index.num_cells(); ++cell) {
+    EXPECT_EQ(index.CachedReachable(cell), fresh.CachedReachable(cell))
+        << "cell " << cell;
+  }
+  // And retrieval stays exact.
+  std::vector<core::Task> kept_tasks;
+  std::vector<core::Worker> kept_workers_padded = instance.workers();
+  auto edges = index.RetrieveEdges(instance.num_workers());
+  CandidateGraph brute = CandidateGraph::Build(instance);
+  for (WorkerId j = 0; j < instance.num_workers(); ++j) {
+    std::vector<TaskId> expected;
+    if (worker_in[j]) {
+      for (TaskId i : brute.TasksOf(j)) {
+        if (task_in[i]) expected.push_back(i);
+      }
+    }
+    std::sort(expected.begin(), expected.end());
+    EXPECT_EQ(edges[j], expected) << "worker " << j;
+  }
+  (void)rebuilds_after_warm;
+}
+
+TEST(GridIndexTest, WarmCacheAvoidsRebuilds) {
+  Instance instance = test::SmallInstance(23, 40, 40);
+  GridIndex index = GridIndex::Build(instance, 0.1);
+  index.RetrieveEdges(instance.num_workers());
+  int64_t rebuilds = index.reachability_rebuilds();
+  // A second retrieval with no churn rebuilds nothing.
+  index.RetrieveEdges(instance.num_workers());
+  EXPECT_EQ(index.reachability_rebuilds(), rebuilds);
+}
+
+TEST(GridIndexTest, EtaClamping) {
+  GridIndex tiny(1e-9);
+  EXPECT_LE(tiny.cells_per_axis(), 1024);
+  GridIndex huge(5.0);
+  EXPECT_EQ(huge.cells_per_axis(), 1);
+}
+
+TEST(CostModelTest, UniformClosedForm) {
+  CostModelParams params;
+  params.l_max = 0.3;
+  params.d2 = 2.0;
+  params.num_points = 10'000;
+  EXPECT_NEAR(OptimalEta(params), std::cbrt(0.3 / 9'999.0), 1e-6);
+}
+
+TEST(CostModelTest, MorePointsMeanFinerGrid) {
+  CostModelParams a, b;
+  a.l_max = b.l_max = 0.3;
+  a.d2 = b.d2 = 2.0;
+  a.num_points = 1'000;
+  b.num_points = 100'000;
+  EXPECT_GT(OptimalEta(a), OptimalEta(b));
+}
+
+TEST(CostModelTest, LargerReachMeansCoarserGrid) {
+  CostModelParams a, b;
+  a.num_points = b.num_points = 10'000;
+  a.d2 = b.d2 = 2.0;
+  a.l_max = 0.05;
+  b.l_max = 0.5;
+  EXPECT_LT(OptimalEta(a), OptimalEta(b));
+}
+
+TEST(CostModelTest, SkewedDataChangesEta) {
+  CostModelParams uniform, skewed;
+  uniform.num_points = skewed.num_points = 10'000;
+  uniform.l_max = skewed.l_max = 0.3;
+  uniform.d2 = 2.0;
+  skewed.d2 = 1.4;
+  // The optimum exists and differs; both solve Eq. (23).
+  double eu = OptimalEta(uniform);
+  double es = OptimalEta(skewed);
+  EXPECT_GT(eu, 0.0);
+  EXPECT_GT(es, 0.0);
+  EXPECT_NE(eu, es);
+}
+
+TEST(CostModelTest, OptimalEtaMinimizesEstimatedCost) {
+  CostModelParams params;
+  params.l_max = 0.25;
+  params.d2 = 2.0;
+  params.num_points = 5'000;
+  double eta_star = OptimalEta(params);
+  double best = EstimateUpdateCost(eta_star, params);
+  for (double factor : {0.25, 0.5, 2.0, 4.0}) {
+    EXPECT_LE(best, EstimateUpdateCost(eta_star * factor, params) + 1e-6)
+        << "factor " << factor;
+  }
+}
+
+TEST(CostModelTest, DegenerateInputs) {
+  CostModelParams params;
+  params.num_points = 1;
+  EXPECT_DOUBLE_EQ(OptimalEta(params), 1.0);
+}
+
+}  // namespace
+}  // namespace rdbsc::index

@@ -1,0 +1,154 @@
+#include "sim/incremental.h"
+
+#include "core/greedy.h"
+#include "core/sampling.h"
+#include "gtest/gtest.h"
+#include "test_util.h"
+#include "util/rng.h"
+
+namespace rdbsc::sim {
+namespace {
+
+core::Task OpenTask(geo::Point loc, double start, double end,
+                    double beta = 0.5) {
+  core::Task t;
+  t.location = loc;
+  t.start = start;
+  t.end = end;
+  t.beta = beta;
+  return t;
+}
+
+core::Worker FreeWorker(geo::Point loc, double v = 0.5, double p = 0.9) {
+  core::Worker w;
+  w.location = loc;
+  w.velocity = v;
+  w.confidence = p;
+  return w;
+}
+
+TEST(IncrementalAssignerTest, RegistrationStatuses) {
+  core::GreedySolver solver;
+  IncrementalAssigner assigner(&solver, 0.1);
+  EXPECT_TRUE(assigner.AddTask(1, OpenTask({0.5, 0.5}, 0, 2)).ok());
+  EXPECT_EQ(assigner.AddTask(1, OpenTask({0.5, 0.5}, 0, 2)).code(),
+            util::StatusCode::kAlreadyExists);
+  EXPECT_TRUE(assigner.AddWorker(7, FreeWorker({0.4, 0.5})).ok());
+  EXPECT_EQ(assigner.AddWorker(7, FreeWorker({0.4, 0.5})).code(),
+            util::StatusCode::kAlreadyExists);
+  EXPECT_EQ(assigner.RemoveTask(99).code(), util::StatusCode::kNotFound);
+  EXPECT_EQ(assigner.RemoveWorker(99).code(), util::StatusCode::kNotFound);
+  EXPECT_EQ(assigner.num_open_tasks(), 1);
+  EXPECT_EQ(assigner.num_workers(), 1);
+}
+
+TEST(IncrementalAssignerTest, AssignsAvailableWorkerToOpenTask) {
+  core::GreedySolver solver;
+  IncrementalAssigner assigner(&solver, 0.1);
+  ASSERT_TRUE(assigner.AddTask(1, OpenTask({0.5, 0.5}, 0, 2)).ok());
+  ASSERT_TRUE(assigner.AddWorker(7, FreeWorker({0.45, 0.5})).ok());
+  auto committed = assigner.Update(0.0);
+  ASSERT_EQ(committed.size(), 1u);
+  EXPECT_EQ(committed[0].first, 1);
+  EXPECT_EQ(committed[0].second, 7);
+  EXPECT_EQ(assigner.CommittedTask(7), 1);
+  // A second round does not reassign the busy worker.
+  EXPECT_TRUE(assigner.Update(0.1).empty());
+}
+
+TEST(IncrementalAssignerTest, CompletedWorkerIsReassignable) {
+  core::GreedySolver solver;
+  IncrementalAssigner assigner(&solver, 0.1);
+  ASSERT_TRUE(assigner.AddTask(1, OpenTask({0.3, 0.5}, 0, 3)).ok());
+  ASSERT_TRUE(assigner.AddTask(2, OpenTask({0.7, 0.5}, 0, 3)).ok());
+  ASSERT_TRUE(assigner.AddWorker(7, FreeWorker({0.3, 0.45})).ok());
+  auto first = assigner.Update(0.0);
+  ASSERT_EQ(first.size(), 1u);
+  core::TaskId first_task = first[0].first;
+
+  EXPECT_EQ(assigner.CompleteWorker(99, {0, 0}).code(),
+            util::StatusCode::kNotFound);
+  ASSERT_TRUE(assigner.CompleteWorker(
+                  7, first_task == 1 ? geo::Point{0.3, 0.5}
+                                     : geo::Point{0.7, 0.5})
+                  .ok());
+  EXPECT_EQ(assigner.CommittedTask(7), core::kNoTask);
+  EXPECT_EQ(assigner.CompleteWorker(7, {0, 0}).code(),
+            util::StatusCode::kFailedPrecondition);
+
+  auto second = assigner.Update(0.5);
+  ASSERT_EQ(second.size(), 1u);
+  EXPECT_NE(second[0].first, first_task) << "should take the other task";
+}
+
+TEST(IncrementalAssignerTest, ExpiredTasksAreDropped) {
+  core::GreedySolver solver;
+  IncrementalAssigner assigner(&solver, 0.1);
+  ASSERT_TRUE(assigner.AddTask(1, OpenTask({0.5, 0.5}, 0, 0.5)).ok());
+  ASSERT_TRUE(assigner.AddWorker(7, FreeWorker({0.45, 0.5})).ok());
+  EXPECT_TRUE(assigner.Update(1.0).empty());  // task expired before round
+  EXPECT_EQ(assigner.num_open_tasks(), 0);
+}
+
+TEST(IncrementalAssignerTest, RemovingPendingTaskFreesWorker) {
+  core::GreedySolver solver;
+  IncrementalAssigner assigner(&solver, 0.1);
+  ASSERT_TRUE(assigner.AddTask(1, OpenTask({0.5, 0.5}, 0, 2)).ok());
+  ASSERT_TRUE(assigner.AddWorker(7, FreeWorker({0.45, 0.5})).ok());
+  ASSERT_EQ(assigner.Update(0.0).size(), 1u);
+  ASSERT_TRUE(assigner.RemoveTask(1).ok());
+  EXPECT_EQ(assigner.CommittedTask(7), core::kNoTask);
+  // The voided contribution no longer counts.
+  EXPECT_DOUBLE_EQ(assigner.Objectives().total_std, 0.0);
+  // The worker can serve a new task.
+  ASSERT_TRUE(assigner.AddTask(2, OpenTask({0.5, 0.55}, 0, 3)).ok());
+  EXPECT_EQ(assigner.Update(0.2).size(), 1u);
+}
+
+TEST(IncrementalAssignerTest, ObjectivesAccumulateOverRounds) {
+  core::SamplingSolver solver;
+  IncrementalAssigner assigner(&solver, 0.1);
+  util::Rng rng(3);
+  for (int t = 0; t < 6; ++t) {
+    assigner.AddTask(t, OpenTask({rng.Uniform(0.3, 0.7),
+                                  rng.Uniform(0.3, 0.7)},
+                                 0, 5));
+  }
+  for (int w = 0; w < 12; ++w) {
+    assigner.AddWorker(w, FreeWorker({rng.Uniform(0.2, 0.8),
+                                      rng.Uniform(0.2, 0.8)},
+                                     0.4, rng.Uniform(0.7, 0.95)));
+  }
+  double previous = 0.0;
+  for (int round = 0; round < 4; ++round) {
+    double now = round * 0.5;
+    auto committed = assigner.Update(now);
+    // Complete everyone so the next round can reassign.
+    for (const auto& [tid, wid] : committed) {
+      (void)tid;
+      assigner.CompleteWorker(wid, {rng.Uniform(0.3, 0.7),
+                                    rng.Uniform(0.3, 0.7)});
+    }
+    double current = assigner.Objectives().total_std;
+    EXPECT_GE(current, previous - 1e-9)
+        << "cumulative diversity dropped in round " << round;
+    previous = current;
+  }
+  EXPECT_GT(previous, 0.0);
+  EXPECT_GT(assigner.Objectives().min_reliability, 0.5);
+}
+
+TEST(IncrementalAssignerTest, WorkerLeavingMidRouteVoidsContribution) {
+  core::GreedySolver solver;
+  IncrementalAssigner assigner(&solver, 0.1);
+  ASSERT_TRUE(assigner.AddTask(1, OpenTask({0.5, 0.5}, 0, 2)).ok());
+  ASSERT_TRUE(assigner.AddWorker(7, FreeWorker({0.45, 0.5})).ok());
+  ASSERT_EQ(assigner.Update(0.0).size(), 1u);
+  EXPECT_GT(assigner.Objectives().total_std, 0.0);
+  ASSERT_TRUE(assigner.RemoveWorker(7).ok());
+  EXPECT_DOUBLE_EQ(assigner.Objectives().total_std, 0.0);
+  EXPECT_EQ(assigner.num_workers(), 0);
+}
+
+}  // namespace
+}  // namespace rdbsc::sim

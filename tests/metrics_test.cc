@@ -1,0 +1,81 @@
+#include "core/metrics.h"
+
+#include "core/greedy.h"
+#include "core/sampling.h"
+#include "gtest/gtest.h"
+#include "test_util.h"
+
+namespace rdbsc::core {
+namespace {
+
+TEST(MetricsTest, EmptyAssignment) {
+  Instance instance = test::SmallInstance(1, 10, 10);
+  AssignmentMetrics metrics =
+      ComputeMetrics(instance, Assignment(instance.num_workers()));
+  EXPECT_EQ(metrics.assigned_workers, 0);
+  EXPECT_EQ(metrics.nonempty_tasks, 0);
+  EXPECT_EQ(metrics.empty_tasks, 10);
+  EXPECT_EQ(metrics.roster_histogram[0], 10);
+  EXPECT_DOUBLE_EQ(metrics.total_expected_std, 0.0);
+}
+
+TEST(MetricsTest, HandBuiltAssignment) {
+  Instance instance = test::SmallInstance(2, 3, 6);
+  Assignment assignment(6);
+  assignment.Assign(0, 0);
+  assignment.Assign(1, 0);
+  assignment.Assign(2, 0);
+  assignment.Assign(3, 1);
+  AssignmentMetrics metrics = ComputeMetrics(instance, assignment);
+  EXPECT_EQ(metrics.assigned_workers, 4);
+  EXPECT_EQ(metrics.nonempty_tasks, 2);
+  EXPECT_EQ(metrics.empty_tasks, 1);
+  EXPECT_EQ(metrics.max_roster, 3);
+  EXPECT_DOUBLE_EQ(metrics.mean_roster, 2.0);
+  EXPECT_EQ(metrics.roster_histogram[0], 1);
+  EXPECT_EQ(metrics.roster_histogram[1], 1);
+  EXPECT_EQ(metrics.roster_histogram[3], 1);
+}
+
+TEST(MetricsTest, HistogramTailAggregates) {
+  Instance instance = test::SmallInstance(3, 1, 8);
+  Assignment assignment(8);
+  for (WorkerId j = 0; j < 8; ++j) assignment.Assign(j, 0);
+  AssignmentMetrics metrics =
+      ComputeMetrics(instance, assignment, /*histogram_buckets=*/4);
+  EXPECT_EQ(metrics.roster_histogram.back(), 1);  // 8 workers -> last bucket
+  EXPECT_EQ(metrics.max_roster, 8);
+}
+
+TEST(MetricsTest, AgreesWithObjectives) {
+  Instance instance = test::SmallInstance(4, 12, 30);
+  CandidateGraph graph = CandidateGraph::Build(instance);
+  GreedySolver solver;
+  SolveResult result = solver.Solve(instance, graph);
+  AssignmentMetrics metrics = ComputeMetrics(instance, result.assignment);
+  EXPECT_NEAR(metrics.total_expected_std, result.objectives.total_std, 1e-9);
+  EXPECT_NEAR(metrics.min_task_reliability,
+              result.objectives.min_reliability, 1e-9);
+  EXPECT_GE(metrics.mean_task_reliability, metrics.min_task_reliability);
+  EXPECT_EQ(metrics.nonempty_tasks + metrics.empty_tasks,
+            instance.num_tasks());
+}
+
+TEST(MetricsTest, HerdingShowsUpInHistogram) {
+  // The bounds-mode greedy concentrates workers; sampling spreads them.
+  // The metrics should expose that structural difference.
+  Instance instance = test::SmallInstance(5, 20, 60);
+  CandidateGraph graph = CandidateGraph::Build(instance);
+  GreedySolver greedy;  // default: paper's bound-estimated increments
+  SamplingSolver sampling;
+  AssignmentMetrics g =
+      ComputeMetrics(instance, greedy.Solve(instance, graph).assignment);
+  AssignmentMetrics s =
+      ComputeMetrics(instance, sampling.Solve(instance, graph).assignment);
+  EXPECT_EQ(g.assigned_workers, s.assigned_workers);
+  EXPECT_GE(g.max_roster, s.max_roster * 3 / 4)
+      << "expected greedy to concentrate at least comparably";
+}
+
+}  // namespace
+}  // namespace rdbsc::core

@@ -1,0 +1,130 @@
+#include "sim/platform.h"
+
+#include <cmath>
+
+#include "core/greedy.h"
+#include "core/sampling.h"
+#include "geo/angle.h"
+#include "gtest/gtest.h"
+#include "sim/aggregation.h"
+#include "test_util.h"
+#include "util/rng.h"
+
+namespace rdbsc::sim {
+namespace {
+
+PlatformConfig SmallPlatform(uint64_t seed) {
+  PlatformConfig config;
+  config.seed = seed;
+  return config;
+}
+
+TEST(PlatformTest, RunsAndProducesAnswers) {
+  core::GreedySolver solver;
+  Platform platform(SmallPlatform(1), &solver);
+  PlatformResult result = platform.Run();
+  EXPECT_GT(result.assignments_made, 0);
+  EXPECT_GT(result.answers_received, 0);
+  EXPECT_GE(result.assignments_made, result.answers_received);
+  EXPECT_FALSE(result.rounds.empty());
+}
+
+TEST(PlatformTest, AnswersRespectTaskPeriods) {
+  core::GreedySolver solver;
+  Platform platform(SmallPlatform(2), &solver);
+  PlatformResult result = platform.Run();
+  PlatformConfig config = SmallPlatform(2);
+  for (const Answer& answer : result.answers) {
+    EXPECT_GE(answer.time, 0.0);
+    EXPECT_LE(answer.time, config.task_open_time + 1e-9);
+    EXPECT_GE(answer.quality, 0.0);
+    EXPECT_LE(answer.quality, 1.0);
+    EXPECT_GE(answer.task, 0);
+    EXPECT_LT(answer.task, config.num_sites);
+  }
+}
+
+TEST(PlatformTest, AccuracyErrorInUnitRange) {
+  core::SamplingSolver solver;
+  Platform platform(SmallPlatform(3), &solver);
+  PlatformResult result = platform.Run();
+  EXPECT_GE(result.mean_accuracy_error, 0.0);
+  EXPECT_LE(result.mean_accuracy_error, 1.0);
+}
+
+TEST(PlatformTest, SmallerIntervalMeansMoreRounds) {
+  core::GreedySolver solver;
+  PlatformConfig fast = SmallPlatform(4);
+  fast.t_interval = 1.0 / 60.0;
+  PlatformConfig slow = SmallPlatform(4);
+  slow.t_interval = 4.0 / 60.0;
+  PlatformResult fast_result = Platform(fast, &solver).Run();
+  PlatformResult slow_result = Platform(slow, &solver).Run();
+  EXPECT_GT(fast_result.rounds.size(), slow_result.rounds.size());
+}
+
+TEST(PlatformTest, FinalObjectivesNonNegative) {
+  core::SamplingSolver solver;
+  Platform platform(SmallPlatform(5), &solver);
+  PlatformResult result = platform.Run();
+  EXPECT_GE(result.final_objectives.total_std, 0.0);
+  EXPECT_GE(result.final_objectives.min_reliability, 0.0);
+  EXPECT_LE(result.final_objectives.min_reliability, 1.0);
+}
+
+TEST(PlatformTest, DeterministicForSeed) {
+  core::GreedySolver solver_a, solver_b;
+  PlatformResult a = Platform(SmallPlatform(6), &solver_a).Run();
+  PlatformResult b = Platform(SmallPlatform(6), &solver_b).Run();
+  EXPECT_EQ(a.answers_received, b.answers_received);
+  EXPECT_DOUBLE_EQ(a.final_objectives.total_std,
+                   b.final_objectives.total_std);
+}
+
+TEST(AggregationTest, PicksBestPerBucket) {
+  core::Task task = rdbsc::test::MakeTask(0.5, 0.0, 1.0);
+  std::vector<Answer> answers;
+  // Two answers in the same angular/time bucket; the better quality wins.
+  answers.push_back({.task = 0, .worker = 0, .angle = 0.1, .time = 0.1,
+                     .quality = 0.5});
+  answers.push_back({.task = 0, .worker = 1, .angle = 0.12, .time = 0.12,
+                     .quality = 0.9});
+  // One answer far away in angle.
+  answers.push_back({.task = 0, .worker = 2, .angle = 3.2, .time = 0.1,
+                     .quality = 0.4});
+  std::vector<Answer> reps = AggregateAnswers(task, answers);
+  ASSERT_EQ(reps.size(), 2u);
+  bool found_best = false;
+  for (const Answer& rep : reps) {
+    if (rep.worker == 1) found_best = true;
+    EXPECT_NE(rep.worker, 0);  // dominated by worker 1 in the same bucket
+  }
+  EXPECT_TRUE(found_best);
+}
+
+TEST(AggregationTest, EmptyInput) {
+  core::Task task = rdbsc::test::MakeTask();
+  EXPECT_TRUE(AggregateAnswers(task, {}).empty());
+}
+
+TEST(AggregationTest, BucketCountBoundsOutput) {
+  core::Task task = rdbsc::test::MakeTask(0.5, 0.0, 1.0);
+  std::vector<Answer> answers;
+  util::Rng rng(9);
+  for (int i = 0; i < 200; ++i) {
+    answers.push_back({.task = 0,
+                       .worker = i,
+                       .angle = rng.Uniform(0, geo::kTwoPi),
+                       .time = rng.Uniform(0, 1),
+                       .quality = rng.Uniform(0, 1)});
+  }
+  AggregationConfig config;
+  config.angle_buckets = 4;
+  config.time_buckets = 2;
+  std::vector<Answer> reps = AggregateAnswers(task, answers, config);
+  EXPECT_LE(reps.size(), 8u);
+  EXPECT_GT(reps.size(), 0u);
+}
+
+}  // namespace
+}  // namespace rdbsc::sim

@@ -1,0 +1,109 @@
+#include "core/sample_size.h"
+
+#include <cmath>
+
+#include "gtest/gtest.h"
+
+namespace rdbsc::core {
+namespace {
+
+SampleSizeParams Params(double eps, double delta, double log_n) {
+  SampleSizeParams p;
+  p.epsilon = eps;
+  p.delta = delta;
+  p.log_population = log_n;
+  return p;
+}
+
+TEST(SampleSizeLowerBoundTest, SmallForTinyPopulations) {
+  // p*M = 1-eps regardless of N, so the bound stays O(1).
+  double bound = SampleSizeLowerBound(Params(0.1, 0.9, std::log(100.0)));
+  EXPECT_GT(bound, 0.0);
+  EXPECT_LT(bound, 10.0);
+}
+
+TEST(SampleSizeLowerBoundTest, StableForHugePopulations) {
+  double small = SampleSizeLowerBound(Params(0.1, 0.9, 50.0));
+  double huge = SampleSizeLowerBound(Params(0.1, 0.9, 5000.0));
+  // e(1-eps) - 1 in the limit; both regimes should be close to it.
+  double limit = std::exp(1.0) * 0.9 - 1.0;
+  EXPECT_NEAR(small, limit, 0.2);
+  EXPECT_NEAR(huge, limit, 0.05);
+}
+
+TEST(LogProbRankAtMostTest, DecreasesInK) {
+  SampleSizeParams params = Params(0.1, 0.9, 30.0);
+  double prev = LogProbRankAtMost(params, 2);
+  for (int64_t k = 3; k < 40; ++k) {
+    double current = LogProbRankAtMost(params, k);
+    EXPECT_LT(current, prev) << "k=" << k;
+    prev = current;
+  }
+}
+
+TEST(LogProbRankAtMostTest, AsymptoticRegimeIsFiniteAndDecreasing) {
+  SampleSizeParams params = Params(0.1, 0.9, 10'000.0);  // N ~ e^10000
+  double prev = LogProbRankAtMost(params, 1);
+  EXPECT_TRUE(std::isfinite(prev));
+  for (int64_t k = 2; k < 30; ++k) {
+    double current = LogProbRankAtMost(params, k);
+    EXPECT_TRUE(std::isfinite(current));
+    EXPECT_LT(current, prev);
+    prev = current;
+  }
+}
+
+TEST(LogProbRankAtMostTest, RegimesAgreeNearTheSwitch) {
+  // Just below and just above the huge-N switch (ln N = 25) the exact and
+  // asymptotic forms should approximately agree.
+  for (int64_t k : {2, 5, 10}) {
+    double exact = LogProbRankAtMost(Params(0.2, 0.9, 24.9), k);
+    double asymptotic = LogProbRankAtMost(Params(0.2, 0.9, 25.1), k);
+    EXPECT_NEAR(exact, asymptotic, 0.01) << "k=" << k;
+  }
+}
+
+TEST(DetermineSampleSizeTest, TrivialPopulation) {
+  EXPECT_EQ(DetermineSampleSize(Params(0.1, 0.9, 0.0), 100), 1);
+}
+
+TEST(DetermineSampleSizeTest, MeetsConfidenceTarget) {
+  SampleSizeParams params = Params(0.1, 0.9, 40.0);
+  int64_t k = DetermineSampleSize(params, 10'000);
+  double log_target = std::log1p(-params.delta);
+  EXPECT_LE(LogProbRankAtMost(params, k), log_target);
+  if (k > 1) {
+    EXPECT_GT(LogProbRankAtMost(params, k - 1), log_target)
+        << "K-hat is not minimal";
+  }
+}
+
+TEST(DetermineSampleSizeTest, TighterEpsilonNeedsMoreSamples) {
+  int64_t loose = DetermineSampleSize(Params(0.3, 0.9, 100.0), 10'000);
+  int64_t tight = DetermineSampleSize(Params(0.05, 0.9, 100.0), 10'000);
+  EXPECT_GT(tight, loose);
+}
+
+TEST(DetermineSampleSizeTest, HigherConfidenceNeedsMoreSamples) {
+  int64_t low = DetermineSampleSize(Params(0.1, 0.5, 100.0), 10'000);
+  int64_t high = DetermineSampleSize(Params(0.1, 0.99, 100.0), 10'000);
+  EXPECT_GE(high, low);
+}
+
+TEST(DetermineSampleSizeTest, RespectsCap) {
+  int64_t k = DetermineSampleSize(Params(0.001, 0.999, 1'000.0), 64);
+  EXPECT_LE(k, 64);
+  EXPECT_GE(k, 1);
+}
+
+TEST(DetermineSampleSizeTest, PaperScalePopulationsStaySmall) {
+  // 10K workers with ~20 reachable tasks each: log N ~ 10000 * 3.
+  int64_t k = DetermineSampleSize(Params(0.1, 0.9, 30'000.0), 100'000);
+  // The paper observes "SAMPLING only takes several seconds (due to small
+  // sample size)": K-hat must be modest.
+  EXPECT_LT(k, 100);
+  EXPECT_GE(k, 2);
+}
+
+}  // namespace
+}  // namespace rdbsc::core

@@ -1,0 +1,200 @@
+#include <cmath>
+
+#include "gtest/gtest.h"
+#include "util/fractal.h"
+#include "util/kmeans.h"
+#include "util/math.h"
+#include "util/rng.h"
+#include "util/status.h"
+
+namespace rdbsc::util {
+namespace {
+
+TEST(StatusTest, OkByDefault) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorsCarryCodeAndMessage) {
+  Status s = Status::InvalidArgument("bad eta");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(s.message(), "bad eta");
+  EXPECT_EQ(s.ToString(), "InvalidArgument: bad eta");
+}
+
+TEST(StatusTest, AllFactoriesProduceDistinctCodes) {
+  EXPECT_EQ(Status::NotFound("x").code(), StatusCode::kNotFound);
+  EXPECT_EQ(Status::AlreadyExists("x").code(), StatusCode::kAlreadyExists);
+  EXPECT_EQ(Status::OutOfRange("x").code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(Status::FailedPrecondition("x").code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ(Status::Internal("x").code(), StatusCode::kInternal);
+}
+
+TEST(StatusOrTest, HoldsValue) {
+  StatusOr<int> v(42);
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(v.value(), 42);
+}
+
+TEST(StatusOrTest, HoldsError) {
+  StatusOr<int> v(Status::NotFound("missing"));
+  EXPECT_FALSE(v.ok());
+  EXPECT_EQ(v.status().code(), StatusCode::kNotFound);
+}
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_DOUBLE_EQ(a.Uniform(0, 1), b.Uniform(0, 1));
+  }
+}
+
+TEST(RngTest, UniformRespectsRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    double v = rng.Uniform(2.0, 5.0);
+    EXPECT_GE(v, 2.0);
+    EXPECT_LT(v, 5.0);
+  }
+}
+
+TEST(RngTest, UniformIntCoversInclusiveRange) {
+  Rng rng(7);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 1000; ++i) {
+    int64_t v = rng.UniformInt(1, 4);
+    EXPECT_GE(v, 1);
+    EXPECT_LE(v, 4);
+    saw_lo |= (v == 1);
+    saw_hi |= (v == 4);
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(RngTest, TruncatedGaussianStaysInRange) {
+  Rng rng(9);
+  for (int i = 0; i < 1000; ++i) {
+    double v = rng.TruncatedGaussian(0.95, 0.02, 0.9, 1.0);
+    EXPECT_GE(v, 0.9);
+    EXPECT_LE(v, 1.0);
+  }
+}
+
+TEST(RngTest, ForkProducesIndependentStream) {
+  Rng a(5);
+  Rng child = a.Fork();
+  // The child stream should differ from the parent's continuation.
+  bool any_different = false;
+  for (int i = 0; i < 10; ++i) {
+    if (a.Uniform(0, 1) != child.Uniform(0, 1)) any_different = true;
+  }
+  EXPECT_TRUE(any_different);
+}
+
+TEST(MathTest, EntropyTermLimits) {
+  EXPECT_DOUBLE_EQ(EntropyTerm(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(EntropyTerm(1.0), 0.0);
+  EXPECT_NEAR(EntropyTerm(0.5), 0.5 * std::log(2.0), 1e-12);
+  EXPECT_GT(EntropyTerm(0.1), 0.0);
+}
+
+TEST(MathTest, ClampConfidenceGuardsEndpoints) {
+  EXPECT_DOUBLE_EQ(ClampConfidence(-0.5), 0.0);
+  EXPECT_DOUBLE_EQ(ClampConfidence(0.5), 0.5);
+  EXPECT_LT(ClampConfidence(1.0), 1.0);
+  EXPECT_TRUE(std::isfinite(ReliabilityWeight(1.0)));
+}
+
+TEST(MathTest, ReliabilityRoundTrip) {
+  for (double p : {0.1, 0.5, 0.9, 0.99}) {
+    EXPECT_NEAR(ReducedToProbability(ReliabilityWeight(p)), p, 1e-12);
+  }
+}
+
+TEST(MathTest, LogBinomialMatchesSmallCases) {
+  EXPECT_NEAR(LogBinomial(5, 2), std::log(10.0), 1e-9);
+  EXPECT_NEAR(LogBinomial(10, 0), 0.0, 1e-9);
+  EXPECT_NEAR(LogBinomial(10, 10), 0.0, 1e-9);
+  EXPECT_NEAR(LogBinomial(52, 5), std::log(2598960.0), 1e-6);
+}
+
+TEST(KmeansTest, SeparatesTwoClusters) {
+  std::vector<KmPoint> points;
+  Rng rng(3);
+  for (int i = 0; i < 50; ++i) {
+    points.push_back({rng.Uniform(0.0, 0.2), rng.Uniform(0.0, 0.2)});
+  }
+  for (int i = 0; i < 50; ++i) {
+    points.push_back({rng.Uniform(0.8, 1.0), rng.Uniform(0.8, 1.0)});
+  }
+  TwoMeansResult result = TwoMeans(points, rng);
+  // All of the first 50 share a label, all of the last 50 share the other.
+  for (int i = 1; i < 50; ++i) EXPECT_EQ(result.label[i], result.label[0]);
+  for (int i = 51; i < 100; ++i) EXPECT_EQ(result.label[i], result.label[50]);
+  EXPECT_NE(result.label[0], result.label[50]);
+}
+
+TEST(KmeansTest, HandlesDegenerateInputs) {
+  Rng rng(4);
+  EXPECT_TRUE(TwoMeans({}, rng).label.empty());
+  EXPECT_EQ(TwoMeans({{0.5, 0.5}}, rng).label.size(), 1u);
+  // All-identical points must not crash or loop forever.
+  std::vector<KmPoint> same(20, KmPoint{0.3, 0.3});
+  TwoMeansResult result = TwoMeans(same, rng);
+  EXPECT_EQ(result.label.size(), 20u);
+}
+
+TEST(KmeansTest, RoughlyBalancedOnUniformData) {
+  Rng rng(5);
+  std::vector<KmPoint> points;
+  for (int i = 0; i < 400; ++i) {
+    points.push_back({rng.Uniform(0, 1), rng.Uniform(0, 1)});
+  }
+  TwoMeansResult result = TwoMeans(points, rng);
+  int ones = 0;
+  for (int label : result.label) ones += label;
+  EXPECT_GT(ones, 80);   // neither cluster degenerates
+  EXPECT_LT(ones, 320);
+}
+
+TEST(FractalTest, UniformDataNearTwo) {
+  Rng rng(6);
+  std::vector<KmPoint> points;
+  for (int i = 0; i < 4000; ++i) {
+    points.push_back({rng.Uniform(0, 1), rng.Uniform(0, 1)});
+  }
+  double d2 = EstimateCorrelationDimension(points);
+  EXPECT_GT(d2, 1.6);
+  EXPECT_LE(d2, 2.0);
+}
+
+TEST(FractalTest, PointMassNearZeroIsClamped) {
+  std::vector<KmPoint> points(1000, KmPoint{0.5, 0.5});
+  double d2 = EstimateCorrelationDimension(points);
+  EXPECT_DOUBLE_EQ(d2, 0.5);  // clamped floor
+}
+
+TEST(FractalTest, LineDataNearOne) {
+  Rng rng(8);
+  std::vector<KmPoint> points;
+  for (int i = 0; i < 4000; ++i) {
+    double x = rng.Uniform(0, 1);
+    points.push_back({x, x});
+  }
+  double d2 = EstimateCorrelationDimension(points);
+  EXPECT_GT(d2, 0.7);
+  EXPECT_LT(d2, 1.4);
+}
+
+TEST(FractalTest, DegenerateInputDefaultsToTwo) {
+  EXPECT_DOUBLE_EQ(EstimateCorrelationDimension({}), 2.0);
+  EXPECT_DOUBLE_EQ(EstimateCorrelationDimension({{0.1, 0.2}}), 2.0);
+}
+
+}  // namespace
+}  // namespace rdbsc::util

@@ -1,0 +1,241 @@
+#include "gen/workload.h"
+
+#include <cmath>
+
+#include "gen/trajectory.h"
+#include "geo/angle.h"
+#include "gtest/gtest.h"
+#include "util/rng.h"
+
+namespace rdbsc::gen {
+namespace {
+
+TEST(WorkloadTest, GeneratesRequestedCounts) {
+  WorkloadConfig config;
+  config.num_tasks = 123;
+  config.num_workers = 77;
+  core::Instance instance = GenerateInstance(config);
+  EXPECT_EQ(instance.num_tasks(), 123);
+  EXPECT_EQ(instance.num_workers(), 77);
+  EXPECT_TRUE(instance.Validate().ok());
+}
+
+TEST(WorkloadTest, DeterministicForSeed) {
+  WorkloadConfig config;
+  config.num_tasks = 50;
+  config.num_workers = 50;
+  config.seed = 42;
+  core::Instance a = GenerateInstance(config);
+  core::Instance b = GenerateInstance(config);
+  for (int i = 0; i < a.num_tasks(); ++i) {
+    EXPECT_EQ(a.task(i).location.x, b.task(i).location.x);
+    EXPECT_EQ(a.task(i).start, b.task(i).start);
+  }
+  for (int j = 0; j < a.num_workers(); ++j) {
+    EXPECT_EQ(a.worker(j).confidence, b.worker(j).confidence);
+  }
+}
+
+TEST(WorkloadTest, DifferentSeedsDiffer) {
+  WorkloadConfig a_config, b_config;
+  a_config.num_tasks = b_config.num_tasks = 20;
+  a_config.num_workers = b_config.num_workers = 0;
+  a_config.seed = 1;
+  b_config.seed = 2;
+  core::Instance a = GenerateInstance(a_config);
+  core::Instance b = GenerateInstance(b_config);
+  bool any_diff = false;
+  for (int i = 0; i < 20; ++i) {
+    any_diff |= a.task(i).location.x != b.task(i).location.x;
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(WorkloadTest, RespectsParameterRanges) {
+  WorkloadConfig config;
+  config.num_tasks = 300;
+  config.num_workers = 300;
+  config.rt_min = 0.5;
+  config.rt_max = 1.0;
+  config.p_min = 0.85;
+  config.p_max = 0.95;
+  config.v_min = 0.1;
+  config.v_max = 0.2;
+  config.beta_min = 0.2;
+  config.beta_max = 0.4;
+  config.angle_range = 0.5;
+  core::Instance instance = GenerateInstance(config);
+  for (int i = 0; i < instance.num_tasks(); ++i) {
+    const core::Task& t = instance.task(i);
+    EXPECT_GE(t.Duration(), 0.5);
+    EXPECT_LE(t.Duration(), 1.0);
+    EXPECT_GE(t.beta, 0.2);
+    EXPECT_LE(t.beta, 0.4);
+    EXPECT_GE(t.location.x, 0.0);
+    EXPECT_LE(t.location.x, 1.0);
+  }
+  for (int j = 0; j < instance.num_workers(); ++j) {
+    const core::Worker& w = instance.worker(j);
+    EXPECT_GE(w.confidence, 0.85);
+    EXPECT_LE(w.confidence, 0.95);
+    EXPECT_GE(w.velocity, 0.1);
+    EXPECT_LE(w.velocity, 0.2);
+    EXPECT_LE(w.direction.width(), 0.5 + 1e-9);
+  }
+}
+
+TEST(WorkloadTest, SkewedConcentratesAroundCenter) {
+  WorkloadConfig config;
+  config.num_tasks = 2'000;
+  config.num_workers = 0;
+  config.task_distribution = SpatialDistribution::kSkewed;
+  core::Instance instance = GenerateInstance(config);
+  int near_center = 0;
+  for (int i = 0; i < instance.num_tasks(); ++i) {
+    if (geo::Distance(instance.task(i).location, {0.5, 0.5}) < 0.45) {
+      ++near_center;
+    }
+  }
+  // 90% cluster with sigma 0.2: the 0.45-ball holds the bulk of the mass.
+  EXPECT_GT(near_center, 1'500);
+}
+
+TEST(WorkloadTest, CheckInsSpreadOverHorizon) {
+  WorkloadConfig config;
+  config.num_tasks = 0;
+  config.num_workers = 500;
+  config.start_max = 10.0;
+  core::Instance instance = GenerateInstance(config);
+  int early = 0;
+  for (int j = 0; j < instance.num_workers(); ++j) {
+    double t = instance.worker(j).available_from;
+    EXPECT_GE(t, 0.0);
+    EXPECT_LE(t, 10.0);
+    if (t < 5.0) ++early;
+  }
+  EXPECT_GT(early, 150);  // roughly uniform halves
+  EXPECT_LT(early, 350);
+}
+
+TEST(WorkloadTest, GaussianStartTimesConcentrateAtMidpoint) {
+  WorkloadConfig uniform_config, gaussian_config;
+  uniform_config.num_tasks = gaussian_config.num_tasks = 1'000;
+  uniform_config.num_workers = gaussian_config.num_workers = 0;
+  uniform_config.start_max = gaussian_config.start_max = 12.0;
+  gaussian_config.start_distribution = TimeDistribution::kGaussian;
+  int center_uniform = 0, center_gaussian = 0;
+  core::Instance u = GenerateInstance(uniform_config);
+  core::Instance g = GenerateInstance(gaussian_config);
+  for (int i = 0; i < 1'000; ++i) {
+    if (std::fabs(u.task(i).start - 6.0) < 2.0) ++center_uniform;
+    if (std::fabs(g.task(i).start - 6.0) < 2.0) ++center_gaussian;
+    EXPECT_GE(g.task(i).start, 0.0);
+    EXPECT_LE(g.task(i).start, 12.0);
+  }
+  EXPECT_GT(center_gaussian, center_uniform + 100);
+}
+
+TEST(SampleTimeTest, RespectsBounds) {
+  util::Rng rng(5);
+  for (int trial = 0; trial < 500; ++trial) {
+    double u = SampleTime(TimeDistribution::kUniform, 2.0, 3.0, rng);
+    double g = SampleTime(TimeDistribution::kGaussian, 2.0, 3.0, rng);
+    EXPECT_GE(u, 2.0);
+    EXPECT_LE(u, 3.0);
+    EXPECT_GE(g, 2.0);
+    EXPECT_LE(g, 3.0);
+  }
+}
+
+TEST(TrajectoryTest, GeneratesRequestedTaxis) {
+  TrajectoryConfig config;
+  config.num_taxis = 25;
+  std::vector<Trajectory> traces = GenerateTrajectories(config);
+  ASSERT_EQ(traces.size(), 25u);
+  for (const Trajectory& t : traces) {
+    EXPECT_EQ(t.points.size(), t.times.size());
+    EXPECT_GE(t.points.size(), 2u);
+    // Times strictly ordered (taxis move forward in time).
+    for (size_t i = 1; i < t.times.size(); ++i) {
+      EXPECT_GE(t.times[i], t.times[i - 1]);
+    }
+  }
+}
+
+TEST(TrajectoryTest, WorkerDerivationMatchesPaperRecipe) {
+  Trajectory trace;
+  trace.points = {{0.5, 0.5}, {0.6, 0.5}, {0.6, 0.6}};
+  trace.times = {0.0, 1.0, 2.0};
+  core::Worker w = WorkerFromTrajectory(trace, 0.9);
+  EXPECT_EQ(w.location.x, 0.5);
+  EXPECT_EQ(w.location.y, 0.5);
+  EXPECT_NEAR(w.velocity, 0.1, 1e-12);  // 0.2 distance over 2 hours
+  EXPECT_DOUBLE_EQ(w.confidence, 0.9);
+  // The sector must contain the bearings to both later points.
+  EXPECT_TRUE(w.direction.Contains(geo::Bearing({0.5, 0.5}, {0.6, 0.5})));
+  EXPECT_TRUE(w.direction.Contains(geo::Bearing({0.5, 0.5}, {0.6, 0.6})));
+}
+
+TEST(TrajectoryTest, SectorContainsAllBearingsProperty) {
+  TrajectoryConfig config;
+  config.num_taxis = 40;
+  config.seed = 3;
+  for (const Trajectory& trace : GenerateTrajectories(config)) {
+    core::Worker w = WorkerFromTrajectory(trace, 0.9);
+    for (size_t i = 1; i < trace.points.size(); ++i) {
+      if (trace.points[i] == w.location) continue;
+      EXPECT_TRUE(
+          w.direction.Contains(geo::Bearing(w.location, trace.points[i])));
+    }
+  }
+}
+
+TEST(TrajectoryTest, StationaryTraceGetsFallbackSpeed) {
+  Trajectory trace;
+  trace.points = {{0.5, 0.5}, {0.5, 0.5}};
+  trace.times = {0.0, 1.0};
+  core::Worker w = WorkerFromTrajectory(trace, 0.8);
+  EXPECT_GT(w.velocity, 0.0);
+}
+
+TEST(PoiTest, PoisInUnitSquare) {
+  PoiConfig config;
+  config.num_pois = 500;
+  for (const geo::Point& p : GeneratePois(config)) {
+    EXPECT_GE(p.x, 0.0);
+    EXPECT_LE(p.x, 1.0);
+    EXPECT_GE(p.y, 0.0);
+    EXPECT_LE(p.y, 1.0);
+  }
+}
+
+TEST(RealWorkloadTest, BuildsValidInstance) {
+  RealWorkloadConfig config;
+  config.num_tasks = 80;
+  config.poi.num_pois = 300;
+  config.trajectory.num_taxis = 60;
+  core::Instance instance = GenerateRealInstance(config);
+  EXPECT_EQ(instance.num_tasks(), 80);
+  EXPECT_EQ(instance.num_workers(), 60);
+  EXPECT_TRUE(instance.Validate().ok());
+  for (int i = 0; i < instance.num_tasks(); ++i) {
+    EXPECT_GE(instance.task(i).Duration(), config.rt_min - 1e-9);
+    EXPECT_LE(instance.task(i).Duration(), config.rt_max + 1e-9);
+  }
+  for (int j = 0; j < instance.num_workers(); ++j) {
+    EXPECT_GE(instance.worker(j).confidence, config.p_min);
+    EXPECT_LE(instance.worker(j).confidence, config.p_max);
+  }
+}
+
+TEST(RealWorkloadTest, TaskCountCappedByPois) {
+  RealWorkloadConfig config;
+  config.num_tasks = 1'000;
+  config.poi.num_pois = 50;
+  config.trajectory.num_taxis = 5;
+  core::Instance instance = GenerateRealInstance(config);
+  EXPECT_EQ(instance.num_tasks(), 50);
+}
+
+}  // namespace
+}  // namespace rdbsc::gen
