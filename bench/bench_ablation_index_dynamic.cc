@@ -3,6 +3,7 @@
 // and removals cheaply (lazy summary repair) while retrieval stays exact.
 // Reports insert/remove throughput and the retrieval cost after churn.
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <vector>

@@ -6,6 +6,7 @@
 //
 //   $ ./examples/landmark_photos
 
+#include <algorithm>
 #include <cstdio>
 #include <memory>
 #include <numbers>

@@ -1,6 +1,7 @@
 #ifndef RDBSC_CORE_DIVIDE_CONQUER_H_
 #define RDBSC_CORE_DIVIDE_CONQUER_H_
 
+#include <algorithm>
 #include <string>
 
 #include "core/solver.h"

@@ -5,6 +5,7 @@
 #include <numbers>
 
 #include "core/instance.h"
+#include "util/config.h"
 #include "util/rng.h"
 
 namespace rdbsc::gen {

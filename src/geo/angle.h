@@ -3,6 +3,8 @@
 
 #include <numbers>
 
+#include "util/config.h"
+
 namespace rdbsc::geo {
 
 /// Full turn in radians.

@@ -5,6 +5,8 @@
 #include <cmath>
 #include <numbers>
 
+#include "util/config.h"
+
 namespace rdbsc::index {
 namespace {
 

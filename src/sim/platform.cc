@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "core/diversity.h"
+#include "util/config.h"
 #include "geo/angle.h"
 #include "util/math.h"
 #include "util/rng.h"

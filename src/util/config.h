@@ -1,0 +1,14 @@
+#ifndef RDBSC_UTIL_CONFIG_H_
+#define RDBSC_UTIL_CONFIG_H_
+
+// rdbsc is C++20 code: std::numbers (geo/angle.h, gen/workload.h,
+// sim/platform.cc, index/cost_model.cc), designated initializers, etc.
+// Compiling with an older -std= otherwise dies in a page of template
+// errors far from the cause; fail here with the actual reason instead.
+#if !defined(_MSC_VER) && __cplusplus < 202002L
+#error "rdbsc requires C++20 (std::numbers); compile with -std=c++20 or newer"
+#elif defined(_MSC_VER) && (!defined(_MSVC_LANG) || _MSVC_LANG < 202002L)
+#error "rdbsc requires C++20 (std::numbers); compile with /std:c++20 or newer"
+#endif
+
+#endif  // RDBSC_UTIL_CONFIG_H_

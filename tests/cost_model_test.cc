@@ -1,0 +1,83 @@
+#include "index/cost_model.h"
+
+#include <cmath>
+
+#include "gtest/gtest.h"
+
+namespace rdbsc::index {
+namespace {
+
+constexpr double kEtaMin = 1.0 / 1024.0;
+constexpr double kEtaMax = 1.0;
+
+TEST(CostModelTest, OptimalEtaStaysInClampRange) {
+  for (double l_max : {0.01, 0.1, 0.3, 0.9}) {
+    for (double d2 : {1.2, 1.6, 2.0}) {
+      for (int n : {2, 100, 10'000, 1'000'000}) {
+        CostModelParams params{.l_max = l_max, .d2 = d2, .num_points = n};
+        double eta = OptimalEta(params);
+        EXPECT_GE(eta, kEtaMin) << "l_max=" << l_max << " d2=" << d2
+                                << " n=" << n;
+        EXPECT_LE(eta, kEtaMax);
+      }
+    }
+  }
+}
+
+TEST(CostModelTest, UniformDataMatchesClosedForm) {
+  // For D2 = 2, Eq. (23) reduces to eta^3 = L_max / (N - 1).
+  CostModelParams params{.l_max = 0.3, .d2 = 2.0, .num_points = 10'000};
+  double expected = std::cbrt(params.l_max / (params.num_points - 1));
+  EXPECT_NEAR(OptimalEta(params), expected, 1e-6);
+}
+
+TEST(CostModelTest, OptimalEtaMinimizesModelCost) {
+  // An interior solution must beat a coarser and a finer grid under the
+  // very cost it models.
+  CostModelParams params{.l_max = 0.3, .d2 = 2.0, .num_points = 10'000};
+  double eta = OptimalEta(params);
+  ASSERT_GT(eta, kEtaMin);
+  ASSERT_LT(eta, kEtaMax);
+  double best = EstimateUpdateCost(eta, params);
+  EXPECT_LE(best, EstimateUpdateCost(0.5 * eta, params));
+  EXPECT_LE(best, EstimateUpdateCost(2.0 * eta, params));
+}
+
+TEST(CostModelTest, MorePointsMeanFinerGrid) {
+  CostModelParams coarse{.l_max = 0.3, .d2 = 2.0, .num_points = 1'000};
+  CostModelParams fine = coarse;
+  fine.num_points = 100'000;
+  EXPECT_GT(OptimalEta(coarse), OptimalEta(fine));
+}
+
+TEST(CostModelTest, LongerReachMeansCoarserGrid) {
+  CostModelParams slow{.l_max = 0.05, .d2 = 2.0, .num_points = 10'000};
+  CostModelParams fast = slow;
+  fast.l_max = 0.9;
+  EXPECT_LT(OptimalEta(slow), OptimalEta(fast));
+}
+
+TEST(CostModelTest, DegenerateSinglePointReturnsCoarsestGrid) {
+  CostModelParams params{.l_max = 0.3, .d2 = 2.0, .num_points = 1};
+  EXPECT_DOUBLE_EQ(OptimalEta(params), kEtaMax);
+}
+
+TEST(CostModelTest, HugePointCountClampsToFinestGrid) {
+  CostModelParams params{.l_max = 0.3, .d2 = 2.0,
+                         .num_points = 1'000'000'000};
+  EXPECT_DOUBLE_EQ(OptimalEta(params), kEtaMin);
+}
+
+TEST(CostModelTest, UpdateCostIsPositiveAndGrowsWithPoints) {
+  CostModelParams params{.l_max = 0.3, .d2 = 2.0, .num_points = 1'000};
+  CostModelParams bigger = params;
+  bigger.num_points = 10'000;
+  for (double eta : {0.01, 0.05, 0.25}) {
+    EXPECT_GT(EstimateUpdateCost(eta, params), 0.0);
+    EXPECT_LT(EstimateUpdateCost(eta, params),
+              EstimateUpdateCost(eta, bigger));
+  }
+}
+
+}  // namespace
+}  // namespace rdbsc::index

@@ -1,6 +1,7 @@
 #include "core/dominance.h"
 
 #include <algorithm>
+#include <limits>
 
 #include "gtest/gtest.h"
 #include "util/rng.h"

@@ -1,5 +1,6 @@
 #include "core/model.h"
 
+#include <algorithm>
 #include <cmath>
 #include <limits>
 #include <numbers>

@@ -1,6 +1,8 @@
 #ifndef RDBSC_TESTS_TEST_UTIL_H_
 #define RDBSC_TESTS_TEST_UTIL_H_
 
+#include <algorithm>
+#include <cstdint>
 #include <vector>
 
 #include "core/assignment.h"

@@ -1,0 +1,125 @@
+#include "core/worker_greedy.h"
+
+#include <vector>
+
+#include "core/assignment.h"
+#include "core/instance.h"
+#include "gtest/gtest.h"
+#include "test_util.h"
+
+namespace rdbsc::core {
+namespace {
+
+using test::ExpectFeasible;
+using test::SmallInstance;
+
+/// The same instance restricted to its first `k` workers (tasks, time and
+/// policy unchanged). Valid pairs of the kept workers are unaffected.
+Instance TruncateWorkers(const Instance& instance, int k) {
+  std::vector<Worker> workers(instance.workers().begin(),
+                              instance.workers().begin() + k);
+  return Instance(instance.tasks(), std::move(workers), instance.now(),
+                  instance.policy());
+}
+
+class WorkerGreedyFeasibilityTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(WorkerGreedyFeasibilityTest, FeasibleOnRandomInstances) {
+  Instance instance = SmallInstance(GetParam());
+  CandidateGraph graph = CandidateGraph::Build(instance);
+  WorkerGreedySolver solver;
+  SolveResult result = solver.Solve(instance, graph);
+  ExpectFeasible(instance, graph, result.assignment);
+  // GREEDY processes every worker once: exactly the connected ones serve.
+  for (WorkerId j = 0; j < instance.num_workers(); ++j) {
+    EXPECT_EQ(result.assignment.TaskOf(j) != kNoTask, graph.Degree(j) > 0)
+        << "worker " << j;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, WorkerGreedyFeasibilityTest,
+                         ::testing::Values(51, 52, 53, 54, 55, 56));
+
+TEST(WorkerGreedyTest, ObjectivesMatchReevaluationInBothIncrementModes) {
+  for (auto mode : {SolverOptions::GreedyIncrement::kBounds,
+                    SolverOptions::GreedyIncrement::kExact}) {
+    Instance instance = SmallInstance(61);
+    CandidateGraph graph = CandidateGraph::Build(instance);
+    SolverOptions options;
+    options.greedy_increment = mode;
+    WorkerGreedySolver solver(options);
+    SolveResult result = solver.Solve(instance, graph);
+    ObjectiveValue check = EvaluateAssignment(instance, result.assignment);
+    EXPECT_NEAR(result.objectives.total_std, check.total_std, 1e-9);
+    EXPECT_NEAR(result.objectives.min_reliability, check.min_reliability,
+                1e-9);
+  }
+}
+
+TEST(WorkerGreedyTest, ExactModeCountsStdEvaluations) {
+  Instance instance = SmallInstance(62);
+  CandidateGraph graph = CandidateGraph::Build(instance);
+  SolverOptions exact;
+  exact.greedy_increment = SolverOptions::GreedyIncrement::kExact;
+  SolveResult re = WorkerGreedySolver(exact).Solve(instance, graph);
+  SolveResult rb = WorkerGreedySolver().Solve(instance, graph);
+  EXPECT_EQ(re.stats.exact_std_evals, graph.NumEdges());
+  EXPECT_EQ(rb.stats.exact_std_evals, 0);
+}
+
+// GREEDY handles workers in id order and each choice depends only on the
+// state left by earlier workers, so solving the first-k-workers instance
+// must reproduce the first k assignments of the full run...
+TEST(WorkerGreedyTest, PrefixConsistentAcrossWorkerCounts) {
+  Instance full = SmallInstance(63, /*num_tasks=*/12, /*num_workers=*/40);
+  CandidateGraph full_graph = CandidateGraph::Build(full);
+  SolveResult full_result = WorkerGreedySolver().Solve(full, full_graph);
+  for (int k : {10, 25, 40}) {
+    Instance prefix = TruncateWorkers(full, k);
+    CandidateGraph graph = CandidateGraph::Build(prefix);
+    SolveResult result = WorkerGreedySolver().Solve(prefix, graph);
+    for (WorkerId j = 0; j < k; ++j) {
+      EXPECT_EQ(result.assignment.TaskOf(j), full_result.assignment.TaskOf(j))
+          << "k=" << k << " worker " << j;
+    }
+  }
+}
+
+// ...and the objective it optimizes, total E[STD], is therefore monotone
+// non-decreasing in the worker count: extra workers only add observations,
+// and the diversity entropy of a refined partition never shrinks.
+TEST(WorkerGreedyTest, TotalStdMonotoneInWorkerCount) {
+  Instance full = SmallInstance(64, /*num_tasks=*/12, /*num_workers=*/40);
+  double previous = 0.0;
+  for (int k : {5, 10, 20, 30, 40}) {
+    Instance prefix = TruncateWorkers(full, k);
+    CandidateGraph graph = CandidateGraph::Build(prefix);
+    SolveResult result = WorkerGreedySolver().Solve(prefix, graph);
+    EXPECT_GE(result.objectives.total_std, previous - 1e-9) << "k=" << k;
+    previous = result.objectives.total_std;
+  }
+}
+
+TEST(WorkerGreedyTest, EmptyInstance) {
+  Instance instance({}, {});
+  CandidateGraph graph = CandidateGraph::Build(instance);
+  SolveResult result = WorkerGreedySolver().Solve(instance, graph);
+  EXPECT_EQ(result.assignment.NumAssigned(), 0);
+  EXPECT_DOUBLE_EQ(result.objectives.total_std, 0.0);
+}
+
+TEST(WorkerGreedyTest, NoValidPairsLeavesEveryoneUnassigned) {
+  Task t = test::MakeTask(0.5, 0.0, 0.01);
+  t.location = {0.0, 0.0};
+  Worker w;
+  w.location = {1.0, 1.0};
+  w.velocity = 0.01;
+  Instance instance({t}, {w});
+  CandidateGraph graph = CandidateGraph::Build(instance);
+  ASSERT_EQ(graph.NumEdges(), 0);
+  SolveResult result = WorkerGreedySolver().Solve(instance, graph);
+  EXPECT_EQ(result.assignment.NumAssigned(), 0);
+}
+
+}  // namespace
+}  // namespace rdbsc::core
