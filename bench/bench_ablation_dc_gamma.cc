@@ -7,7 +7,7 @@
 
 #include "bench/harness.h"
 #include "bench/params.h"
-#include "core/divide_conquer.h"
+#include "core/registry.h"
 
 namespace rdbsc::bench {
 namespace {
@@ -31,8 +31,8 @@ int Run(int argc, char** argv) {
       core::SolverOptions so;
       so.gamma = gamma;
       so.seed = options.seed0 + seed_index;
-      core::DivideConquerSolver solver(so);
-      core::SolveResult result = solver.Solve(instance, graph);
+      auto solver = core::SolverRegistry::Global().Create("dc", so).value();
+      core::SolveResult result = solver->Solve(instance, graph).value();
       total_std += result.objectives.total_std;
       rel += result.objectives.min_reliability;
       secs += result.stats.wall_seconds;

@@ -10,8 +10,7 @@
 
 #include "bench/harness.h"
 #include "bench/params.h"
-#include "core/greedy.h"
-#include "core/worker_greedy.h"
+#include "core/registry.h"
 
 namespace rdbsc::bench {
 namespace {
@@ -47,14 +46,11 @@ int Run(int argc, char** argv) {
       core::SolverOptions so;
       so.seed = options.seed0 + seed_index;
       so.greedy_increment = v.increment;
-      core::SolveResult result;
-      if (v.per_worker) {
-        core::WorkerGreedySolver solver(so);
-        result = solver.Solve(instance, graph);
-      } else {
-        core::GreedySolver solver(so);
-        result = solver.Solve(instance, graph);
-      }
+      auto solver = core::SolverRegistry::Global()
+                        .Create(v.per_worker ? "worker-greedy" : "greedy",
+                                so)
+                        .value();
+      core::SolveResult result = solver->Solve(instance, graph).value();
       rel += result.objectives.min_reliability;
       total_std += result.objectives.total_std;
       secs += result.stats.wall_seconds;

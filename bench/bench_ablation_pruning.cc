@@ -9,7 +9,7 @@
 
 #include "bench/harness.h"
 #include "bench/params.h"
-#include "core/greedy.h"
+#include "core/registry.h"
 
 namespace rdbsc::bench {
 namespace {
@@ -42,9 +42,11 @@ int Run(int argc, char** argv) {
       on.use_pruning = true;
       off = on;
       off.use_pruning = false;
-      core::GreedySolver with(on), without(off);
-      core::SolveResult r_on = with.Solve(instance, graph);
-      core::SolveResult r_off = without.Solve(instance, graph);
+      auto& registry = core::SolverRegistry::Global();
+      auto with = registry.Create("greedy", on).value();
+      auto without = registry.Create("greedy", off).value();
+      core::SolveResult r_on = with->Solve(instance, graph).value();
+      core::SolveResult r_off = without->Solve(instance, graph).value();
       time_on += r_on.stats.wall_seconds;
       time_off += r_off.stats.wall_seconds;
       evals_on += static_cast<double>(r_on.stats.exact_std_evals);

@@ -7,8 +7,8 @@
 
 #include "bench/harness.h"
 #include "bench/params.h"
+#include "core/registry.h"
 #include "core/sample_size.h"
-#include "core/sampling.h"
 
 namespace rdbsc::bench {
 namespace {
@@ -40,14 +40,14 @@ int Run(int argc, char** argv) {
     so.delta = e.delta;
     so.min_sample_size = 1;  // expose the raw K-hat
     so.max_sample_size = 4'096;
-    so.seed = options.seed0;
-    core::SamplingSolver solver(so);
     double total_std = 0.0, rel = 0.0, secs = 0.0;
-    int k = solver.EffectiveSampleSize(graph);
+    int k = 0;
     for (int seed_index = 0; seed_index < options.num_seeds; ++seed_index) {
       so.seed = options.seed0 + seed_index;
-      core::SamplingSolver seeded(so);
-      core::SolveResult result = seeded.Solve(instance, graph);
+      auto seeded =
+          core::SolverRegistry::Global().Create("sampling", so).value();
+      core::SolveResult result = seeded->Solve(instance, graph).value();
+      k = result.stats.sample_size;  // the chosen K-hat (seed-invariant)
       total_std += result.objectives.total_std;
       rel += result.objectives.min_reliability;
       secs += result.stats.wall_seconds;
@@ -64,8 +64,9 @@ int Run(int argc, char** argv) {
     double total_std = 0.0, rel = 0.0, secs = 0.0;
     for (int seed_index = 0; seed_index < options.num_seeds; ++seed_index) {
       so.seed = options.seed0 + seed_index;
-      core::SamplingSolver seeded(so);
-      core::SolveResult result = seeded.Solve(instance, graph);
+      auto seeded =
+          core::SolverRegistry::Global().Create("sampling", so).value();
+      core::SolveResult result = seeded->Solve(instance, graph).value();
       total_std += result.objectives.total_std;
       rel += result.objectives.min_reliability;
       secs += result.stats.wall_seconds;

@@ -15,8 +15,8 @@ namespace {
 void RunAxis(const char* axis, const std::vector<SweepPoint>& points,
              const BenchOptions& options) {
   std::vector<std::string> solver_names;
-  for (const auto& solver : MakeSolvers(0)) {
-    solver_names.emplace_back(solver->name());
+  for (const Engine& engine : MakeEngines(0)) {
+    solver_names.emplace_back(engine.solver_display_name());
   }
   std::vector<std::string> row_labels;
   std::vector<std::vector<double>> cells;
@@ -26,11 +26,11 @@ void RunAxis(const char* axis, const std::vector<SweepPoint>& points,
     for (int seed_index = 0; seed_index < options.num_seeds; ++seed_index) {
       uint64_t seed = options.seed0 + 17 * seed_index;
       core::Instance instance = point.make(seed);
-      core::CandidateGraph graph = core::CandidateGraph::Build(instance);
-      auto solvers = MakeSolvers(seed);
-      for (size_t s = 0; s < solvers.size(); ++s) {
+      std::vector<Engine> engines = MakeEngines(seed);
+      core::CandidateGraph graph = engines.front().BuildGraph(instance);
+      for (size_t s = 0; s < engines.size(); ++s) {
         auto t0 = std::chrono::steady_clock::now();
-        solvers[s]->Solve(instance, graph);
+        engines[s].SolveOn(instance, graph).value();
         row[s] += std::chrono::duration<double>(
                       std::chrono::steady_clock::now() - t0)
                       .count();

@@ -21,8 +21,8 @@ int Run(int argc, char** argv) {
               options.num_seeds);
 
   std::vector<std::string> solver_names;
-  for (const auto& solver : MakeSolvers(0)) {
-    solver_names.emplace_back(solver->name());
+  for (const Engine& engine : MakeEngines(0)) {
+    solver_names.emplace_back(engine.solver_display_name());
   }
 
   std::vector<std::string> rows;
@@ -33,13 +33,14 @@ int Run(int argc, char** argv) {
     std::vector<double> std_row(solver_names.size(), 0.0);
     for (int seed_index = 0; seed_index < options.num_seeds; ++seed_index) {
       uint64_t seed = options.seed0 + 13 * seed_index;
-      auto solvers = MakeSolvers(seed);
-      for (size_t s = 0; s < solvers.size(); ++s) {
+      for (size_t s = 0; s < ApproachNames().size(); ++s) {
         sim::PlatformConfig config;
         config.t_interval = minutes / 60.0;
         config.seed = seed;
-        sim::Platform platform(config, solvers[s].get());
-        sim::PlatformResult result = platform.Run();
+        config.solver_name = ApproachNames()[s];
+        config.solver_options.seed = seed;
+        sim::Platform platform(config);
+        sim::PlatformResult result = platform.Run().value();
         rel_row[s] += result.final_objectives.min_reliability;
         std_row[s] += result.final_objectives.total_std;
       }

@@ -6,10 +6,7 @@
 #include <cstdlib>
 #include <cstring>
 #include <string>
-
-#include "core/divide_conquer.h"
-#include "core/greedy.h"
-#include "core/sampling.h"
+#include <utility>
 
 namespace rdbsc::bench {
 namespace {
@@ -43,15 +40,26 @@ int Scaled(const BenchOptions& options, int paper_count) {
   return static_cast<int>(std::max<int64_t>(scaled, 10));
 }
 
-std::vector<std::unique_ptr<core::Solver>> MakeSolvers(uint64_t seed) {
-  core::SolverOptions options;
-  options.seed = seed;
-  std::vector<std::unique_ptr<core::Solver>> solvers;
-  solvers.push_back(std::make_unique<core::GreedySolver>(options));
-  solvers.push_back(std::make_unique<core::SamplingSolver>(options));
-  solvers.push_back(std::make_unique<core::DivideConquerSolver>(options));
-  solvers.push_back(std::make_unique<core::GroundTruthSolver>(options));
-  return solvers;
+const std::vector<std::string>& ApproachNames() {
+  static const std::vector<std::string> names(
+      std::begin(core::kSection81Approaches),
+      std::end(core::kSection81Approaches));
+  return names;
+}
+
+std::vector<Engine> MakeEngines(uint64_t seed) {
+  std::vector<Engine> engines;
+  engines.reserve(ApproachNames().size());
+  for (const std::string& name : ApproachNames()) {
+    EngineConfig config;
+    config.solver_name = name;
+    config.solver_options.seed = seed;
+    // Benches time SolveOn tightly; generated instances are valid by
+    // construction, so skip the O(m+n) re-validation per approach.
+    config.validate_instances = false;
+    engines.push_back(Engine::Create(std::move(config)).value());
+  }
+  return engines;
 }
 
 void PrintTable(const std::string& metric, const std::string& x_label,
@@ -82,8 +90,8 @@ std::vector<std::vector<PointResult>> RunQualitySweep(
               options.paper_scale ? " [paper scale]" : "", options.num_seeds);
 
   std::vector<std::string> solver_names;
-  for (const auto& solver : MakeSolvers(0)) {
-    solver_names.emplace_back(solver->name());
+  for (const Engine& engine : MakeEngines(0)) {
+    solver_names.emplace_back(engine.solver_display_name());
   }
   const size_t num_solvers = solver_names.size();
 
@@ -96,11 +104,13 @@ std::vector<std::vector<PointResult>> RunQualitySweep(
     for (int seed_index = 0; seed_index < options.num_seeds; ++seed_index) {
       uint64_t seed = options.seed0 + 17 * seed_index;
       core::Instance instance = points[p].make(seed);
-      core::CandidateGraph graph = core::CandidateGraph::Build(instance);
-      auto solvers = MakeSolvers(seed);
+      std::vector<Engine> engines = MakeEngines(seed);
+      // One graph per instance, shared by all four approaches.
+      core::CandidateGraph graph = engines.front().BuildGraph(instance);
       for (size_t s = 0; s < num_solvers; ++s) {
         auto t0 = std::chrono::steady_clock::now();
-        core::SolveResult solve = solvers[s]->Solve(instance, graph);
+        core::SolveResult solve =
+            engines[s].SolveOn(instance, graph).value();
         double elapsed =
             std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                           t0)

@@ -3,12 +3,12 @@
 
 #include <cstdint>
 #include <functional>
-#include <memory>
 #include <string>
 #include <vector>
 
 #include "core/instance.h"
 #include "core/solver.h"
+#include "engine/engine.h"
 
 namespace rdbsc::bench {
 
@@ -34,9 +34,14 @@ BenchOptions ParseOptions(int argc, char** argv);
 /// count * base / 10'000, at least 10. With --paper-scale it is identity.
 int Scaled(const BenchOptions& options, int paper_count);
 
-/// The four approaches of Section 8.1, freshly constructed with `seed`:
+/// Registry keys of the four approaches of Section 8.1, in display order:
 /// GREEDY, SAMPLING, D&C, G-TRUTH.
-std::vector<std::unique_ptr<core::Solver>> MakeSolvers(uint64_t seed);
+const std::vector<std::string>& ApproachNames();
+
+/// One engine per Section 8.1 approach, wired through the solver registry
+/// with `seed`. Engines also build candidate graphs (Engine::BuildGraph),
+/// so benches never touch graph construction directly.
+std::vector<Engine> MakeEngines(uint64_t seed);
 
 /// One x-axis point of a figure sweep: a label plus an instance factory.
 struct SweepPoint {

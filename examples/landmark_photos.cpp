@@ -8,15 +8,12 @@
 
 #include <algorithm>
 #include <cstdio>
-#include <memory>
 #include <numbers>
 #include <string>
 #include <vector>
 
-#include "core/divide_conquer.h"
 #include "core/diversity.h"
-#include "core/greedy.h"
-#include "core/sampling.h"
+#include "engine/engine.h"
 #include "util/rng.h"
 
 using namespace rdbsc;
@@ -79,19 +76,22 @@ int main() {
   }
 
   core::Instance instance({statue, fireworks}, std::move(workers));
-  core::CandidateGraph graph = core::CandidateGraph::Build(instance);
 
-  std::vector<std::unique_ptr<core::Solver>> solvers;
-  solvers.push_back(std::make_unique<core::GreedySolver>());
-  solvers.push_back(std::make_unique<core::SamplingSolver>());
-  solvers.push_back(std::make_unique<core::DivideConquerSolver>());
+  // One engine per approach; the facade handles graph construction.
+  std::vector<Engine> engines;
+  for (const char* name : {"greedy", "sampling", "dc"}) {
+    engines.push_back(
+        Engine::Create(name).value());
+  }
 
+  core::CandidateGraph graph = engines.front().BuildGraph(instance);
   std::printf("landmark task: %d candidate photographers\n\n",
               static_cast<int>(graph.WorkersOf(0).size()));
-  for (auto& solver : solvers) {
-    core::SolveResult result = solver->Solve(instance, graph);
+  for (Engine& engine : engines) {
+    core::SolveResult result =
+        engine.SolveOn(instance, graph).value();
     std::printf("%-9s total_STD = %.3f, min reliability = %.4f\n",
-                std::string(solver->name()).c_str(),
+                std::string(engine.solver_display_name()).c_str(),
                 result.objectives.total_std,
                 result.objectives.min_reliability);
     const char* task_names[] = {"statue", "fireworks"};

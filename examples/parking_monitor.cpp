@@ -7,11 +7,10 @@
 //   $ ./examples/parking_monitor
 
 #include <cstdio>
-#include <memory>
 #include <vector>
 
-#include "core/divide_conquer.h"
 #include "core/diversity.h"
+#include "engine/engine.h"
 #include "gen/workload.h"
 #include "sim/aggregation.h"
 #include "util/rng.h"
@@ -48,10 +47,9 @@ int main() {
   std::vector<core::Worker> workers(crowd_only.workers());
 
   core::Instance instance(lots, workers);
-  core::CandidateGraph graph = core::CandidateGraph::Build(instance);
 
-  core::DivideConquerSolver solver;
-  core::SolveResult result = solver.Solve(instance, graph);
+  Engine engine = Engine::Create("dc").value();
+  core::SolveResult result = engine.Run(instance).value().solve;
   std::printf("D&C assignment: min reliability = %.4f, total_STD = %.4f\n\n",
               result.objectives.min_reliability,
               result.objectives.total_std);

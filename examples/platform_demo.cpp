@@ -8,7 +8,6 @@
 #include <cstdio>
 #include <cstdlib>
 
-#include "core/divide_conquer.h"
 #include "sim/platform.h"
 
 using namespace rdbsc;
@@ -20,10 +19,16 @@ int main(int argc, char** argv) {
   sim::PlatformConfig config;
   config.t_interval = minutes / 60.0;
   config.seed = 7;
+  config.solver_name = "dc";  // resolved through the solver registry
 
-  core::DivideConquerSolver solver;
-  sim::Platform platform(config, &solver);
-  sim::PlatformResult result = platform.Run();
+  sim::Platform platform(config);
+  util::StatusOr<sim::PlatformResult> run = platform.Run();
+  if (!run.ok()) {
+    std::fprintf(stderr, "platform run failed: %s\n",
+                 run.status().ToString().c_str());
+    return 1;
+  }
+  const sim::PlatformResult& result = run.value();
 
   std::printf("platform run: %d sites, %d users, t_interval = %d min\n\n",
               config.num_sites, config.num_workers, minutes);

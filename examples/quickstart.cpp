@@ -1,17 +1,17 @@
-// Quickstart: build a tiny RDB-SC instance by hand, run all four
-// approaches, and print the two objectives of Definition 4.
+// Quickstart: build a tiny RDB-SC instance by hand, run every registered
+// approach through the Engine facade, and print the two objectives of
+// Definition 4.
 //
 //   $ ./examples/quickstart
 
 #include <cstdio>
-#include <memory>
 #include <numbers>
+#include <string>
 #include <vector>
 
-#include "core/divide_conquer.h"
-#include "core/greedy.h"
 #include "core/instance.h"
-#include "core/sampling.h"
+#include "core/registry.h"
+#include "engine/engine.h"
 
 using namespace rdbsc;  // example code; library code never does this
 
@@ -54,21 +54,24 @@ int main() {
   }
 
   core::Instance instance(std::move(tasks), std::move(workers));
-  core::CandidateGraph graph = core::CandidateGraph::Build(instance);
-  std::printf("instance: %d tasks, %d workers, %lld valid pairs\n\n",
-              instance.num_tasks(), instance.num_workers(),
-              static_cast<long long>(graph.NumEdges()));
+  std::printf("instance: %d tasks, %d workers\n\n", instance.num_tasks(),
+              instance.num_workers());
 
-  std::vector<std::unique_ptr<core::Solver>> solvers;
-  solvers.push_back(std::make_unique<core::GreedySolver>());
-  solvers.push_back(std::make_unique<core::SamplingSolver>());
-  solvers.push_back(std::make_unique<core::DivideConquerSolver>());
-  solvers.push_back(std::make_unique<core::GroundTruthSolver>());
-
-  for (auto& solver : solvers) {
-    core::SolveResult result = solver->Solve(instance, graph);
-    std::printf("%-9s min reliability = %.4f, total_STD = %.4f\n",
-                std::string(solver->name()).c_str(),
+  // The instance is tiny, so even the "exact" enumeration oracle runs.
+  for (const std::string& name : core::SolverRegistry::Global().Names()) {
+    EngineConfig config;
+    config.solver_name = name;
+    util::StatusOr<Engine> engine = Engine::Create(config);
+    util::StatusOr<EngineResult> run = engine.value().Run(instance);
+    if (!run.ok()) {
+      std::printf("%-13s failed: %s\n", name.c_str(),
+                  run.status().ToString().c_str());
+      continue;
+    }
+    const core::SolveResult& result = run.value().solve;
+    std::printf("%-13s (%-7s) min reliability = %.4f, total_STD = %.4f\n",
+                name.c_str(),
+                std::string(engine.value().solver_display_name()).c_str(),
                 result.objectives.min_reliability,
                 result.objectives.total_std);
     for (core::WorkerId j = 0; j < instance.num_workers(); ++j) {

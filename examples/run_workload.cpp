@@ -1,26 +1,27 @@
 // Command-line workload runner: generate (or load) an RDB-SC instance, run
-// one of the approaches, print the objectives plus structural metrics, and
-// optionally persist everything as CSV.
+// one of the registered approaches through the Engine facade, print the
+// objectives plus structural metrics, and optionally persist everything as
+// CSV.
 //
 //   $ ./examples/run_workload --m=200 --n=300 --dist=skewed --solver=dc
 //   $ ./examples/run_workload --tasks=t.csv --workers=w.csv --solver=greedy
 //   $ ./examples/run_workload --m=100 --n=100 --out-dir=/tmp/run1
+//   $ ./examples/run_workload --list-solvers
 //
-// Flags: --m, --n, --dist=uniform|skewed|real, --solver=greedy|worker-
-// greedy|sampling|dc|gtruth, --seed, --beta, --tasks/--workers (CSV input),
+// Flags: --m, --n, --dist=uniform|skewed|real, --solver=<registry name>
+// (see --list-solvers), --seed, --budget=<seconds> (wall-clock admission
+// budget), --graph=auto|brute|grid (candidate-graph construction; auto
+// consults the Appendix I cost model), --tasks/--workers (CSV input),
 // --out-dir (writes tasks/workers/assignment CSVs).
 
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
-#include <memory>
 #include <string>
 
-#include "core/divide_conquer.h"
-#include "core/greedy.h"
 #include "core/metrics.h"
-#include "core/sampling.h"
-#include "core/worker_greedy.h"
+#include "core/registry.h"
+#include "engine/engine.h"
 #include "gen/trajectory.h"
 #include "gen/workload.h"
 #include "io/csv.h"
@@ -39,29 +40,28 @@ const char* FlagValue(int argc, char** argv, const char* name) {
   return nullptr;
 }
 
-std::unique_ptr<core::Solver> MakeSolver(const std::string& name,
-                                         uint64_t seed) {
-  core::SolverOptions options;
-  options.seed = seed;
-  if (name == "greedy") return std::make_unique<core::GreedySolver>(options);
-  if (name == "worker-greedy") {
-    return std::make_unique<core::WorkerGreedySolver>(options);
+bool HasFlag(int argc, char** argv, const char* name) {
+  for (int a = 1; a < argc; ++a) {
+    if (std::strcmp(argv[a], name) == 0) return true;
   }
-  if (name == "sampling") {
-    return std::make_unique<core::SamplingSolver>(options);
+  return false;
+}
+
+void PrintSolverNames(std::FILE* out) {
+  for (const std::string& name : core::SolverRegistry::Global().Names()) {
+    std::fprintf(out, "  %s\n", name.c_str());
   }
-  if (name == "dc") {
-    return std::make_unique<core::DivideConquerSolver>(options);
-  }
-  if (name == "gtruth") {
-    return std::make_unique<core::GroundTruthSolver>(options);
-  }
-  return nullptr;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
+  if (HasFlag(argc, argv, "--list-solvers")) {
+    std::printf("registered solvers:\n");
+    PrintSolverNames(stdout);
+    return 0;
+  }
+
   const char* flag;
   int m = (flag = FlagValue(argc, argv, "--m")) ? std::atoi(flag) : 200;
   int n = (flag = FlagValue(argc, argv, "--n")) ? std::atoi(flag) : 200;
@@ -71,6 +71,10 @@ int main(int argc, char** argv) {
       (flag = FlagValue(argc, argv, "--dist")) ? flag : "uniform";
   std::string solver_name =
       (flag = FlagValue(argc, argv, "--solver")) ? flag : "dc";
+  double budget =
+      (flag = FlagValue(argc, argv, "--budget")) ? std::atof(flag) : 0.0;
+  std::string graph_mode =
+      (flag = FlagValue(argc, argv, "--graph")) ? flag : "auto";
   const char* tasks_path = FlagValue(argc, argv, "--tasks");
   const char* workers_path = FlagValue(argc, argv, "--workers");
   const char* out_dir = FlagValue(argc, argv, "--out-dir");
@@ -109,23 +113,50 @@ int main(int argc, char** argv) {
     instance = gen::GenerateInstance(config);
   }
 
-  std::unique_ptr<core::Solver> solver = MakeSolver(solver_name, seed);
-  if (solver == nullptr) {
-    std::fprintf(stderr, "unknown --solver=%s\n", solver_name.c_str());
+  // --- Configure the engine. ---
+  EngineConfig config;
+  config.solver_name = solver_name;
+  config.solver_options.seed = seed;
+  config.budget_seconds = budget;
+  if (graph_mode == "brute") {
+    config.graph_strategy = GraphStrategy::kBruteForce;
+  } else if (graph_mode == "grid") {
+    config.graph_strategy = GraphStrategy::kGridIndex;
+  } else if (graph_mode != "auto") {
+    std::fprintf(stderr, "unknown --graph=%s (auto|brute|grid)\n",
+                 graph_mode.c_str());
+    return 1;
+  }
+
+  util::StatusOr<Engine> engine = Engine::Create(config);
+  if (!engine.ok()) {
+    std::fprintf(stderr, "unknown --solver=%s; available:\n",
+                 solver_name.c_str());
+    PrintSolverNames(stderr);
     return 1;
   }
 
   // --- Solve and report. ---
-  core::CandidateGraph graph = core::CandidateGraph::Build(instance);
-  core::SolveResult result = solver->Solve(instance, graph);
+  util::StatusOr<EngineResult> run = engine.value().Run(instance);
+  if (!run.ok()) {
+    std::fprintf(stderr, "solve failed: %s\n",
+                 run.status().ToString().c_str());
+    return 1;
+  }
+  const core::SolveResult& result = run.value().solve;
+  const GraphPlan& plan = run.value().plan;
   core::AssignmentMetrics metrics =
       core::ComputeMetrics(instance, result.assignment);
 
   std::printf("instance : %d tasks, %d workers, %lld valid pairs\n",
               instance.num_tasks(), instance.num_workers(),
-              static_cast<long long>(graph.NumEdges()));
+              static_cast<long long>(plan.edges));
+  std::printf("graph    : %s (%.4f s)%s\n",
+              plan.used_grid_index ? "grid index" : "brute force",
+              plan.build_seconds,
+              graph_mode == "auto" ? " [cost-model pick]" : "");
   std::printf("solver   : %s (seed %llu)\n",
-              std::string(solver->name()).c_str(),
+              std::string(engine.value().solver_display_name()).c_str(),
               static_cast<unsigned long long>(seed));
   std::printf("objectives: min reliability = %.4f, total_STD = %.4f\n",
               result.objectives.min_reliability,

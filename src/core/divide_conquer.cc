@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <memory>
 #include <unordered_map>
 #include <unordered_set>
 #include <utility>
@@ -9,6 +10,7 @@
 
 #include "core/dominance.h"
 #include "core/greedy.h"
+#include "core/registry.h"
 #include "core/sampling.h"
 #include "util/kmeans.h"
 #include "util/rng.h"
@@ -30,10 +32,15 @@ using Pair = std::pair<TaskId, WorkerId>;
 
 class DcRunner {
  public:
-  DcRunner(const Instance& instance, const SolverOptions& options)
-      : instance_(instance), options_(options), rng_(options.seed) {}
+  DcRunner(const Instance& instance, const SolverOptions& options,
+           const util::Deadline& deadline)
+      : instance_(instance),
+        options_(options),
+        deadline_(deadline),
+        rng_(options.seed) {}
 
-  std::vector<Pair> Run(const CandidateGraph& graph, SolveStats* stats) {
+  util::StatusOr<std::vector<Pair>> Run(const CandidateGraph& graph,
+                                        SolveStats* stats) {
     Sub root;
     root.tasks.resize(instance_.num_tasks());
     for (TaskId i = 0; i < instance_.num_tasks(); ++i) root.tasks[i] = i;
@@ -48,20 +55,25 @@ class DcRunner {
 
  private:
   // RDB-SC_DC (Fig. 6).
-  std::vector<Pair> Solve(Sub sub) {
+  util::StatusOr<std::vector<Pair>> Solve(Sub sub) {
+    if (util::Status budget = deadline_.Check(); !budget.ok()) {
+      return budget;
+    }
     if (static_cast<int>(sub.tasks.size()) <= options_.gamma ||
         sub.workers.empty()) {
       return SolveLeaf(sub);
     }
     Sub left, right;
     if (!Partition(sub, &left, &right)) return SolveLeaf(sub);
-    std::vector<Pair> s1 = Solve(std::move(left));
-    std::vector<Pair> s2 = Solve(std::move(right));
-    return Merge(s1, s2);
+    util::StatusOr<std::vector<Pair>> s1 = Solve(std::move(left));
+    if (!s1.ok()) return s1.status();
+    util::StatusOr<std::vector<Pair>> s2 = Solve(std::move(right));
+    if (!s2.ok()) return s2.status();
+    return Merge(s1.value(), s2.value());
   }
 
   // Leaf: materialize a local Instance and run the embedded solver.
-  std::vector<Pair> SolveLeaf(const Sub& sub) {
+  util::StatusOr<std::vector<Pair>> SolveLeaf(const Sub& sub) {
     std::vector<Task> tasks;
     tasks.reserve(sub.tasks.size());
     std::unordered_map<TaskId, TaskId> global_to_local;
@@ -85,14 +97,18 @@ class DcRunner {
 
     SolverOptions leaf_options = options_;
     leaf_options.seed = rng_.Fork().engine()();
-    SolveResult leaf;
-    if (options_.leaf_use_greedy) {
-      GreedySolver solver(leaf_options);
-      leaf = solver.Solve(local, local_graph);
-    } else {
-      SamplingSolver solver(leaf_options);
-      leaf = solver.Solve(local, local_graph);
-    }
+    // The leaf solver shares this runner's deadline so a budget covers the
+    // whole divide-and-conquer tree, not each leaf separately.
+    SolveRequest leaf_request;
+    leaf_request.instance = &local;
+    leaf_request.graph = &local_graph;
+    leaf_request.deadline = &deadline_;
+    util::StatusOr<SolveResult> solved =
+        options_.leaf_use_greedy
+            ? GreedySolver(leaf_options).Solve(leaf_request)
+            : SamplingSolver(leaf_options).Solve(leaf_request);
+    if (!solved.ok()) return solved.status();
+    const SolveResult& leaf = solved.value();
     if (stats_ != nullptr) {
       stats_->exact_std_evals += leaf.stats.exact_std_evals;
       stats_->sample_size =
@@ -151,8 +167,8 @@ class DcRunner {
   }
 
   // SA_Merge (Fig. 9).
-  std::vector<Pair> Merge(const std::vector<Pair>& s1,
-                          const std::vector<Pair>& s2) {
+  util::StatusOr<std::vector<Pair>> Merge(const std::vector<Pair>& s1,
+                                          const std::vector<Pair>& s2) {
     // Conflicting workers: assigned in both halves (their copies disagree).
     std::unordered_map<WorkerId, TaskId> task1, task2;
     for (const Pair& p : s1) task1[p.second] = p.first;
@@ -215,6 +231,9 @@ class DcRunner {
     }
 
     for (const std::vector<int>& group : groups) {
+      if (util::Status budget = deadline_.Check(); !budget.ok()) {
+        return budget;
+      }
       ResolveGroup(group, conflicts, task1, task2, &state);
     }
 
@@ -277,26 +296,55 @@ class DcRunner {
 
   const Instance& instance_;
   const SolverOptions& options_;
+  const util::Deadline& deadline_;
   util::Rng rng_;
   SolveStats* stats_ = nullptr;
 };
 
 }  // namespace
 
-SolveResult DivideConquerSolver::Solve(const Instance& instance,
-                                       const CandidateGraph& graph) {
+util::StatusOr<SolveResult> DivideConquerSolver::SolveImpl(
+    const Instance& instance, const CandidateGraph& graph,
+    const util::Deadline& deadline, SolveStats* partial_stats) {
   auto t0 = std::chrono::steady_clock::now();
   SolveResult result;
-  DcRunner runner(instance, options_);
-  std::vector<Pair> pairs = runner.Run(graph, &result.stats);
+  DcRunner runner(instance, options_, deadline);
+  util::StatusOr<std::vector<Pair>> pairs = runner.Run(graph, &result.stats);
+  result.stats.wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  if (!pairs.ok()) {
+    return BudgetError(deadline, result.stats, partial_stats);
+  }
 
   result.assignment = Assignment(instance.num_workers());
-  for (const Pair& p : pairs) result.assignment.Assign(p.second, p.first);
+  for (const Pair& p : pairs.value()) {
+    result.assignment.Assign(p.second, p.first);
+  }
   result.objectives = EvaluateAssignment(instance, result.assignment);
   result.stats.wall_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
           .count();
   return result;
 }
+
+namespace internal {
+
+void RegisterDivideConquerSolvers(SolverRegistry& registry) {
+  registry
+      .Register("dc",
+                [](const SolverOptions& options) {
+                  return std::make_unique<DivideConquerSolver>(options);
+                })
+      .ok();
+  registry
+      .Register("gtruth",
+                [](const SolverOptions& options) {
+                  return std::make_unique<GroundTruthSolver>(options);
+                })
+      .ok();
+}
+
+}  // namespace internal
 
 }  // namespace rdbsc::core

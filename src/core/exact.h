@@ -24,14 +24,18 @@ class ExactSolver : public Solver {
 
   std::string_view name() const override { return "EXACT"; }
 
-  /// Returns the assignment selected by the paper's dominance-score rule
-  /// over the ENTIRE population. Requires the population to fit under the
-  /// enumeration cap (asserts otherwise); check Population() first.
-  SolveResult Solve(const Instance& instance,
-                    const CandidateGraph& graph) override;
-
   /// Population size, or -1 when it exceeds the cap.
   static int64_t Population(const CandidateGraph& graph, int64_t cap);
+
+ protected:
+  /// Returns the assignment selected by the paper's dominance-score rule
+  /// over the ENTIRE population. A population above the enumeration cap is
+  /// reported as kInvalidArgument (never walked), so over-cap requests are
+  /// a recoverable admission error rather than undefined behavior.
+  util::StatusOr<SolveResult> SolveImpl(const Instance& instance,
+                                        const CandidateGraph& graph,
+                                        const util::Deadline& deadline,
+                                        SolveStats* partial_stats) override;
 
  private:
   SolverOptions options_;

@@ -5,8 +5,10 @@
 #include <algorithm>
 #include <chrono>
 #include <limits>
+#include <memory>
 #include <vector>
 
+#include "core/registry.h"
 #include "util/math.h"
 
 namespace rdbsc::core {
@@ -53,8 +55,9 @@ MinPair ComputeMins(const AssignmentState& state, int num_tasks) {
 
 }  // namespace
 
-SolveResult GreedySolver::Solve(const Instance& instance,
-                                const CandidateGraph& graph) {
+util::StatusOr<SolveResult> GreedySolver::SolveImpl(
+    const Instance& instance, const CandidateGraph& graph,
+    const util::Deadline& deadline, SolveStats* partial_stats) {
   auto t0 = std::chrono::steady_clock::now();
   SolveResult result;
   AssignmentState state(instance);
@@ -83,6 +86,13 @@ SolveResult GreedySolver::Solve(const Instance& instance,
   std::vector<size_t> survivors;
 
   while (!alive.empty()) {
+    if (deadline.Exhausted()) {
+      result.stats.wall_seconds =
+          std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                        t0)
+              .count();
+      return BudgetError(deadline, result.stats, partial_stats);
+    }
     MinPair mp = ComputeMins(state, instance.num_tasks());
 
     // Refresh per-candidate caches and the per-round reliability deltas.
@@ -185,5 +195,18 @@ SolveResult GreedySolver::Solve(const Instance& instance,
           .count();
   return result;
 }
+
+namespace internal {
+
+void RegisterGreedySolver(SolverRegistry& registry) {
+  registry
+      .Register("greedy",
+                [](const SolverOptions& options) {
+                  return std::make_unique<GreedySolver>(options);
+                })
+      .ok();
+}
+
+}  // namespace internal
 
 }  // namespace rdbsc::core

@@ -2,9 +2,11 @@
 
 #include <algorithm>
 #include <chrono>
+#include <memory>
 #include <vector>
 
 #include "core/dominance.h"
+#include "core/registry.h"
 #include "core/sample_size.h"
 #include "util/rng.h"
 
@@ -27,8 +29,9 @@ int SamplingSolver::EffectiveSampleSize(const CandidateGraph& graph) const {
   return static_cast<int>(k);
 }
 
-SolveResult SamplingSolver::Solve(const Instance& instance,
-                                  const CandidateGraph& graph) {
+util::StatusOr<SolveResult> SamplingSolver::SolveImpl(
+    const Instance& instance, const CandidateGraph& graph,
+    const util::Deadline& deadline, SolveStats* partial_stats) {
   auto t0 = std::chrono::steady_clock::now();
   util::Rng rng(options_.seed);
 
@@ -41,6 +44,14 @@ SolveResult SamplingSolver::Solve(const Instance& instance,
 
   SolveResult result;
   for (int h = 0; h < k; ++h) {
+    if (deadline.Exhausted()) {
+      result.stats.sample_size = h;
+      result.stats.wall_seconds =
+          std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                        t0)
+              .count();
+      return BudgetError(deadline, result.stats, partial_stats);
+    }
     // Lines 4-7 of Fig. 5: pick, for every worker, one incident edge
     // uniformly at random.
     Assignment sample(instance.num_workers());
@@ -71,5 +82,18 @@ SolveResult SamplingSolver::Solve(const Instance& instance,
           .count();
   return result;
 }
+
+namespace internal {
+
+void RegisterSamplingSolver(SolverRegistry& registry) {
+  registry
+      .Register("sampling",
+                [](const SolverOptions& options) {
+                  return std::make_unique<SamplingSolver>(options);
+                })
+      .ok();
+}
+
+}  // namespace internal
 
 }  // namespace rdbsc::core

@@ -15,12 +15,15 @@ class SamplingSolver : public Solver {
 
   std::string_view name() const override { return "SAMPLING"; }
 
-  SolveResult Solve(const Instance& instance,
-                    const CandidateGraph& graph) override;
-
   /// The sample count the solver would use on `graph` (after the
   /// (epsilon, delta) computation, multiplier and clamping).
   int EffectiveSampleSize(const CandidateGraph& graph) const;
+
+ protected:
+  util::StatusOr<SolveResult> SolveImpl(const Instance& instance,
+                                        const CandidateGraph& graph,
+                                        const util::Deadline& deadline,
+                                        SolveStats* partial_stats) override;
 
  private:
   SolverOptions options_;

@@ -6,6 +6,8 @@
 
 #include "core/assignment.h"
 #include "core/instance.h"
+#include "util/deadline.h"
+#include "util/status.h"
 
 namespace rdbsc::core {
 
@@ -62,6 +64,9 @@ struct SolveStats {
   int64_t pruned_pairs = 0;
   /// Sample size used (sampling only).
   int sample_size = 0;
+  /// True when the solve was cut short by its wall-clock budget or
+  /// cancellation token (set on the partial stats of a failed solve).
+  bool budget_exhausted = false;
 };
 
 /// Output of a solver: the strategy S plus its objectives and stats.
@@ -71,7 +76,30 @@ struct SolveResult {
   SolveStats stats;
 };
 
-/// Common interface of GREEDY, SAMPLING, D&C and G-TRUTH.
+/// One solve call: the instance, its candidate graph, and the admission
+/// controls. Solvers poll the budget/token cooperatively and fail with
+/// kDeadlineExceeded / kCancelled instead of overrunning.
+struct SolveRequest {
+  const Instance* instance = nullptr;
+  const CandidateGraph* graph = nullptr;
+  /// Wall-clock budget in seconds; <= 0 means unlimited.
+  double budget_seconds = 0.0;
+  /// Optional cooperative cancellation token (unowned).
+  const util::CancelToken* cancel = nullptr;
+  /// Advanced: share a caller-owned deadline instead of deriving one from
+  /// `budget_seconds`/`cancel` (used by solvers that delegate to embedded
+  /// sub-solvers). When set it overrides both fields above.
+  const util::Deadline* deadline = nullptr;
+  /// When non-null, receives the counters accumulated up to the point a
+  /// solve failed (budget_exhausted set on kDeadlineExceeded/kCancelled).
+  SolveStats* partial_stats = nullptr;
+};
+
+/// Common interface of GREEDY, SAMPLING, D&C, G-TRUTH and EXACT.
+///
+/// Construct solvers through core::SolverRegistry (or the rdbsc::Engine
+/// facade) rather than naming concrete types; only a solver's own unit
+/// test should instantiate it directly.
 class Solver {
  public:
   virtual ~Solver() = default;
@@ -79,10 +107,31 @@ class Solver {
   /// Display name used by benches and examples ("GREEDY", ...).
   virtual std::string_view name() const = 0;
 
-  /// Computes an assignment for `instance` whose valid pairs are `graph`.
-  /// Deterministic for a fixed options.seed.
-  virtual SolveResult Solve(const Instance& instance,
-                            const CandidateGraph& graph) = 0;
+  /// Computes an assignment for the request's instance, whose valid pairs
+  /// are the request's graph. Deterministic for a fixed options.seed.
+  /// Fails with kInvalidArgument on a malformed request (or, for EXACT, an
+  /// over-cap population) and kDeadlineExceeded/kCancelled when the budget
+  /// or token trips mid-solve (partial stats via request.partial_stats).
+  util::StatusOr<SolveResult> Solve(const SolveRequest& request);
+
+  /// Convenience overload: no budget, no cancellation.
+  util::StatusOr<SolveResult> Solve(const Instance& instance,
+                                    const CandidateGraph& graph);
+
+ protected:
+  /// Implementation hook. `deadline` is prebuilt from the request;
+  /// implementations poll it at their natural iteration granularity and
+  /// bail out via BudgetError() once it is exhausted.
+  virtual util::StatusOr<SolveResult> SolveImpl(
+      const Instance& instance, const CandidateGraph& graph,
+      const util::Deadline& deadline, SolveStats* partial_stats) = 0;
+
+  /// Standard failure path for an exhausted deadline: flags and publishes
+  /// the partial `stats` (when the caller asked for them) and returns the
+  /// deadline's non-OK status.
+  static util::Status BudgetError(const util::Deadline& deadline,
+                                  SolveStats stats,
+                                  SolveStats* partial_stats);
 };
 
 }  // namespace rdbsc::core

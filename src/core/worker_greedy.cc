@@ -5,19 +5,29 @@
 #include <algorithm>
 #include <chrono>
 #include <limits>
+#include <memory>
 #include <vector>
 
+#include "core/registry.h"
 #include "util/math.h"
 
 namespace rdbsc::core {
 
-SolveResult WorkerGreedySolver::Solve(const Instance& instance,
-                                      const CandidateGraph& graph) {
+util::StatusOr<SolveResult> WorkerGreedySolver::SolveImpl(
+    const Instance& instance, const CandidateGraph& graph,
+    const util::Deadline& deadline, SolveStats* partial_stats) {
   auto t0 = std::chrono::steady_clock::now();
   SolveResult result;
   AssignmentState state(instance);
 
   for (WorkerId j = 0; j < instance.num_workers(); ++j) {
+    if (deadline.Exhausted()) {
+      result.stats.wall_seconds =
+          std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                        t0)
+              .count();
+      return BudgetError(deadline, result.stats, partial_stats);
+    }
     const auto& tasks = graph.TasksOf(j);
     if (tasks.empty()) continue;
 
@@ -68,5 +78,18 @@ SolveResult WorkerGreedySolver::Solve(const Instance& instance,
           .count();
   return result;
 }
+
+namespace internal {
+
+void RegisterWorkerGreedySolver(SolverRegistry& registry) {
+  registry
+      .Register("worker-greedy",
+                [](const SolverOptions& options) {
+                  return std::make_unique<WorkerGreedySolver>(options);
+                })
+      .ok();
+}
+
+}  // namespace internal
 
 }  // namespace rdbsc::core

@@ -22,8 +22,11 @@ class WorkerGreedySolver : public Solver {
 
   std::string_view name() const override { return "GREEDY"; }
 
-  SolveResult Solve(const Instance& instance,
-                    const CandidateGraph& graph) override;
+ protected:
+  util::StatusOr<SolveResult> SolveImpl(const Instance& instance,
+                                        const CandidateGraph& graph,
+                                        const util::Deadline& deadline,
+                                        SolveStats* partial_stats) override;
 
  private:
   SolverOptions options_;

@@ -1,0 +1,160 @@
+#include "engine/engine.h"
+
+#include <algorithm>
+#include <chrono>
+#include <utility>
+
+#include "index/cost_model.h"
+#include "index/grid_index.h"
+
+namespace rdbsc {
+namespace {
+
+// Cost-model inputs observed from the instance: L_max is the farthest any
+// worker can still travel inside the longest remaining task window.
+index::CostModelParams ParamsFor(const core::Instance& instance,
+                                 double d2) {
+  double v_max = 0.0;
+  for (const core::Worker& w : instance.workers()) {
+    v_max = std::max(v_max, w.velocity);
+  }
+  double latest_end = instance.now();
+  for (const core::Task& t : instance.tasks()) {
+    latest_end = std::max(latest_end, t.end);
+  }
+  index::CostModelParams params;
+  params.l_max =
+      std::clamp(v_max * (latest_end - instance.now()), 0.01, 1.0);
+  params.d2 = d2;
+  params.num_points = std::max(instance.num_tasks(), 1);
+  return params;
+}
+
+}  // namespace
+
+util::StatusOr<Engine> Engine::Create(std::string solver_name) {
+  EngineConfig config;
+  config.solver_name = std::move(solver_name);
+  return Create(std::move(config));
+}
+
+util::StatusOr<Engine> Engine::Create(EngineConfig config) {
+  util::StatusOr<std::unique_ptr<core::Solver>> solver =
+      core::SolverRegistry::Global().Create(config.solver_name,
+                                            config.solver_options);
+  if (!solver.ok()) return solver.status();
+  Engine engine;
+  engine.config_ = std::move(config);
+  engine.solver_ = std::move(solver).value();
+  return engine;
+}
+
+std::string_view Engine::solver_display_name() const {
+  return solver_ == nullptr ? std::string_view{} : solver_->name();
+}
+
+core::CandidateGraph Engine::BuildGraph(const core::Instance& instance,
+                                        GraphPlan* plan) const {
+  auto t0 = std::chrono::steady_clock::now();
+  GraphPlan local;
+
+  bool use_grid = config_.graph_strategy == GraphStrategy::kGridIndex;
+  double eta = config_.eta;
+  if (config_.graph_strategy != GraphStrategy::kBruteForce &&
+      instance.num_tasks() > 0 && instance.num_workers() > 0) {
+    index::CostModelParams params = ParamsFor(instance, config_.d2);
+    if (eta <= 0.0) eta = index::OptimalEta(params);
+    if (config_.graph_strategy == GraphStrategy::kAuto) {
+      // Appendix I arbitration: the grid pays one insert per object plus
+      // the modeled per-worker retrieval cost; brute force tests every
+      // (task, worker) pair. Pick whichever the model prices cheaper.
+      double grid_cost =
+          instance.num_tasks() + instance.num_workers() +
+          instance.num_workers() * index::EstimateUpdateCost(eta, params);
+      double brute_cost = static_cast<double>(instance.num_tasks()) *
+                          static_cast<double>(instance.num_workers());
+      use_grid = grid_cost < brute_cost;
+    }
+  }
+
+  core::CandidateGraph graph;
+  if (use_grid) {
+    index::GridIndex grid = index::GridIndex::Build(instance, eta);
+    graph = core::CandidateGraph::FromEdges(
+        instance, grid.RetrieveEdges(instance.num_workers()));
+    local.used_grid_index = true;
+    local.eta = grid.eta();
+  } else {
+    graph = core::CandidateGraph::Build(instance);
+  }
+  local.edges = graph.NumEdges();
+  local.build_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  if (plan != nullptr) *plan = local;
+  return graph;
+}
+
+util::Status Engine::CheckReady(const core::Instance& instance) const {
+  if (solver_ == nullptr) {
+    return util::Status::FailedPrecondition(
+        "engine not initialized; construct it with Engine::Create");
+  }
+  if (config_.validate_instances) {
+    return instance.Validate();
+  }
+  return util::Status::OK();
+}
+
+util::Deadline Engine::MakeDeadline(const RunControls& controls) const {
+  double budget = controls.budget_seconds < 0.0 ? config_.budget_seconds
+                                                : controls.budget_seconds;
+  return util::Deadline(budget, controls.cancel);
+}
+
+util::StatusOr<core::SolveResult> Engine::DoSolve(
+    const core::Instance& instance, const core::CandidateGraph& graph,
+    const util::Deadline& deadline, core::SolveStats* partial_stats) {
+  core::SolveRequest request;
+  request.instance = &instance;
+  request.graph = &graph;
+  request.deadline = &deadline;
+  request.partial_stats = partial_stats;
+  return solver_->Solve(request);
+}
+
+util::StatusOr<core::SolveResult> Engine::SolveOn(
+    const core::Instance& instance, const core::CandidateGraph& graph,
+    const RunControls& controls) {
+  if (util::Status ready = CheckReady(instance); !ready.ok()) return ready;
+  util::Deadline deadline = MakeDeadline(controls);
+  return DoSolve(instance, graph, deadline, controls.partial_stats);
+}
+
+util::StatusOr<EngineResult> Engine::Run(const core::Instance& instance,
+                                         const RunControls& controls) {
+  if (util::Status ready = CheckReady(instance); !ready.ok()) return ready;
+  // The admission budget covers the whole run, so the clock starts before
+  // graph construction: a solve after an expensive build only gets the
+  // remaining budget (and fails immediately if the build consumed it all).
+  // The build itself has no interruption points, so refuse an already
+  // tripped deadline/token here rather than after minutes of O(m*n) work.
+  util::Deadline deadline = MakeDeadline(controls);
+  if (util::Status admitted = deadline.Check(); !admitted.ok()) {
+    if (controls.partial_stats != nullptr) {
+      *controls.partial_stats = core::SolveStats{};
+      controls.partial_stats->budget_exhausted = true;
+    }
+    return admitted;
+  }
+  EngineResult result;
+  core::CandidateGraph graph = BuildGraph(instance, &result.plan);
+
+  util::StatusOr<core::SolveResult> solve =
+      DoSolve(instance, graph, deadline, controls.partial_stats);
+  if (!solve.ok()) return solve.status();
+  result.solve = std::move(solve).value();
+  return result;
+}
+
+}  // namespace rdbsc

@@ -1,0 +1,130 @@
+#ifndef RDBSC_ENGINE_ENGINE_H_
+#define RDBSC_ENGINE_ENGINE_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "core/instance.h"
+#include "core/registry.h"
+#include "core/solver.h"
+#include "util/deadline.h"
+#include "util/status.h"
+
+namespace rdbsc {
+
+/// How Engine builds the candidate graph of an instance.
+enum class GraphStrategy {
+  /// Cost-model arbitration (Appendix I) between the two paths below.
+  kAuto,
+  /// CandidateGraph::Build: O(m*n) pair validity tests.
+  kBruteForce,
+  /// RDB-SC-Grid retrieval with cell-level pruning (src/index).
+  kGridIndex,
+};
+
+/// Configuration of an Engine: which solver to run (by registry name),
+/// its options, how to build candidate graphs, and the default admission
+/// budget applied to every solve.
+struct EngineConfig {
+  std::string solver_name = "dc";
+  core::SolverOptions solver_options;
+
+  GraphStrategy graph_strategy = GraphStrategy::kAuto;
+  /// Grid cell side eta; <= 0 derives the Appendix I optimum from the
+  /// instance (index::OptimalEta with the observed worker reach).
+  double eta = 0.0;
+  /// Correlation fractal dimension fed to the cost model (2 = uniform).
+  double d2 = 2.0;
+
+  /// Default wall-clock budget per Run/SolveOn in seconds; <= 0 unlimited.
+  double budget_seconds = 0.0;
+  /// Run Instance::Validate before solving (admission control).
+  bool validate_instances = true;
+};
+
+/// Per-run admission overrides.
+struct RunControls {
+  /// < 0: use the engine's configured default budget. 0: unlimited.
+  double budget_seconds = -1.0;
+  /// Optional cooperative cancellation token (unowned).
+  const util::CancelToken* cancel = nullptr;
+  /// When non-null, receives the partial stats of a failed solve.
+  core::SolveStats* partial_stats = nullptr;
+};
+
+/// How one run built its candidate graph (reported back to the caller).
+struct GraphPlan {
+  bool used_grid_index = false;
+  /// Grid cell side (grid path only).
+  double eta = 0.0;
+  int64_t edges = 0;
+  double build_seconds = 0.0;
+};
+
+struct EngineResult {
+  core::SolveResult solve;
+  GraphPlan plan;
+};
+
+/// The facade over the whole solving pipeline: validates the instance,
+/// consults the Appendix I cost model to pick brute-force or grid-index
+/// candidate-graph construction, creates the configured solver through
+/// core::SolverRegistry, and runs it under the configured budget. One
+/// admission point instead of N copies of wiring code.
+///
+///   auto engine = rdbsc::Engine::Create({.solver_name = "greedy"});
+///   auto result = engine.value().Run(instance);
+class Engine {
+ public:
+  /// An inert engine: Run/SolveOn fail with kFailedPrecondition.
+  /// Use Create() for a working one.
+  Engine() = default;
+
+  /// Resolves `config.solver_name` through the global registry;
+  /// kNotFound (listing the registered names) for unknown solvers.
+  static util::StatusOr<Engine> Create(EngineConfig config);
+
+  /// Convenience: default config with just the solver name set.
+  static util::StatusOr<Engine> Create(std::string solver_name);
+
+  /// Full pipeline: validate -> build graph -> solve. The admission
+  /// budget spans the whole run including graph construction: a tripped
+  /// deadline/token is refused before the build starts, and the solve
+  /// phase polls cooperatively. The build itself is the one phase without
+  /// interruption points (making CandidateGraph/GridIndex construction
+  /// abortable is tracked in ROADMAP.md).
+  util::StatusOr<EngineResult> Run(const core::Instance& instance,
+                                   const RunControls& controls = {});
+
+  /// Graph half of the facade, for callers that reuse one graph across
+  /// several solves (e.g. the bench sweeps running 4 approaches).
+  core::CandidateGraph BuildGraph(const core::Instance& instance,
+                                  GraphPlan* plan = nullptr) const;
+
+  /// Solve half, on a prebuilt graph.
+  util::StatusOr<core::SolveResult> SolveOn(
+      const core::Instance& instance, const core::CandidateGraph& graph,
+      const RunControls& controls = {});
+
+  const EngineConfig& config() const { return config_; }
+  /// Registry key, e.g. "dc".
+  const std::string& solver_name() const { return config_.solver_name; }
+  /// The solver's display name, e.g. "D&C" (empty on an inert engine).
+  std::string_view solver_display_name() const;
+
+ private:
+  util::Status CheckReady(const core::Instance& instance) const;
+  util::Deadline MakeDeadline(const RunControls& controls) const;
+  util::StatusOr<core::SolveResult> DoSolve(
+      const core::Instance& instance, const core::CandidateGraph& graph,
+      const util::Deadline& deadline, core::SolveStats* partial_stats);
+
+  EngineConfig config_;
+  std::unique_ptr<core::Solver> solver_;
+};
+
+}  // namespace rdbsc
+
+#endif  // RDBSC_ENGINE_ENGINE_H_

@@ -97,7 +97,7 @@ util::Status IncrementalAssigner::CompleteWorker(core::WorkerId id,
   return index_.InsertWorker(id, it->second.worker);
 }
 
-std::vector<std::pair<core::TaskId, core::WorkerId>>
+util::StatusOr<std::vector<std::pair<core::TaskId, core::WorkerId>>>
 IncrementalAssigner::Update(double now) {
   index_.set_now(std::max(now, index_.now()));
 
@@ -150,7 +150,10 @@ IncrementalAssigner::Update(double now) {
                           std::move(snapshot_workers), now, policy_);
   core::CandidateGraph graph =
       core::CandidateGraph::FromEdges(snapshot, std::move(edges));
-  core::SolveResult solve = solver_->Solve(snapshot, graph);
+  util::StatusOr<core::SolveResult> solved =
+      solver_->Solve(snapshot, graph);
+  if (!solved.ok()) return solved.status();
+  const core::SolveResult& solve = solved.value();
 
   for (size_t local = 0; local < worker_ids.size(); ++local) {
     core::TaskId local_task =

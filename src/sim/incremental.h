@@ -45,8 +45,10 @@ class IncrementalAssigner {
 
   /// One round of Figure 10: assigns available workers to open tasks that
   /// are still live at `now` (expired tasks are dropped first). Returns
-  /// the pairs newly committed this round.
-  std::vector<std::pair<core::TaskId, core::WorkerId>> Update(double now);
+  /// the pairs newly committed this round, or the solver's failure (no
+  /// commitments are made on a failed round).
+  util::StatusOr<std::vector<std::pair<core::TaskId, core::WorkerId>>>
+  Update(double now);
 
   /// Current task of a worker, or kNoTask.
   core::TaskId CommittedTask(core::WorkerId id) const;

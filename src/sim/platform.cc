@@ -4,9 +4,11 @@
 #include <cmath>
 #include <limits>
 #include <numbers>
+#include <utility>
 #include <vector>
 
 #include "core/diversity.h"
+#include "core/registry.h"
 #include "util/config.h"
 #include "geo/angle.h"
 #include "util/math.h"
@@ -51,10 +53,19 @@ core::ObjectiveValue ComputeObjectives(const std::vector<Site>& sites) {
 
 }  // namespace
 
-Platform::Platform(const PlatformConfig& config, core::Solver* solver)
-    : config_(config), solver_(solver) {}
+Platform::Platform(PlatformConfig config) : config_(std::move(config)) {
+  util::StatusOr<std::unique_ptr<core::Solver>> created =
+      core::SolverRegistry::Global().Create(config_.solver_name,
+                                            config_.solver_options);
+  if (created.ok()) {
+    solver_ = std::move(created).value();
+  } else {
+    init_status_ = created.status();
+  }
+}
 
-PlatformResult Platform::Run() {
+util::StatusOr<PlatformResult> Platform::Run() {
+  if (!init_status_.ok()) return init_status_;
   util::Rng rng(config_.seed);
   PlatformResult result;
 
@@ -164,7 +175,10 @@ PlatformResult Platform::Run() {
     core::Instance snapshot(std::move(open_tasks), std::move(free_workers),
                             /*now=*/t, core::ArrivalPolicy::kStrict);
     core::CandidateGraph graph = core::CandidateGraph::Build(snapshot);
-    core::SolveResult solve = solver_->Solve(snapshot, graph);
+    util::StatusOr<core::SolveResult> solved =
+        solver_->Solve(snapshot, graph);
+    if (!solved.ok()) return solved.status();
+    const core::SolveResult& solve = solved.value();
 
     RoundRecord record;
     record.time = t;

@@ -2,10 +2,13 @@
 #define RDBSC_SIM_PLATFORM_H_
 
 #include <cstdint>
+#include <memory>
+#include <string>
 #include <vector>
 
 #include "core/assignment.h"
 #include "core/solver.h"
+#include "util/status.h"
 
 namespace rdbsc::sim {
 
@@ -35,6 +38,10 @@ struct PlatformConfig {
   double beta_min = 0.4;
   double beta_max = 0.6;
   uint64_t seed = 23;
+  /// Registry name of the solver re-invoked every round, plus its options
+  /// (resolved through core::SolverRegistry; the platform owns the solver).
+  std::string solver_name = "dc";
+  core::SolverOptions solver_options;
 };
 
 /// One answer produced by a worker reaching a task site.
@@ -71,17 +78,21 @@ struct PlatformResult {
 /// their sites, and answers materialize with the workers' confidences.
 class Platform {
  public:
-  /// `solver` must outlive the platform; it is re-invoked every round.
-  Platform(const PlatformConfig& config, core::Solver* solver);
+  /// Resolves `config.solver_name` through the global SolverRegistry and
+  /// owns the resulting solver. An unknown name is not fatal here -- it
+  /// surfaces from Run() as kNotFound.
+  explicit Platform(PlatformConfig config);
 
   /// Runs the full horizon and reports the final objectives, computed from
   /// received answers plus still-pending assignments (Section 8.1's
-  /// "considering A and S_c").
-  PlatformResult Run();
+  /// "considering A and S_c"). Propagates solver-construction and
+  /// per-round solve failures.
+  util::StatusOr<PlatformResult> Run();
 
  private:
   PlatformConfig config_;
-  core::Solver* solver_;
+  util::Status init_status_;
+  std::unique_ptr<core::Solver> solver_;
 };
 
 }  // namespace rdbsc::sim

@@ -1,0 +1,80 @@
+#ifndef RDBSC_UTIL_DEADLINE_H_
+#define RDBSC_UTIL_DEADLINE_H_
+
+#include <atomic>
+#include <chrono>
+
+#include "util/status.h"
+
+namespace rdbsc::util {
+
+/// Cooperative cancellation flag shared between a caller and a running
+/// solve. The caller sets it (possibly from another thread); the running
+/// operation polls it at its natural iteration granularity.
+class CancelToken {
+ public:
+  CancelToken() = default;
+  CancelToken(const CancelToken&) = delete;
+  CancelToken& operator=(const CancelToken&) = delete;
+
+  void Cancel() { cancelled_.store(true, std::memory_order_relaxed); }
+  bool cancelled() const {
+    return cancelled_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<bool> cancelled_{false};
+};
+
+/// A wall-clock budget plus an optional cancellation token. Cheap to copy
+/// and to poll; long-running operations call Exhausted() (or Check()) at
+/// loop granularity and bail out with the returned status.
+class Deadline {
+ public:
+  /// Unlimited: never exhausted.
+  Deadline() = default;
+
+  /// Expires `budget_seconds` of wall-clock time from now; a budget <= 0
+  /// means unlimited. `cancel` (optional, unowned) trips the deadline the
+  /// moment it is cancelled, whatever the remaining budget.
+  explicit Deadline(double budget_seconds,
+                    const CancelToken* cancel = nullptr)
+      : cancel_(cancel) {
+    if (budget_seconds > 0.0) {
+      has_deadline_ = true;
+      deadline_ = std::chrono::steady_clock::now() +
+                  std::chrono::duration_cast<
+                      std::chrono::steady_clock::duration>(
+                      std::chrono::duration<double>(budget_seconds));
+    }
+  }
+
+  /// True when there is neither a time budget nor a token to poll.
+  bool unlimited() const { return !has_deadline_ && cancel_ == nullptr; }
+
+  /// True once the budget has elapsed or the token was cancelled.
+  bool Exhausted() const {
+    if (cancel_ != nullptr && cancel_->cancelled()) return true;
+    return has_deadline_ && std::chrono::steady_clock::now() >= deadline_;
+  }
+
+  /// OK while running is allowed; kCancelled / kDeadlineExceeded once not.
+  Status Check() const {
+    if (cancel_ != nullptr && cancel_->cancelled()) {
+      return Status::Cancelled("solve cancelled by caller");
+    }
+    if (has_deadline_ && std::chrono::steady_clock::now() >= deadline_) {
+      return Status::DeadlineExceeded("wall-clock budget exhausted");
+    }
+    return Status::OK();
+  }
+
+ private:
+  bool has_deadline_ = false;
+  std::chrono::steady_clock::time_point deadline_{};
+  const CancelToken* cancel_ = nullptr;
+};
+
+}  // namespace rdbsc::util
+
+#endif  // RDBSC_UTIL_DEADLINE_H_

@@ -2,10 +2,8 @@
 
 #include <memory>
 
-#include "core/divide_conquer.h"
 #include "core/dominance.h"
-#include "core/greedy.h"
-#include "core/sampling.h"
+#include "core/registry.h"
 #include "gtest/gtest.h"
 #include "test_util.h"
 #include "util/math.h"
@@ -47,11 +45,33 @@ TEST(ExactSolverTest, PopulationOverCapIsNegative) {
   EXPECT_EQ(ExactSolver::Population(graph, 4), -1);
 }
 
+// Regression for the old `assert(population >= 0 ...)`: with NDEBUG the
+// solver used to walk a garbage population silently. An over-cap request
+// must now surface as kInvalidArgument in every build type.
+TEST(ExactSolverTest, OverCapPopulationReturnsInvalidArgument) {
+  Instance instance = test::SmallInstance(2, 20, 60);
+  CandidateGraph graph = CandidateGraph::Build(instance);
+  ExactSolver solver({}, /*max_enumeration=*/4);
+  util::StatusOr<SolveResult> result = solver.Solve(instance, graph);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), util::StatusCode::kInvalidArgument);
+}
+
+// The registry path hits the same admission error (default cap).
+TEST(ExactSolverTest, RegistryCreatedExactRejectsLargeInstances) {
+  Instance instance = test::SmallInstance(3, 40, 120);
+  CandidateGraph graph = CandidateGraph::Build(instance);
+  auto solver = SolverRegistry::Global().Create("exact").value();
+  util::StatusOr<SolveResult> result = solver->Solve(instance, graph);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), util::StatusCode::kInvalidArgument);
+}
+
 TEST(ExactSolverTest, FeasibleAndConsistent) {
   Instance instance = TinyInstance(3);
   CandidateGraph graph = CandidateGraph::Build(instance);
   ExactSolver solver;
-  SolveResult result = solver.Solve(instance, graph);
+  SolveResult result = solver.Solve(instance, graph).value();
   test::ExpectFeasible(instance, graph, result.assignment);
   ObjectiveValue check = EvaluateAssignment(instance, result.assignment);
   EXPECT_NEAR(result.objectives.total_std, check.total_std, 1e-9);
@@ -67,7 +87,7 @@ TEST_P(ExactOptimalityTest, NoSampledAssignmentDominatesExact) {
   Instance instance = TinyInstance(GetParam());
   CandidateGraph graph = CandidateGraph::Build(instance);
   ExactSolver exact;
-  ObjectiveValue best = exact.Solve(instance, graph).objectives;
+  ObjectiveValue best = exact.Solve(instance, graph).value().objectives;
 
   // Heavy randomized probing of the population.
   util::Rng rng(GetParam() * 7);
@@ -88,17 +108,17 @@ TEST_P(ExactOptimalityTest, ApproximationsNeverDominateExact) {
   Instance instance = TinyInstance(GetParam() + 40);
   CandidateGraph graph = CandidateGraph::Build(instance);
   ExactSolver exact;
-  ObjectiveValue best = exact.Solve(instance, graph).objectives;
+  ObjectiveValue best = exact.Solve(instance, graph).value().objectives;
 
   SolverOptions options;
   options.gamma = 2;
   std::vector<std::unique_ptr<Solver>> approximations;
-  approximations.push_back(std::make_unique<GreedySolver>(options));
-  approximations.push_back(std::make_unique<SamplingSolver>(options));
-  approximations.push_back(std::make_unique<DivideConquerSolver>(options));
-  approximations.push_back(std::make_unique<GroundTruthSolver>(options));
+  for (std::string_view name : kSection81Approaches) {
+    approximations.push_back(
+        SolverRegistry::Global().Create(name, options).value());
+  }
   for (auto& solver : approximations) {
-    ObjectiveValue value = solver->Solve(instance, graph).objectives;
+    ObjectiveValue value = solver->Solve(instance, graph).value().objectives;
     EXPECT_FALSE(DominatesEps(value, best)) << solver->name();
     // And the approximations should recover a decent share of the optimum.
     EXPECT_GT(value.total_std, 0.25 * best.total_std) << solver->name();
@@ -130,7 +150,7 @@ TEST(ParetoFrontTest, ExactWinnerOnTheFront) {
   Instance instance = TinyInstance(12);
   CandidateGraph graph = CandidateGraph::Build(instance);
   ExactSolver exact;
-  ObjectiveValue best = exact.Solve(instance, graph).objectives;
+  ObjectiveValue best = exact.Solve(instance, graph).value().objectives;
   auto front = EnumerateParetoFront(instance, graph);
   ASSERT_TRUE(front.ok());
   bool found = false;

@@ -1,7 +1,6 @@
 #include "sim/incremental.h"
 
-#include "core/greedy.h"
-#include "core/sampling.h"
+#include "core/registry.h"
 #include "gtest/gtest.h"
 #include "test_util.h"
 #include "util/rng.h"
@@ -28,8 +27,8 @@ core::Worker FreeWorker(geo::Point loc, double v = 0.5, double p = 0.9) {
 }
 
 TEST(IncrementalAssignerTest, RegistrationStatuses) {
-  core::GreedySolver solver;
-  IncrementalAssigner assigner(&solver, 0.1);
+  auto solver = core::SolverRegistry::Global().Create("greedy").value();
+  IncrementalAssigner assigner(solver.get(), 0.1);
   EXPECT_TRUE(assigner.AddTask(1, OpenTask({0.5, 0.5}, 0, 2)).ok());
   EXPECT_EQ(assigner.AddTask(1, OpenTask({0.5, 0.5}, 0, 2)).code(),
             util::StatusCode::kAlreadyExists);
@@ -43,26 +42,26 @@ TEST(IncrementalAssignerTest, RegistrationStatuses) {
 }
 
 TEST(IncrementalAssignerTest, AssignsAvailableWorkerToOpenTask) {
-  core::GreedySolver solver;
-  IncrementalAssigner assigner(&solver, 0.1);
+  auto solver = core::SolverRegistry::Global().Create("greedy").value();
+  IncrementalAssigner assigner(solver.get(), 0.1);
   ASSERT_TRUE(assigner.AddTask(1, OpenTask({0.5, 0.5}, 0, 2)).ok());
   ASSERT_TRUE(assigner.AddWorker(7, FreeWorker({0.45, 0.5})).ok());
-  auto committed = assigner.Update(0.0);
+  auto committed = assigner.Update(0.0).value();
   ASSERT_EQ(committed.size(), 1u);
   EXPECT_EQ(committed[0].first, 1);
   EXPECT_EQ(committed[0].second, 7);
   EXPECT_EQ(assigner.CommittedTask(7), 1);
   // A second round does not reassign the busy worker.
-  EXPECT_TRUE(assigner.Update(0.1).empty());
+  EXPECT_TRUE(assigner.Update(0.1).value().empty());
 }
 
 TEST(IncrementalAssignerTest, CompletedWorkerIsReassignable) {
-  core::GreedySolver solver;
-  IncrementalAssigner assigner(&solver, 0.1);
+  auto solver = core::SolverRegistry::Global().Create("greedy").value();
+  IncrementalAssigner assigner(solver.get(), 0.1);
   ASSERT_TRUE(assigner.AddTask(1, OpenTask({0.3, 0.5}, 0, 3)).ok());
   ASSERT_TRUE(assigner.AddTask(2, OpenTask({0.7, 0.5}, 0, 3)).ok());
   ASSERT_TRUE(assigner.AddWorker(7, FreeWorker({0.3, 0.45})).ok());
-  auto first = assigner.Update(0.0);
+  auto first = assigner.Update(0.0).value();
   ASSERT_EQ(first.size(), 1u);
   core::TaskId first_task = first[0].first;
 
@@ -76,38 +75,38 @@ TEST(IncrementalAssignerTest, CompletedWorkerIsReassignable) {
   EXPECT_EQ(assigner.CompleteWorker(7, {0, 0}).code(),
             util::StatusCode::kFailedPrecondition);
 
-  auto second = assigner.Update(0.5);
+  auto second = assigner.Update(0.5).value();
   ASSERT_EQ(second.size(), 1u);
   EXPECT_NE(second[0].first, first_task) << "should take the other task";
 }
 
 TEST(IncrementalAssignerTest, ExpiredTasksAreDropped) {
-  core::GreedySolver solver;
-  IncrementalAssigner assigner(&solver, 0.1);
+  auto solver = core::SolverRegistry::Global().Create("greedy").value();
+  IncrementalAssigner assigner(solver.get(), 0.1);
   ASSERT_TRUE(assigner.AddTask(1, OpenTask({0.5, 0.5}, 0, 0.5)).ok());
   ASSERT_TRUE(assigner.AddWorker(7, FreeWorker({0.45, 0.5})).ok());
-  EXPECT_TRUE(assigner.Update(1.0).empty());  // task expired before round
+  EXPECT_TRUE(assigner.Update(1.0).value().empty());  // task expired before round
   EXPECT_EQ(assigner.num_open_tasks(), 0);
 }
 
 TEST(IncrementalAssignerTest, RemovingPendingTaskFreesWorker) {
-  core::GreedySolver solver;
-  IncrementalAssigner assigner(&solver, 0.1);
+  auto solver = core::SolverRegistry::Global().Create("greedy").value();
+  IncrementalAssigner assigner(solver.get(), 0.1);
   ASSERT_TRUE(assigner.AddTask(1, OpenTask({0.5, 0.5}, 0, 2)).ok());
   ASSERT_TRUE(assigner.AddWorker(7, FreeWorker({0.45, 0.5})).ok());
-  ASSERT_EQ(assigner.Update(0.0).size(), 1u);
+  ASSERT_EQ(assigner.Update(0.0).value().size(), 1u);
   ASSERT_TRUE(assigner.RemoveTask(1).ok());
   EXPECT_EQ(assigner.CommittedTask(7), core::kNoTask);
   // The voided contribution no longer counts.
   EXPECT_DOUBLE_EQ(assigner.Objectives().total_std, 0.0);
   // The worker can serve a new task.
   ASSERT_TRUE(assigner.AddTask(2, OpenTask({0.5, 0.55}, 0, 3)).ok());
-  EXPECT_EQ(assigner.Update(0.2).size(), 1u);
+  EXPECT_EQ(assigner.Update(0.2).value().size(), 1u);
 }
 
 TEST(IncrementalAssignerTest, ObjectivesAccumulateOverRounds) {
-  core::SamplingSolver solver;
-  IncrementalAssigner assigner(&solver, 0.1);
+  auto solver = core::SolverRegistry::Global().Create("sampling").value();
+  IncrementalAssigner assigner(solver.get(), 0.1);
   util::Rng rng(3);
   for (int t = 0; t < 6; ++t) {
     assigner.AddTask(t, OpenTask({rng.Uniform(0.3, 0.7),
@@ -122,7 +121,7 @@ TEST(IncrementalAssignerTest, ObjectivesAccumulateOverRounds) {
   double previous = 0.0;
   for (int round = 0; round < 4; ++round) {
     double now = round * 0.5;
-    auto committed = assigner.Update(now);
+    auto committed = assigner.Update(now).value();
     // Complete everyone so the next round can reassign.
     for (const auto& [tid, wid] : committed) {
       (void)tid;
@@ -139,11 +138,11 @@ TEST(IncrementalAssignerTest, ObjectivesAccumulateOverRounds) {
 }
 
 TEST(IncrementalAssignerTest, WorkerLeavingMidRouteVoidsContribution) {
-  core::GreedySolver solver;
-  IncrementalAssigner assigner(&solver, 0.1);
+  auto solver = core::SolverRegistry::Global().Create("greedy").value();
+  IncrementalAssigner assigner(solver.get(), 0.1);
   ASSERT_TRUE(assigner.AddTask(1, OpenTask({0.5, 0.5}, 0, 2)).ok());
   ASSERT_TRUE(assigner.AddWorker(7, FreeWorker({0.45, 0.5})).ok());
-  ASSERT_EQ(assigner.Update(0.0).size(), 1u);
+  ASSERT_EQ(assigner.Update(0.0).value().size(), 1u);
   EXPECT_GT(assigner.Objectives().total_std, 0.0);
   ASSERT_TRUE(assigner.RemoveWorker(7).ok());
   EXPECT_DOUBLE_EQ(assigner.Objectives().total_std, 0.0);

@@ -3,11 +3,11 @@
 // the platform loop on top of each solver.
 
 #include <memory>
+#include <string>
 #include <vector>
 
-#include "core/divide_conquer.h"
-#include "core/greedy.h"
-#include "core/sampling.h"
+#include "core/registry.h"
+#include "engine/engine.h"
 #include "gen/trajectory.h"
 #include "gen/workload.h"
 #include "gtest/gtest.h"
@@ -24,10 +24,10 @@ std::vector<std::unique_ptr<core::Solver>> AllSolvers() {
   std::vector<std::unique_ptr<core::Solver>> solvers;
   core::SolverOptions options;
   options.gamma = 8;
-  solvers.push_back(std::make_unique<core::GreedySolver>(options));
-  solvers.push_back(std::make_unique<core::SamplingSolver>(options));
-  solvers.push_back(std::make_unique<core::DivideConquerSolver>(options));
-  solvers.push_back(std::make_unique<core::GroundTruthSolver>(options));
+  for (std::string_view name : core::kSection81Approaches) {
+    solvers.push_back(
+        core::SolverRegistry::Global().Create(name, options).value());
+  }
   return solvers;
 }
 
@@ -53,8 +53,8 @@ TEST(IntegrationTest, IndexFedSolveEqualsBruteForceFedSolve) {
   ASSERT_EQ(indexed.NumEdges(), brute.NumEdges());
 
   for (auto& solver : AllSolvers()) {
-    core::SolveResult via_index = solver->Solve(instance, indexed);
-    core::SolveResult via_brute = solver->Solve(instance, brute);
+    core::SolveResult via_index = solver->Solve(instance, indexed).value();
+    core::SolveResult via_brute = solver->Solve(instance, brute).value();
     // Same edges and same seed: identical assignments.
     for (core::WorkerId j = 0; j < instance.num_workers(); ++j) {
       EXPECT_EQ(via_index.assignment.TaskOf(j),
@@ -72,7 +72,7 @@ TEST(IntegrationTest, AllSolversFeasibleOnRealWorkload) {
   core::Instance instance = gen::GenerateRealInstance(config);
   core::CandidateGraph graph = core::CandidateGraph::Build(instance);
   for (auto& solver : AllSolvers()) {
-    core::SolveResult result = solver->Solve(instance, graph);
+    core::SolveResult result = solver->Solve(instance, graph).value();
     test::ExpectFeasible(instance, graph, result.assignment);
     core::ObjectiveValue check =
         core::EvaluateAssignment(instance, result.assignment);
@@ -91,19 +91,39 @@ TEST(IntegrationTest, AllSolversFeasibleOnSkewedWorkload) {
   core::Instance instance = gen::GenerateInstance(config);
   core::CandidateGraph graph = core::CandidateGraph::Build(instance);
   for (auto& solver : AllSolvers()) {
-    core::SolveResult result = solver->Solve(instance, graph);
+    core::SolveResult result = solver->Solve(instance, graph).value();
     test::ExpectFeasible(instance, graph, result.assignment);
   }
 }
 
 TEST(IntegrationTest, PlatformRunsWithEverySolver) {
-  for (auto& solver : AllSolvers()) {
+  for (std::string_view name : core::kSection81Approaches) {
     sim::PlatformConfig config;
     config.seed = 31;
-    sim::Platform platform(config, solver.get());
-    sim::PlatformResult result = platform.Run();
-    EXPECT_GT(result.assignments_made, 0) << solver->name();
-    EXPECT_GE(result.final_objectives.total_std, 0.0) << solver->name();
+    config.solver_name = std::string(name);
+    sim::Platform platform(config);
+    sim::PlatformResult result = platform.Run().value();
+    EXPECT_GT(result.assignments_made, 0) << name;
+    EXPECT_GE(result.final_objectives.total_std, 0.0) << name;
+  }
+}
+
+TEST(IntegrationTest, EngineMatchesManualPipeline) {
+  // The facade must produce exactly what the hand-wired pipeline does:
+  // same edges and, for a fixed seed, the same assignment.
+  core::Instance instance = test::SmallInstance(7, 25, 50);
+  EngineConfig config;
+  config.solver_name = "greedy";
+  Engine engine = Engine::Create(config).value();
+  EngineResult via_engine = engine.Run(instance).value();
+
+  core::CandidateGraph graph = core::CandidateGraph::Build(instance);
+  EXPECT_EQ(via_engine.plan.edges, graph.NumEdges());
+  auto solver = core::SolverRegistry::Global().Create("greedy").value();
+  core::SolveResult manual = solver->Solve(instance, graph).value();
+  for (core::WorkerId j = 0; j < instance.num_workers(); ++j) {
+    EXPECT_EQ(via_engine.solve.assignment.TaskOf(j),
+              manual.assignment.TaskOf(j));
   }
 }
 
@@ -123,8 +143,8 @@ TEST(IntegrationTest, MoreWorkersRaiseTotalStd) {
     core::CandidateGraph small_graph = core::CandidateGraph::Build(small);
     core::CandidateGraph big_graph = core::CandidateGraph::Build(big);
     double small_std =
-        solver->Solve(small, small_graph).objectives.total_std;
-    double big_std = solver->Solve(big, big_graph).objectives.total_std;
+        solver->Solve(small, small_graph).value().objectives.total_std;
+    double big_std = solver->Solve(big, big_graph).value().objectives.total_std;
     EXPECT_GT(big_std, small_std) << solver->name();
   }
 }

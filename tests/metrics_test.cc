@@ -1,7 +1,6 @@
 #include "core/metrics.h"
 
-#include "core/greedy.h"
-#include "core/sampling.h"
+#include "core/registry.h"
 #include "gtest/gtest.h"
 #include "test_util.h"
 
@@ -50,8 +49,8 @@ TEST(MetricsTest, HistogramTailAggregates) {
 TEST(MetricsTest, AgreesWithObjectives) {
   Instance instance = test::SmallInstance(4, 12, 30);
   CandidateGraph graph = CandidateGraph::Build(instance);
-  GreedySolver solver;
-  SolveResult result = solver.Solve(instance, graph);
+  auto solver = SolverRegistry::Global().Create("greedy").value();
+  SolveResult result = solver->Solve(instance, graph).value();
   AssignmentMetrics metrics = ComputeMetrics(instance, result.assignment);
   EXPECT_NEAR(metrics.total_expected_std, result.objectives.total_std, 1e-9);
   EXPECT_NEAR(metrics.min_task_reliability,
@@ -66,12 +65,13 @@ TEST(MetricsTest, HerdingShowsUpInHistogram) {
   // The metrics should expose that structural difference.
   Instance instance = test::SmallInstance(5, 20, 60);
   CandidateGraph graph = CandidateGraph::Build(instance);
-  GreedySolver greedy;  // default: paper's bound-estimated increments
-  SamplingSolver sampling;
-  AssignmentMetrics g =
-      ComputeMetrics(instance, greedy.Solve(instance, graph).assignment);
-  AssignmentMetrics s =
-      ComputeMetrics(instance, sampling.Solve(instance, graph).assignment);
+  // Default options: the paper's bound-estimated greedy increments.
+  auto greedy = SolverRegistry::Global().Create("greedy").value();
+  auto sampling = SolverRegistry::Global().Create("sampling").value();
+  AssignmentMetrics g = ComputeMetrics(
+      instance, greedy->Solve(instance, graph).value().assignment);
+  AssignmentMetrics s = ComputeMetrics(
+      instance, sampling->Solve(instance, graph).value().assignment);
   EXPECT_EQ(g.assigned_workers, s.assigned_workers);
   EXPECT_GE(g.max_roster, s.max_roster * 3 / 4)
       << "expected greedy to concentrate at least comparably";

@@ -2,8 +2,7 @@
 
 #include <cmath>
 
-#include "core/greedy.h"
-#include "core/sampling.h"
+#include "core/registry.h"
 #include "geo/angle.h"
 #include "gtest/gtest.h"
 #include "sim/aggregation.h"
@@ -13,16 +12,17 @@
 namespace rdbsc::sim {
 namespace {
 
-PlatformConfig SmallPlatform(uint64_t seed) {
+PlatformConfig SmallPlatform(uint64_t seed,
+                             const char* solver = "greedy") {
   PlatformConfig config;
   config.seed = seed;
+  config.solver_name = solver;
   return config;
 }
 
 TEST(PlatformTest, RunsAndProducesAnswers) {
-  core::GreedySolver solver;
-  Platform platform(SmallPlatform(1), &solver);
-  PlatformResult result = platform.Run();
+  Platform platform(SmallPlatform(1));
+  PlatformResult result = platform.Run().value();
   EXPECT_GT(result.assignments_made, 0);
   EXPECT_GT(result.answers_received, 0);
   EXPECT_GE(result.assignments_made, result.answers_received);
@@ -30,9 +30,8 @@ TEST(PlatformTest, RunsAndProducesAnswers) {
 }
 
 TEST(PlatformTest, AnswersRespectTaskPeriods) {
-  core::GreedySolver solver;
-  Platform platform(SmallPlatform(2), &solver);
-  PlatformResult result = platform.Run();
+  Platform platform(SmallPlatform(2));
+  PlatformResult result = platform.Run().value();
   PlatformConfig config = SmallPlatform(2);
   for (const Answer& answer : result.answers) {
     EXPECT_GE(answer.time, 0.0);
@@ -45,40 +44,59 @@ TEST(PlatformTest, AnswersRespectTaskPeriods) {
 }
 
 TEST(PlatformTest, AccuracyErrorInUnitRange) {
-  core::SamplingSolver solver;
-  Platform platform(SmallPlatform(3), &solver);
-  PlatformResult result = platform.Run();
+  Platform platform(SmallPlatform(3, "sampling"));
+  PlatformResult result = platform.Run().value();
   EXPECT_GE(result.mean_accuracy_error, 0.0);
   EXPECT_LE(result.mean_accuracy_error, 1.0);
 }
 
 TEST(PlatformTest, SmallerIntervalMeansMoreRounds) {
-  core::GreedySolver solver;
   PlatformConfig fast = SmallPlatform(4);
   fast.t_interval = 1.0 / 60.0;
   PlatformConfig slow = SmallPlatform(4);
   slow.t_interval = 4.0 / 60.0;
-  PlatformResult fast_result = Platform(fast, &solver).Run();
-  PlatformResult slow_result = Platform(slow, &solver).Run();
+  PlatformResult fast_result = Platform(fast).Run().value();
+  PlatformResult slow_result = Platform(slow).Run().value();
   EXPECT_GT(fast_result.rounds.size(), slow_result.rounds.size());
 }
 
 TEST(PlatformTest, FinalObjectivesNonNegative) {
-  core::SamplingSolver solver;
-  Platform platform(SmallPlatform(5), &solver);
-  PlatformResult result = platform.Run();
+  Platform platform(SmallPlatform(5, "sampling"));
+  PlatformResult result = platform.Run().value();
   EXPECT_GE(result.final_objectives.total_std, 0.0);
   EXPECT_GE(result.final_objectives.min_reliability, 0.0);
   EXPECT_LE(result.final_objectives.min_reliability, 1.0);
 }
 
 TEST(PlatformTest, DeterministicForSeed) {
-  core::GreedySolver solver_a, solver_b;
-  PlatformResult a = Platform(SmallPlatform(6), &solver_a).Run();
-  PlatformResult b = Platform(SmallPlatform(6), &solver_b).Run();
+  PlatformResult a = Platform(SmallPlatform(6)).Run().value();
+  PlatformResult b = Platform(SmallPlatform(6)).Run().value();
   EXPECT_EQ(a.answers_received, b.answers_received);
   EXPECT_DOUBLE_EQ(a.final_objectives.total_std,
                    b.final_objectives.total_std);
+}
+
+TEST(PlatformTest, UnknownSolverNameSurfacesFromRun) {
+  Platform platform(SmallPlatform(7, "no-such-solver"));
+  util::StatusOr<PlatformResult> run = platform.Run();
+  ASSERT_FALSE(run.ok());
+  EXPECT_EQ(run.status().code(), util::StatusCode::kNotFound);
+}
+
+// Satellite requirement: the platform must run end-to-end with *every*
+// registered solver name, including the EXACT oracle -- which is why this
+// configuration is kept tiny (population <= num_sites^num_workers).
+TEST(PlatformTest, RunsEndToEndWithEachRegisteredSolver) {
+  for (const std::string& name : core::SolverRegistry::Global().Names()) {
+    PlatformConfig config = SmallPlatform(8, name.c_str());
+    config.num_sites = 3;
+    config.num_workers = 6;
+    Platform platform(config);
+    util::StatusOr<PlatformResult> run = platform.Run();
+    ASSERT_TRUE(run.ok()) << name << ": " << run.status().ToString();
+    EXPECT_GT(run.value().assignments_made, 0) << name;
+    EXPECT_GE(run.value().final_objectives.total_std, 0.0) << name;
+  }
 }
 
 TEST(AggregationTest, PicksBestPerBucket) {

@@ -20,7 +20,7 @@ TEST(GreedyTest, AssignsEveryConnectedWorker) {
   Instance instance = SmallInstance(1);
   CandidateGraph graph = CandidateGraph::Build(instance);
   GreedySolver solver;
-  SolveResult result = solver.Solve(instance, graph);
+  SolveResult result = solver.Solve(instance, graph).value();
   ExpectFeasible(instance, graph, result.assignment);
   for (WorkerId j = 0; j < instance.num_workers(); ++j) {
     if (graph.Degree(j) > 0) {
@@ -36,7 +36,7 @@ TEST(GreedyTest, ObjectivesMatchReevaluation) {
   Instance instance = SmallInstance(2);
   CandidateGraph graph = CandidateGraph::Build(instance);
   GreedySolver solver;
-  SolveResult result = solver.Solve(instance, graph);
+  SolveResult result = solver.Solve(instance, graph).value();
   ObjectiveValue check = EvaluateAssignment(instance, result.assignment);
   EXPECT_NEAR(result.objectives.min_reliability, check.min_reliability, 1e-9);
   EXPECT_NEAR(result.objectives.total_std, check.total_std, 1e-9);
@@ -46,8 +46,8 @@ TEST(GreedyTest, DeterministicAcrossRuns) {
   Instance instance = SmallInstance(3);
   CandidateGraph graph = CandidateGraph::Build(instance);
   GreedySolver a, b;
-  SolveResult ra = a.Solve(instance, graph);
-  SolveResult rb = b.Solve(instance, graph);
+  SolveResult ra = a.Solve(instance, graph).value();
+  SolveResult rb = b.Solve(instance, graph).value();
   for (WorkerId j = 0; j < instance.num_workers(); ++j) {
     EXPECT_EQ(ra.assignment.TaskOf(j), rb.assignment.TaskOf(j));
   }
@@ -67,8 +67,8 @@ TEST_P(GreedyPruningTest, PruningPreservesResult) {
   without = with;
   without.use_pruning = false;
   GreedySolver pruned(with), plain(without);
-  SolveResult rp = pruned.Solve(instance, graph);
-  SolveResult rn = plain.Solve(instance, graph);
+  SolveResult rp = pruned.Solve(instance, graph).value();
+  SolveResult rn = plain.Solve(instance, graph).value();
   EXPECT_NEAR(rp.objectives.total_std, rn.objectives.total_std, 1e-9);
   EXPECT_NEAR(rp.objectives.min_reliability, rn.objectives.min_reliability,
               1e-9);
@@ -85,9 +85,9 @@ TEST_P(GreedyPruningTest, ExactIncrementsAtLeastAsGoodAsBounds) {
   bounds.greedy_increment = SolverOptions::GreedyIncrement::kBounds;
   exact.greedy_increment = SolverOptions::GreedyIncrement::kExact;
   double std_bounds =
-      GreedySolver(bounds).Solve(instance, graph).objectives.total_std;
+      GreedySolver(bounds).Solve(instance, graph).value().objectives.total_std;
   double std_exact =
-      GreedySolver(exact).Solve(instance, graph).objectives.total_std;
+      GreedySolver(exact).Solve(instance, graph).value().objectives.total_std;
   // Not a theorem pointwise, but holds with margin on these instances.
   EXPECT_GE(std_exact, std_bounds * 0.9);
 }
@@ -99,7 +99,7 @@ TEST(GreedyTest, EmptyInstance) {
   Instance instance({}, {});
   CandidateGraph graph = CandidateGraph::Build(instance);
   GreedySolver solver;
-  SolveResult result = solver.Solve(instance, graph);
+  SolveResult result = solver.Solve(instance, graph).value();
   EXPECT_EQ(result.assignment.NumAssigned(), 0);
   EXPECT_DOUBLE_EQ(result.objectives.total_std, 0.0);
 }
@@ -115,7 +115,7 @@ TEST(GreedyTest, NoValidPairs) {
   CandidateGraph graph = CandidateGraph::Build(instance);
   EXPECT_EQ(graph.NumEdges(), 0);
   GreedySolver solver;
-  SolveResult result = solver.Solve(instance, graph);
+  SolveResult result = solver.Solve(instance, graph).value();
   EXPECT_EQ(result.assignment.NumAssigned(), 0);
 }
 
@@ -125,7 +125,7 @@ TEST(WorkerGreedyTest, FeasibleAndAssignsConnectedWorkers) {
   Instance instance = SmallInstance(41);
   CandidateGraph graph = CandidateGraph::Build(instance);
   WorkerGreedySolver solver;
-  SolveResult result = solver.Solve(instance, graph);
+  SolveResult result = solver.Solve(instance, graph).value();
   ExpectFeasible(instance, graph, result.assignment);
   for (WorkerId j = 0; j < instance.num_workers(); ++j) {
     EXPECT_EQ(result.assignment.TaskOf(j) != kNoTask, graph.Degree(j) > 0);
@@ -136,8 +136,8 @@ TEST(WorkerGreedyTest, DeterministicAndConsistentObjectives) {
   Instance instance = SmallInstance(42);
   CandidateGraph graph = CandidateGraph::Build(instance);
   WorkerGreedySolver a, b;
-  SolveResult ra = a.Solve(instance, graph);
-  SolveResult rb = b.Solve(instance, graph);
+  SolveResult ra = a.Solve(instance, graph).value();
+  SolveResult rb = b.Solve(instance, graph).value();
   for (WorkerId j = 0; j < instance.num_workers(); ++j) {
     EXPECT_EQ(ra.assignment.TaskOf(j), rb.assignment.TaskOf(j));
   }
@@ -153,8 +153,8 @@ TEST(SamplingTest, FeasibleAndDeterministic) {
   SolverOptions options;
   options.seed = 99;
   SamplingSolver a(options), b(options);
-  SolveResult ra = a.Solve(instance, graph);
-  SolveResult rb = b.Solve(instance, graph);
+  SolveResult ra = a.Solve(instance, graph).value();
+  SolveResult rb = b.Solve(instance, graph).value();
   ExpectFeasible(instance, graph, ra.assignment);
   for (WorkerId j = 0; j < instance.num_workers(); ++j) {
     EXPECT_EQ(ra.assignment.TaskOf(j), rb.assignment.TaskOf(j));
@@ -165,7 +165,7 @@ TEST(SamplingTest, AssignsEveryConnectedWorker) {
   Instance instance = SmallInstance(5);
   CandidateGraph graph = CandidateGraph::Build(instance);
   SamplingSolver solver;
-  SolveResult result = solver.Solve(instance, graph);
+  SolveResult result = solver.Solve(instance, graph).value();
   for (WorkerId j = 0; j < instance.num_workers(); ++j) {
     EXPECT_EQ(result.assignment.TaskOf(j) != kNoTask, graph.Degree(j) > 0);
   }
@@ -181,8 +181,8 @@ TEST(SamplingTest, BestSampleDominatesOrTiesSingleSample) {
   many_options.fixed_sample_size = 64;
   many_options.seed = one_options.seed;
   SamplingSolver one(one_options), many(many_options);
-  ObjectiveValue v1 = one.Solve(instance, graph).objectives;
-  ObjectiveValue v64 = many.Solve(instance, graph).objectives;
+  ObjectiveValue v1 = one.Solve(instance, graph).value().objectives;
+  ObjectiveValue v64 = many.Solve(instance, graph).value().objectives;
   // The 64-sample best is the single sample or something ranked better;
   // it can never be dominated by the first sample.
   EXPECT_FALSE(Dominates(v1, v64));
@@ -194,7 +194,7 @@ TEST(SamplingTest, ReportsSampleSize) {
   SolverOptions options;
   options.fixed_sample_size = 17;
   SamplingSolver solver(options);
-  SolveResult result = solver.Solve(instance, graph);
+  SolveResult result = solver.Solve(instance, graph).value();
   EXPECT_EQ(result.stats.sample_size, 17);
   EXPECT_EQ(solver.EffectiveSampleSize(graph), 17);
 }
@@ -221,7 +221,7 @@ TEST_P(DivideConquerFeasibilityTest, FeasibleOnRandomInstances) {
   SolverOptions options;
   options.gamma = 6;  // force several partition levels
   DivideConquerSolver solver(options);
-  SolveResult result = solver.Solve(instance, graph);
+  SolveResult result = solver.Solve(instance, graph).value();
   ExpectFeasible(instance, graph, result.assignment);
   // Every connected worker ends up with exactly one task after the merge.
   for (WorkerId j = 0; j < instance.num_workers(); ++j) {
@@ -239,7 +239,7 @@ TEST(DivideConquerTest, LeafOnlyEqualsEmbeddedSolver) {
   SolverOptions options;
   options.gamma = 1'000'000;  // never partition
   DivideConquerSolver dc(options);
-  SolveResult result = dc.Solve(instance, graph);
+  SolveResult result = dc.Solve(instance, graph).value();
   ExpectFeasible(instance, graph, result.assignment);
 }
 
@@ -250,7 +250,7 @@ TEST(DivideConquerTest, GreedyLeavesWork) {
   options.gamma = 5;
   options.leaf_use_greedy = true;
   DivideConquerSolver solver(options);
-  SolveResult result = solver.Solve(instance, graph);
+  SolveResult result = solver.Solve(instance, graph).value();
   ExpectFeasible(instance, graph, result.assignment);
 }
 
@@ -260,7 +260,7 @@ TEST(DivideConquerTest, ObjectivesMatchReevaluation) {
   SolverOptions options;
   options.gamma = 6;
   DivideConquerSolver solver(options);
-  SolveResult result = solver.Solve(instance, graph);
+  SolveResult result = solver.Solve(instance, graph).value();
   ObjectiveValue check = EvaluateAssignment(instance, result.assignment);
   EXPECT_NEAR(result.objectives.total_std, check.total_std, 1e-9);
   EXPECT_NEAR(result.objectives.min_reliability, check.min_reliability,
@@ -272,7 +272,7 @@ TEST(GroundTruthTest, UsesTenfoldSamples) {
   CandidateGraph graph = CandidateGraph::Build(instance);
   GroundTruthSolver solver;
   EXPECT_EQ(solver.name(), "G-TRUTH");
-  SolveResult result = solver.Solve(instance, graph);
+  SolveResult result = solver.Solve(instance, graph).value();
   ExpectFeasible(instance, graph, result.assignment);
 }
 
@@ -292,10 +292,10 @@ TEST(SolverComparisonTest, ApproximationsTrackGroundTruth) {
     dc_options.gamma = 4;
     DivideConquerSolver dc(dc_options);
     GroundTruthSolver gtruth(dc_options);
-    greedy_total += greedy.Solve(instance, graph).objectives.total_std;
-    sampling_total += sampling.Solve(instance, graph).objectives.total_std;
-    dc_total += dc.Solve(instance, graph).objectives.total_std;
-    gtruth_total += gtruth.Solve(instance, graph).objectives.total_std;
+    greedy_total += greedy.Solve(instance, graph).value().objectives.total_std;
+    sampling_total += sampling.Solve(instance, graph).value().objectives.total_std;
+    dc_total += dc.Solve(instance, graph).value().objectives.total_std;
+    gtruth_total += gtruth.Solve(instance, graph).value().objectives.total_std;
   }
   EXPECT_GT(gtruth_total, 0.0);
   EXPECT_GT(sampling_total, 0.6 * gtruth_total);

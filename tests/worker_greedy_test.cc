@@ -28,7 +28,7 @@ TEST_P(WorkerGreedyFeasibilityTest, FeasibleOnRandomInstances) {
   Instance instance = SmallInstance(GetParam());
   CandidateGraph graph = CandidateGraph::Build(instance);
   WorkerGreedySolver solver;
-  SolveResult result = solver.Solve(instance, graph);
+  SolveResult result = solver.Solve(instance, graph).value();
   ExpectFeasible(instance, graph, result.assignment);
   // GREEDY processes every worker once: exactly the connected ones serve.
   for (WorkerId j = 0; j < instance.num_workers(); ++j) {
@@ -48,7 +48,7 @@ TEST(WorkerGreedyTest, ObjectivesMatchReevaluationInBothIncrementModes) {
     SolverOptions options;
     options.greedy_increment = mode;
     WorkerGreedySolver solver(options);
-    SolveResult result = solver.Solve(instance, graph);
+    SolveResult result = solver.Solve(instance, graph).value();
     ObjectiveValue check = EvaluateAssignment(instance, result.assignment);
     EXPECT_NEAR(result.objectives.total_std, check.total_std, 1e-9);
     EXPECT_NEAR(result.objectives.min_reliability, check.min_reliability,
@@ -61,8 +61,8 @@ TEST(WorkerGreedyTest, ExactModeCountsStdEvaluations) {
   CandidateGraph graph = CandidateGraph::Build(instance);
   SolverOptions exact;
   exact.greedy_increment = SolverOptions::GreedyIncrement::kExact;
-  SolveResult re = WorkerGreedySolver(exact).Solve(instance, graph);
-  SolveResult rb = WorkerGreedySolver().Solve(instance, graph);
+  SolveResult re = WorkerGreedySolver(exact).Solve(instance, graph).value();
+  SolveResult rb = WorkerGreedySolver().Solve(instance, graph).value();
   EXPECT_EQ(re.stats.exact_std_evals, graph.NumEdges());
   EXPECT_EQ(rb.stats.exact_std_evals, 0);
 }
@@ -73,11 +73,11 @@ TEST(WorkerGreedyTest, ExactModeCountsStdEvaluations) {
 TEST(WorkerGreedyTest, PrefixConsistentAcrossWorkerCounts) {
   Instance full = SmallInstance(63, /*num_tasks=*/12, /*num_workers=*/40);
   CandidateGraph full_graph = CandidateGraph::Build(full);
-  SolveResult full_result = WorkerGreedySolver().Solve(full, full_graph);
+  SolveResult full_result = WorkerGreedySolver().Solve(full, full_graph).value();
   for (int k : {10, 25, 40}) {
     Instance prefix = TruncateWorkers(full, k);
     CandidateGraph graph = CandidateGraph::Build(prefix);
-    SolveResult result = WorkerGreedySolver().Solve(prefix, graph);
+    SolveResult result = WorkerGreedySolver().Solve(prefix, graph).value();
     for (WorkerId j = 0; j < k; ++j) {
       EXPECT_EQ(result.assignment.TaskOf(j), full_result.assignment.TaskOf(j))
           << "k=" << k << " worker " << j;
@@ -94,7 +94,7 @@ TEST(WorkerGreedyTest, TotalStdMonotoneInWorkerCount) {
   for (int k : {5, 10, 20, 30, 40}) {
     Instance prefix = TruncateWorkers(full, k);
     CandidateGraph graph = CandidateGraph::Build(prefix);
-    SolveResult result = WorkerGreedySolver().Solve(prefix, graph);
+    SolveResult result = WorkerGreedySolver().Solve(prefix, graph).value();
     EXPECT_GE(result.objectives.total_std, previous - 1e-9) << "k=" << k;
     previous = result.objectives.total_std;
   }
@@ -103,7 +103,7 @@ TEST(WorkerGreedyTest, TotalStdMonotoneInWorkerCount) {
 TEST(WorkerGreedyTest, EmptyInstance) {
   Instance instance({}, {});
   CandidateGraph graph = CandidateGraph::Build(instance);
-  SolveResult result = WorkerGreedySolver().Solve(instance, graph);
+  SolveResult result = WorkerGreedySolver().Solve(instance, graph).value();
   EXPECT_EQ(result.assignment.NumAssigned(), 0);
   EXPECT_DOUBLE_EQ(result.objectives.total_std, 0.0);
 }
@@ -117,7 +117,7 @@ TEST(WorkerGreedyTest, NoValidPairsLeavesEveryoneUnassigned) {
   Instance instance({t}, {w});
   CandidateGraph graph = CandidateGraph::Build(instance);
   ASSERT_EQ(graph.NumEdges(), 0);
-  SolveResult result = WorkerGreedySolver().Solve(instance, graph);
+  SolveResult result = WorkerGreedySolver().Solve(instance, graph).value();
   EXPECT_EQ(result.assignment.NumAssigned(), 0);
 }
 
