@@ -48,7 +48,7 @@ int Run(int argc, char** argv) {
                      std::chrono::steady_clock::now() - t0)
                      .count();
       t0 = std::chrono::steady_clock::now();
-      index.RetrieveEdges(instance.num_workers(), &stats);
+      index.RetrieveEdges(instance.num_workers(), &stats).value();
       retrieve_s += std::chrono::duration<double>(
                         std::chrono::steady_clock::now() - t0)
                         .count();

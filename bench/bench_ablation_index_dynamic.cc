@@ -70,7 +70,7 @@ int Run(int argc, char** argv) {
 
       // Retrieval after churn must match brute force exactly.
       t0 = std::chrono::steady_clock::now();
-      auto edges = index.RetrieveEdges(instance.num_workers());
+      auto edges = index.RetrieveEdges(instance.num_workers()).value();
       retrieve_s += Seconds(t0);
       for (const auto& list : edges) {
         edges_index += static_cast<int64_t>(list.size());

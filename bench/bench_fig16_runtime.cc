@@ -26,8 +26,9 @@ void RunAxis(const char* axis, const std::vector<SweepPoint>& points,
     for (int seed_index = 0; seed_index < options.num_seeds; ++seed_index) {
       uint64_t seed = options.seed0 + 17 * seed_index;
       core::Instance instance = point.make(seed);
-      std::vector<Engine> engines = MakeEngines(seed);
-      core::CandidateGraph graph = engines.front().BuildGraph(instance);
+      std::vector<Engine> engines = MakeEngines(seed, options.num_threads);
+      core::CandidateGraph graph =
+          engines.front().BuildGraph(instance).value();
       for (size_t s = 0; s < engines.size(); ++s) {
         auto t0 = std::chrono::steady_clock::now();
         engines[s].SolveOn(instance, graph).value();

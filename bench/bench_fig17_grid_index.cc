@@ -59,7 +59,7 @@ int Run(int argc, char** argv) {
 
       index::RetrievalStats stats;
       t0 = std::chrono::steady_clock::now();
-      auto edges = index.RetrieveEdges(instance.num_workers(), &stats);
+      auto edges = index.RetrieveEdges(instance.num_workers(), &stats).value();
       with_s += Seconds(t0);
       edges_with += stats.edges;
       pruned_frac += stats.cell_pairs_examined > 0

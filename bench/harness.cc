@@ -26,10 +26,13 @@ BenchOptions ParseOptions(int argc, char** argv) {
       options.base = std::atoi(arg + 7);
     } else if (std::strncmp(arg, "--seeds=", 8) == 0) {
       options.num_seeds = std::atoi(arg + 8);
+    } else if (std::strncmp(arg, "--threads=", 10) == 0) {
+      options.num_threads = std::atoi(arg + 10);
     }
   }
   if (options.base < 10) options.base = 10;
   if (options.num_seeds < 1) options.num_seeds = 1;
+  if (options.num_threads < 0) options.num_threads = 0;
   return options;
 }
 
@@ -47,13 +50,14 @@ const std::vector<std::string>& ApproachNames() {
   return names;
 }
 
-std::vector<Engine> MakeEngines(uint64_t seed) {
+std::vector<Engine> MakeEngines(uint64_t seed, int num_threads) {
   std::vector<Engine> engines;
   engines.reserve(ApproachNames().size());
   for (const std::string& name : ApproachNames()) {
     EngineConfig config;
     config.solver_name = name;
     config.solver_options.seed = seed;
+    config.num_threads = num_threads;
     // Benches time SolveOn tightly; generated instances are valid by
     // construction, so skip the O(m+n) re-validation per approach.
     config.validate_instances = false;
@@ -86,8 +90,9 @@ std::vector<std::vector<PointResult>> RunQualitySweep(
     const std::string& figure_title, const std::string& x_label,
     const std::vector<SweepPoint>& points, const BenchOptions& options) {
   std::printf("== %s ==\n", figure_title.c_str());
-  std::printf("scale: base=%d (paper 10K)%s, seeds=%d\n", options.base,
-              options.paper_scale ? " [paper scale]" : "", options.num_seeds);
+  std::printf("scale: base=%d (paper 10K)%s, seeds=%d, threads=%d\n",
+              options.base, options.paper_scale ? " [paper scale]" : "",
+              options.num_seeds, options.num_threads);
 
   std::vector<std::string> solver_names;
   for (const Engine& engine : MakeEngines(0)) {
@@ -104,9 +109,10 @@ std::vector<std::vector<PointResult>> RunQualitySweep(
     for (int seed_index = 0; seed_index < options.num_seeds; ++seed_index) {
       uint64_t seed = options.seed0 + 17 * seed_index;
       core::Instance instance = points[p].make(seed);
-      std::vector<Engine> engines = MakeEngines(seed);
+      std::vector<Engine> engines = MakeEngines(seed, options.num_threads);
       // One graph per instance, shared by all four approaches.
-      core::CandidateGraph graph = engines.front().BuildGraph(instance);
+      core::CandidateGraph graph =
+          engines.front().BuildGraph(instance).value();
       for (size_t s = 0; s < num_solvers; ++s) {
         auto t0 = std::chrono::steady_clock::now();
         core::SolveResult solve =

@@ -19,11 +19,14 @@ namespace rdbsc::bench {
 ///                   laptop-scale reduction that preserves the trends
 ///   --base=N        the scaled stand-in for the paper's 10K (default 300)
 ///   --seeds=K       number of random seeds averaged per point (default 3)
+///   --threads=N     engine thread-pool size (default 0 = serial); results
+///                   are bit-identical at every setting, only time changes
 struct BenchOptions {
   int base = 300;
   int num_seeds = 3;
   bool paper_scale = false;
   uint64_t seed0 = 1'000;
+  int num_threads = 0;
 };
 
 /// Parses the options above; unknown flags are ignored so binaries can add
@@ -40,8 +43,9 @@ const std::vector<std::string>& ApproachNames();
 
 /// One engine per Section 8.1 approach, wired through the solver registry
 /// with `seed`. Engines also build candidate graphs (Engine::BuildGraph),
-/// so benches never touch graph construction directly.
-std::vector<Engine> MakeEngines(uint64_t seed);
+/// so benches never touch graph construction directly. `num_threads > 1`
+/// gives every engine its own pool of that size.
+std::vector<Engine> MakeEngines(uint64_t seed, int num_threads = 0);
 
 /// One x-axis point of a figure sweep: a label plus an instance factory.
 struct SweepPoint {

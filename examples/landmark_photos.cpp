@@ -84,7 +84,7 @@ int main() {
         Engine::Create(name).value());
   }
 
-  core::CandidateGraph graph = engines.front().BuildGraph(instance);
+  core::CandidateGraph graph = engines.front().BuildGraph(instance).value();
   std::printf("landmark task: %d candidate photographers\n\n",
               static_cast<int>(graph.WorkersOf(0).size()));
   for (Engine& engine : engines) {

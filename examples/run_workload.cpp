@@ -11,8 +11,9 @@
 // Flags: --m, --n, --dist=uniform|skewed|real, --solver=<registry name>
 // (see --list-solvers), --seed, --budget=<seconds> (wall-clock admission
 // budget), --graph=auto|brute|grid (candidate-graph construction; auto
-// consults the Appendix I cost model), --tasks/--workers (CSV input),
-// --out-dir (writes tasks/workers/assignment CSVs).
+// consults the Appendix I cost model), --threads=N (engine thread pool;
+// 0 = serial, results identical at every setting), --tasks/--workers
+// (CSV input), --out-dir (writes tasks/workers/assignment CSVs).
 
 #include <cstdio>
 #include <cstdlib>
@@ -75,6 +76,8 @@ int main(int argc, char** argv) {
       (flag = FlagValue(argc, argv, "--budget")) ? std::atof(flag) : 0.0;
   std::string graph_mode =
       (flag = FlagValue(argc, argv, "--graph")) ? flag : "auto";
+  int num_threads =
+      (flag = FlagValue(argc, argv, "--threads")) ? std::atoi(flag) : 0;
   const char* tasks_path = FlagValue(argc, argv, "--tasks");
   const char* workers_path = FlagValue(argc, argv, "--workers");
   const char* out_dir = FlagValue(argc, argv, "--out-dir");
@@ -118,6 +121,7 @@ int main(int argc, char** argv) {
   config.solver_name = solver_name;
   config.solver_options.seed = seed;
   config.budget_seconds = budget;
+  config.num_threads = num_threads;
   if (graph_mode == "brute") {
     config.graph_strategy = GraphStrategy::kBruteForce;
   } else if (graph_mode == "grid") {
@@ -155,9 +159,9 @@ int main(int argc, char** argv) {
               plan.used_grid_index ? "grid index" : "brute force",
               plan.build_seconds,
               graph_mode == "auto" ? " [cost-model pick]" : "");
-  std::printf("solver   : %s (seed %llu)\n",
+  std::printf("solver   : %s (seed %llu, threads %d)\n",
               std::string(engine.value().solver_display_name()).c_str(),
-              static_cast<unsigned long long>(seed));
+              static_cast<unsigned long long>(seed), num_threads);
   std::printf("objectives: min reliability = %.4f, total_STD = %.4f\n",
               result.objectives.min_reliability,
               result.objectives.total_std);

@@ -1,6 +1,7 @@
 #include "core/divide_conquer.h"
 
 #include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <memory>
 #include <unordered_map>
@@ -33,10 +34,11 @@ using Pair = std::pair<TaskId, WorkerId>;
 class DcRunner {
  public:
   DcRunner(const Instance& instance, const SolverOptions& options,
-           const util::Deadline& deadline)
+           const util::Deadline& deadline, util::Executor& executor)
       : instance_(instance),
         options_(options),
         deadline_(deadline),
+        executor_(executor),
         rng_(options.seed) {}
 
   util::StatusOr<std::vector<Pair>> Run(const CandidateGraph& graph,
@@ -50,30 +52,108 @@ class DcRunner {
       root.edges.push_back(graph.TasksOf(j));
     }
     stats_ = stats;
-    return Solve(std::move(root));
+
+    // Phase 1 (serial): BG_Partition recursion. All rng_ draws happen
+    // here, in the exact order of the recursive formulation, so phases 2-3
+    // can run leaves in any order without perturbing the random stream.
+    util::StatusOr<int> root_node = Descend(std::move(root));
+    if (!root_node.ok()) return root_node.status();
+
+    // Phase 2 (sharded): the leaves are fully independent subproblems --
+    // each carries its own pre-drawn seed and shares only the read-only
+    // instance and the runner deadline.
+    const int num_leaves = static_cast<int>(leaves_.size());
+    std::vector<std::vector<Pair>> leaf_pairs(num_leaves);
+    std::vector<util::Status> leaf_status(num_leaves);
+    std::vector<SolveStats> leaf_stats(num_leaves);
+    std::atomic<bool> failed{false};
+    executor_.ShardedFor(
+        num_leaves, [&](int /*shard*/, int64_t begin, int64_t end) {
+          for (int64_t leaf = begin; leaf < end; ++leaf) {
+            if (failed.load(std::memory_order_relaxed)) return;
+            util::StatusOr<std::vector<Pair>> solved = SolveLeaf(
+                leaves_[leaf].sub, leaves_[leaf].seed, &leaf_stats[leaf]);
+            if (solved.ok()) {
+              leaf_pairs[leaf] = std::move(solved).value();
+            } else {
+              leaf_status[leaf] = solved.status();
+              failed.store(true, std::memory_order_relaxed);
+            }
+          }
+        });
+    for (int leaf = 0; leaf < num_leaves; ++leaf) {
+      if (!leaf_status[leaf].ok()) return leaf_status[leaf];
+      if (stats_ != nullptr) {
+        stats_->exact_std_evals += leaf_stats[leaf].exact_std_evals;
+        stats_->sample_size =
+            std::max(stats_->sample_size, leaf_stats[leaf].sample_size);
+      }
+    }
+
+    // Phase 3 (serial): SA_Merge bottom-up in tree order -- merge takes no
+    // random draws, so this reproduces the recursive result exactly.
+    return Combine(root_node.value(), &leaf_pairs);
   }
 
  private:
-  // RDB-SC_DC (Fig. 6).
-  util::StatusOr<std::vector<Pair>> Solve(Sub sub) {
+  // One node of the materialized BG_Partition tree (Fig. 6 call graph).
+  struct Node {
+    int left = -1;
+    int right = -1;
+    int leaf_index = -1;  ///< into leaves_ when this is a leaf
+  };
+  struct Leaf {
+    Sub sub;
+    uint64_t seed;  ///< embedded-solver seed, drawn in recursion order
+  };
+
+  // The recursive descent of RDB-SC_DC (Fig. 6), with the leaf *solves*
+  // deferred: this phase only partitions and records leaves.
+  util::StatusOr<int> Descend(Sub sub) {
     if (util::Status budget = deadline_.Check(); !budget.ok()) {
       return budget;
     }
     if (static_cast<int>(sub.tasks.size()) <= options_.gamma ||
         sub.workers.empty()) {
-      return SolveLeaf(sub);
+      return MakeLeaf(std::move(sub));
     }
     Sub left, right;
-    if (!Partition(sub, &left, &right)) return SolveLeaf(sub);
-    util::StatusOr<std::vector<Pair>> s1 = Solve(std::move(left));
+    if (!Partition(sub, &left, &right)) return MakeLeaf(std::move(sub));
+    util::StatusOr<int> l = Descend(std::move(left));
+    if (!l.ok()) return l.status();
+    util::StatusOr<int> r = Descend(std::move(right));
+    if (!r.ok()) return r.status();
+    nodes_.push_back(Node{l.value(), r.value(), -1});
+    return static_cast<int>(nodes_.size()) - 1;
+  }
+
+  int MakeLeaf(Sub sub) {
+    // Matches the recursive formulation's draw: one fork per leaf, taken
+    // when the recursion reaches it.
+    leaves_.push_back(Leaf{std::move(sub), rng_.Fork().engine()()});
+    nodes_.push_back(
+        Node{-1, -1, static_cast<int>(leaves_.size()) - 1});
+    return static_cast<int>(nodes_.size()) - 1;
+  }
+
+  // Bottom-up SA_Merge over the materialized tree.
+  util::StatusOr<std::vector<Pair>> Combine(
+      int node_index, std::vector<std::vector<Pair>>* leaf_pairs) {
+    const Node& node = nodes_[node_index];
+    if (node.leaf_index >= 0) {
+      return std::move((*leaf_pairs)[node.leaf_index]);
+    }
+    util::StatusOr<std::vector<Pair>> s1 = Combine(node.left, leaf_pairs);
     if (!s1.ok()) return s1.status();
-    util::StatusOr<std::vector<Pair>> s2 = Solve(std::move(right));
+    util::StatusOr<std::vector<Pair>> s2 = Combine(node.right, leaf_pairs);
     if (!s2.ok()) return s2.status();
     return Merge(s1.value(), s2.value());
   }
 
   // Leaf: materialize a local Instance and run the embedded solver.
-  util::StatusOr<std::vector<Pair>> SolveLeaf(const Sub& sub) {
+  // Called from pool threads; must only touch the leaf's own state.
+  util::StatusOr<std::vector<Pair>> SolveLeaf(const Sub& sub, uint64_t seed,
+                                              SolveStats* leaf_stats) const {
     std::vector<Task> tasks;
     tasks.reserve(sub.tasks.size());
     std::unordered_map<TaskId, TaskId> global_to_local;
@@ -96,9 +176,10 @@ class DcRunner {
         CandidateGraph::FromEdges(local, std::move(local_edges));
 
     SolverOptions leaf_options = options_;
-    leaf_options.seed = rng_.Fork().engine()();
+    leaf_options.seed = seed;
     // The leaf solver shares this runner's deadline so a budget covers the
-    // whole divide-and-conquer tree, not each leaf separately.
+    // whole divide-and-conquer tree, not each leaf separately. Leaves run
+    // serially inside: the fan-out happens at leaf granularity.
     SolveRequest leaf_request;
     leaf_request.instance = &local;
     leaf_request.graph = &local_graph;
@@ -109,11 +190,8 @@ class DcRunner {
             : SamplingSolver(leaf_options).Solve(leaf_request);
     if (!solved.ok()) return solved.status();
     const SolveResult& leaf = solved.value();
-    if (stats_ != nullptr) {
-      stats_->exact_std_evals += leaf.stats.exact_std_evals;
-      stats_->sample_size =
-          std::max(stats_->sample_size, leaf.stats.sample_size);
-    }
+    leaf_stats->exact_std_evals = leaf.stats.exact_std_evals;
+    leaf_stats->sample_size = leaf.stats.sample_size;
 
     std::vector<Pair> pairs;
     for (WorkerId lj = 0; lj < local.num_workers(); ++lj) {
@@ -297,18 +375,22 @@ class DcRunner {
   const Instance& instance_;
   const SolverOptions& options_;
   const util::Deadline& deadline_;
+  util::Executor& executor_;
   util::Rng rng_;
   SolveStats* stats_ = nullptr;
+  std::vector<Node> nodes_;
+  std::vector<Leaf> leaves_;
 };
 
 }  // namespace
 
 util::StatusOr<SolveResult> DivideConquerSolver::SolveImpl(
     const Instance& instance, const CandidateGraph& graph,
-    const util::Deadline& deadline, SolveStats* partial_stats) {
+    const util::Deadline& deadline, util::Executor& executor,
+    SolveStats* partial_stats) {
   auto t0 = std::chrono::steady_clock::now();
   SolveResult result;
-  DcRunner runner(instance, options_, deadline);
+  DcRunner runner(instance, options_, deadline, executor);
   util::StatusOr<std::vector<Pair>> pairs = runner.Run(graph, &result.stats);
   result.stats.wall_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)

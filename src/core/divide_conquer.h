@@ -14,6 +14,11 @@ namespace rdbsc::core {
 /// ("conflicting") workers with SA_Merge (Fig. 9), classifying them into
 /// independent (ICW) and dependent (DCW) conflicting workers per Lemmas
 /// 6.1-6.2 and enumerating each DCW group's 2^k keep-side combinations.
+///
+/// The partition phase is serial (it drives the random stream); the leaf
+/// subproblems are independent and fan out across the request's executor,
+/// each with a seed pre-drawn in recursion order, so parallel runs are
+/// bit-identical to serial for a fixed options.seed.
 class DivideConquerSolver : public Solver {
  public:
   explicit DivideConquerSolver(SolverOptions options = {},
@@ -26,6 +31,7 @@ class DivideConquerSolver : public Solver {
   util::StatusOr<SolveResult> SolveImpl(const Instance& instance,
                                         const CandidateGraph& graph,
                                         const util::Deadline& deadline,
+                                        util::Executor& executor,
                                         SolveStats* partial_stats) override;
 
  private:

@@ -68,7 +68,8 @@ int64_t ExactSolver::Population(const CandidateGraph& graph, int64_t cap) {
 
 util::StatusOr<SolveResult> ExactSolver::SolveImpl(
     const Instance& instance, const CandidateGraph& graph,
-    const util::Deadline& deadline, SolveStats* partial_stats) {
+    const util::Deadline& deadline, util::Executor& /*executor*/,
+    SolveStats* partial_stats) {
   auto t0 = std::chrono::steady_clock::now();
   int64_t population = Population(graph, max_enumeration_);
   if (population < 0) {

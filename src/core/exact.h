@@ -35,6 +35,7 @@ class ExactSolver : public Solver {
   util::StatusOr<SolveResult> SolveImpl(const Instance& instance,
                                         const CandidateGraph& graph,
                                         const util::Deadline& deadline,
+                                        util::Executor& executor,
                                         SolveStats* partial_stats) override;
 
  private:

@@ -20,6 +20,7 @@ class GreedySolver : public Solver {
   util::StatusOr<SolveResult> SolveImpl(const Instance& instance,
                                         const CandidateGraph& graph,
                                         const util::Deadline& deadline,
+                                        util::Executor& executor,
                                         SolveStats* partial_stats) override;
 
  private:

@@ -1,6 +1,8 @@
 #include "core/instance.h"
 
+#include <atomic>
 #include <cmath>
+#include <utility>
 
 namespace rdbsc::core {
 
@@ -25,14 +27,40 @@ util::Status Instance::Validate() const {
 }
 
 CandidateGraph CandidateGraph::Build(const Instance& instance) {
+  // Unlimited deadline: the sharded path cannot fail.
+  return Build(instance, nullptr, util::Deadline()).value();
+}
+
+util::StatusOr<CandidateGraph> CandidateGraph::Build(
+    const Instance& instance, util::Executor* executor,
+    const util::Deadline& deadline) {
+  // Poll the deadline every this many worker rows. Each row is O(m) pair
+  // tests, so the check amortizes to nothing while still bounding overrun.
+  constexpr int kRowsPerDeadlineCheck = 32;
+
   std::vector<std::vector<TaskId>> edges(instance.num_workers());
-  for (WorkerId j = 0; j < instance.num_workers(); ++j) {
-    for (TaskId i = 0; i < instance.num_tasks(); ++i) {
-      if (IsValidPair(instance.task(i), instance.worker(j), instance.now(),
-                      instance.policy())) {
-        edges[j].push_back(i);
-      }
-    }
+  std::atomic<bool> interrupted{false};
+  util::OrSerial(executor).ShardedFor(
+      instance.num_workers(),
+      [&](int /*shard*/, int64_t begin, int64_t end) {
+        for (int64_t j = begin; j < end; ++j) {
+          if ((j - begin) % kRowsPerDeadlineCheck == 0 &&
+              (interrupted.load(std::memory_order_relaxed) ||
+               deadline.Exhausted())) {
+            interrupted.store(true, std::memory_order_relaxed);
+            return;
+          }
+          for (TaskId i = 0; i < instance.num_tasks(); ++i) {
+            if (IsValidPair(instance.task(i),
+                            instance.worker(static_cast<WorkerId>(j)),
+                            instance.now(), instance.policy())) {
+              edges[j].push_back(i);
+            }
+          }
+        }
+      });
+  if (interrupted.load(std::memory_order_relaxed)) {
+    return util::InterruptedStatus(deadline, "graph build interrupted");
   }
   return FromEdges(instance, std::move(edges));
 }

@@ -4,6 +4,8 @@
 #include <vector>
 
 #include "core/model.h"
+#include "util/deadline.h"
+#include "util/executor.h"
 #include "util/status.h"
 
 namespace rdbsc::core {
@@ -52,6 +54,16 @@ class CandidateGraph {
  public:
   /// Builds the graph by testing every (task, worker) pair; O(m*n).
   static CandidateGraph Build(const Instance& instance);
+
+  /// Same construction with interruption points and optional sharding:
+  /// worker rows are partitioned across `executor` (nullptr = serial) and
+  /// `deadline` is polled between row blocks, so a wall-clock budget or
+  /// cancellation cuts the O(m*n) scan short with kDeadlineExceeded /
+  /// kCancelled. The edge set is identical to the serial Build for every
+  /// executor width (rows are independent; merge is by worker id).
+  static util::StatusOr<CandidateGraph> Build(const Instance& instance,
+                                              util::Executor* executor,
+                                              const util::Deadline& deadline);
 
   /// Builds the graph from precomputed edges (as retrieved from the grid
   /// index); `edges[j]` lists the valid tasks of worker j.

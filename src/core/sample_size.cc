@@ -40,7 +40,7 @@ double LogProbRankAtMost(const SampleSizeParams& params, int64_t k) {
     //   ln C(M,K) - K ln(1-p) + K ln p ~ K ln(pM) - ln K! = K ln(1-eps)-lnK!
     // with p M = 1 - eps held exactly; error terms are O(K^2/M).
     return -1.0 + kk * std::log(1.0 - params.epsilon) -
-           std::lgamma(kk + 1.0);
+           util::LogGamma(kk + 1.0);
   }
 
   const double n = std::exp(log_n);

@@ -1,8 +1,11 @@
 #include "core/sampling.h"
 
 #include <algorithm>
+#include <atomic>
 #include <chrono>
+#include <cstdint>
 #include <memory>
+#include <utility>
 #include <vector>
 
 #include "core/dominance.h"
@@ -31,40 +34,57 @@ int SamplingSolver::EffectiveSampleSize(const CandidateGraph& graph) const {
 
 util::StatusOr<SolveResult> SamplingSolver::SolveImpl(
     const Instance& instance, const CandidateGraph& graph,
-    const util::Deadline& deadline, SolveStats* partial_stats) {
+    const util::Deadline& deadline, util::Executor& executor,
+    SolveStats* partial_stats) {
   auto t0 = std::chrono::steady_clock::now();
-  util::Rng rng(options_.seed);
 
   const int k = EffectiveSampleSize(graph);
 
-  std::vector<Assignment> samples;
-  std::vector<ObjectiveValue> values;
-  samples.reserve(k);
-  values.reserve(k);
+  // One independent child stream per sample, seeded in sample order (the
+  // in-shard Rng(seed) construction is exactly what Fork() does). Each
+  // sample depends only on its own stream, so batches can be evaluated on
+  // any executor width and still reproduce the serial run bit for bit.
+  util::Rng rng(options_.seed);
+  std::vector<uint64_t> sample_seeds(k);
+  for (int h = 0; h < k; ++h) sample_seeds[h] = rng.engine()();
+
+  std::vector<Assignment> samples(k);
+  std::vector<ObjectiveValue> values(k);
+  std::atomic<int> completed{0};
+  std::atomic<bool> interrupted{false};
+  executor.ShardedFor(k, [&](int /*shard*/, int64_t begin, int64_t end) {
+    for (int64_t h = begin; h < end; ++h) {
+      if (interrupted.load(std::memory_order_relaxed) ||
+          deadline.Exhausted()) {
+        interrupted.store(true, std::memory_order_relaxed);
+        return;
+      }
+      // Lines 4-7 of Fig. 5: pick, for every worker, one incident edge
+      // uniformly at random.
+      Assignment sample(instance.num_workers());
+      util::Rng sample_rng(sample_seeds[h]);
+      for (WorkerId j = 0; j < instance.num_workers(); ++j) {
+        const auto& tasks = graph.TasksOf(j);
+        if (tasks.empty()) continue;
+        size_t pick = static_cast<size_t>(sample_rng.UniformInt(
+            0, static_cast<int64_t>(tasks.size()) - 1));
+        sample.Assign(j, tasks[pick]);
+      }
+      values[h] = EvaluateAssignment(instance, sample);
+      samples[h] = std::move(sample);
+      completed.fetch_add(1, std::memory_order_relaxed);
+    }
+  });
 
   SolveResult result;
-  for (int h = 0; h < k; ++h) {
-    if (deadline.Exhausted()) {
-      result.stats.sample_size = h;
-      result.stats.wall_seconds =
-          std::chrono::duration<double>(std::chrono::steady_clock::now() -
-                                        t0)
-              .count();
-      return BudgetError(deadline, result.stats, partial_stats);
-    }
-    // Lines 4-7 of Fig. 5: pick, for every worker, one incident edge
-    // uniformly at random.
-    Assignment sample(instance.num_workers());
-    for (WorkerId j = 0; j < instance.num_workers(); ++j) {
-      const auto& tasks = graph.TasksOf(j);
-      if (tasks.empty()) continue;
-      size_t pick = static_cast<size_t>(
-          rng.UniformInt(0, static_cast<int64_t>(tasks.size()) - 1));
-      sample.Assign(j, tasks[pick]);
-    }
-    values.push_back(EvaluateAssignment(instance, sample));
-    samples.push_back(std::move(sample));
-    result.stats.exact_std_evals += instance.num_tasks();
+  result.stats.exact_std_evals =
+      static_cast<int64_t>(completed.load()) * instance.num_tasks();
+  if (interrupted.load(std::memory_order_relaxed)) {
+    result.stats.sample_size = completed.load();
+    result.stats.wall_seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count();
+    return BudgetError(deadline, result.stats, partial_stats);
   }
 
   // Line 8: rank samples by how many other samples they dominate.

@@ -23,6 +23,7 @@ class SamplingSolver : public Solver {
   util::StatusOr<SolveResult> SolveImpl(const Instance& instance,
                                         const CandidateGraph& graph,
                                         const util::Deadline& deadline,
+                                        util::Executor& executor,
                                         SolveStats* partial_stats) override;
 
  private:

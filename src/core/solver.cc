@@ -12,12 +12,13 @@ util::StatusOr<SolveResult> Solver::Solve(const SolveRequest& request) {
     return util::Status::InvalidArgument(
         "candidate graph shape does not match the instance");
   }
+  util::Executor& executor = util::OrSerial(request.executor);
   if (request.deadline != nullptr) {
     return SolveImpl(*request.instance, *request.graph, *request.deadline,
-                     request.partial_stats);
+                     executor, request.partial_stats);
   }
   util::Deadline deadline(request.budget_seconds, request.cancel);
-  return SolveImpl(*request.instance, *request.graph, deadline,
+  return SolveImpl(*request.instance, *request.graph, deadline, executor,
                    request.partial_stats);
 }
 

@@ -7,6 +7,7 @@
 #include "core/assignment.h"
 #include "core/instance.h"
 #include "util/deadline.h"
+#include "util/executor.h"
 #include "util/status.h"
 
 namespace rdbsc::core {
@@ -93,6 +94,10 @@ struct SolveRequest {
   /// When non-null, receives the counters accumulated up to the point a
   /// solve failed (budget_exhausted set on kDeadlineExceeded/kCancelled).
   SolveStats* partial_stats = nullptr;
+  /// Optional executor (unowned) the solver may shard independent work
+  /// over (D&C leaves, sampling batches); nullptr = serial. Solvers that
+  /// use it are bit-identical to their serial runs for a fixed seed.
+  util::Executor* executor = nullptr;
 };
 
 /// Common interface of GREEDY, SAMPLING, D&C, G-TRUTH and EXACT.
@@ -121,10 +126,13 @@ class Solver {
  protected:
   /// Implementation hook. `deadline` is prebuilt from the request;
   /// implementations poll it at their natural iteration granularity and
-  /// bail out via BudgetError() once it is exhausted.
+  /// bail out via BudgetError() once it is exhausted. `executor` resolves
+  /// the request's executor (SerialExec() when none was supplied);
+  /// implementations without parallel structure simply ignore it.
   virtual util::StatusOr<SolveResult> SolveImpl(
       const Instance& instance, const CandidateGraph& graph,
-      const util::Deadline& deadline, SolveStats* partial_stats) = 0;
+      const util::Deadline& deadline, util::Executor& executor,
+      SolveStats* partial_stats) = 0;
 
   /// Standard failure path for an exhausted deadline: flags and publishes
   /// the partial `stats` (when the caller asked for them) and returns the

@@ -15,7 +15,8 @@ namespace rdbsc::core {
 
 util::StatusOr<SolveResult> WorkerGreedySolver::SolveImpl(
     const Instance& instance, const CandidateGraph& graph,
-    const util::Deadline& deadline, SolveStats* partial_stats) {
+    const util::Deadline& deadline, util::Executor& /*executor*/,
+    SolveStats* partial_stats) {
   auto t0 = std::chrono::steady_clock::now();
   SolveResult result;
   AssignmentState state(instance);

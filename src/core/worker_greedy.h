@@ -26,6 +26,7 @@ class WorkerGreedySolver : public Solver {
   util::StatusOr<SolveResult> SolveImpl(const Instance& instance,
                                         const CandidateGraph& graph,
                                         const util::Deadline& deadline,
+                                        util::Executor& executor,
                                         SolveStats* partial_stats) override;
 
  private:

@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <chrono>
+#include <future>
 #include <utility>
+#include <vector>
 
 #include "index/cost_model.h"
 #include "index/grid_index.h"
@@ -46,6 +48,10 @@ util::StatusOr<Engine> Engine::Create(EngineConfig config) {
   Engine engine;
   engine.config_ = std::move(config);
   engine.solver_ = std::move(solver).value();
+  if (engine.config_.num_threads > 1) {
+    engine.pool_ =
+        std::make_unique<util::ThreadPool>(engine.config_.num_threads);
+  }
   return engine;
 }
 
@@ -53,8 +59,15 @@ std::string_view Engine::solver_display_name() const {
   return solver_ == nullptr ? std::string_view{} : solver_->name();
 }
 
-core::CandidateGraph Engine::BuildGraph(const core::Instance& instance,
-                                        GraphPlan* plan) const {
+util::StatusOr<core::CandidateGraph> Engine::BuildGraph(
+    const core::Instance& instance, GraphPlan* plan,
+    const util::Deadline& deadline) const {
+  return BuildGraphOn(instance, plan, deadline, pool_.get());
+}
+
+util::StatusOr<core::CandidateGraph> Engine::BuildGraphOn(
+    const core::Instance& instance, GraphPlan* plan,
+    const util::Deadline& deadline, util::Executor* executor) const {
   auto t0 = std::chrono::steady_clock::now();
   GraphPlan local;
 
@@ -79,13 +92,22 @@ core::CandidateGraph Engine::BuildGraph(const core::Instance& instance,
 
   core::CandidateGraph graph;
   if (use_grid) {
-    index::GridIndex grid = index::GridIndex::Build(instance, eta);
-    graph = core::CandidateGraph::FromEdges(
-        instance, grid.RetrieveEdges(instance.num_workers()));
+    util::StatusOr<index::GridIndex> grid =
+        index::GridIndex::Build(instance, eta, deadline);
+    if (!grid.ok()) return grid.status();
+    util::StatusOr<std::vector<std::vector<core::TaskId>>> edges =
+        grid.value().RetrieveEdges(instance.num_workers(), nullptr, executor,
+                                   deadline);
+    if (!edges.ok()) return edges.status();
+    graph =
+        core::CandidateGraph::FromEdges(instance, std::move(edges).value());
     local.used_grid_index = true;
-    local.eta = grid.eta();
+    local.eta = grid.value().eta();
   } else {
-    graph = core::CandidateGraph::Build(instance);
+    util::StatusOr<core::CandidateGraph> built =
+        core::CandidateGraph::Build(instance, executor, deadline);
+    if (!built.ok()) return built.status();
+    graph = std::move(built).value();
   }
   local.edges = graph.NumEdges();
   local.build_seconds =
@@ -114,13 +136,15 @@ util::Deadline Engine::MakeDeadline(const RunControls& controls) const {
 
 util::StatusOr<core::SolveResult> Engine::DoSolve(
     const core::Instance& instance, const core::CandidateGraph& graph,
-    const util::Deadline& deadline, core::SolveStats* partial_stats) {
+    core::Solver& solver, const util::Deadline& deadline,
+    util::Executor* executor, core::SolveStats* partial_stats) {
   core::SolveRequest request;
   request.instance = &instance;
   request.graph = &graph;
   request.deadline = &deadline;
   request.partial_stats = partial_stats;
-  return solver_->Solve(request);
+  request.executor = executor;
+  return solver.Solve(request);
 }
 
 util::StatusOr<core::SolveResult> Engine::SolveOn(
@@ -128,33 +152,94 @@ util::StatusOr<core::SolveResult> Engine::SolveOn(
     const RunControls& controls) {
   if (util::Status ready = CheckReady(instance); !ready.ok()) return ready;
   util::Deadline deadline = MakeDeadline(controls);
-  return DoSolve(instance, graph, deadline, controls.partial_stats);
+  return DoSolve(instance, graph, *solver_, deadline, pool_.get(),
+                 controls.partial_stats);
 }
 
-util::StatusOr<EngineResult> Engine::Run(const core::Instance& instance,
-                                         const RunControls& controls) {
+util::StatusOr<EngineResult> Engine::RunOn(const core::Instance& instance,
+                                           core::Solver& solver,
+                                           const util::Deadline& deadline,
+                                           util::Executor* executor,
+                                           core::SolveStats* partial_stats) {
   if (util::Status ready = CheckReady(instance); !ready.ok()) return ready;
   // The admission budget covers the whole run, so the clock starts before
   // graph construction: a solve after an expensive build only gets the
   // remaining budget (and fails immediately if the build consumed it all).
-  // The build itself has no interruption points, so refuse an already
-  // tripped deadline/token here rather than after minutes of O(m*n) work.
-  util::Deadline deadline = MakeDeadline(controls);
-  if (util::Status admitted = deadline.Check(); !admitted.ok()) {
-    if (controls.partial_stats != nullptr) {
-      *controls.partial_stats = core::SolveStats{};
-      controls.partial_stats->budget_exhausted = true;
-    }
-    return admitted;
-  }
   EngineResult result;
-  core::CandidateGraph graph = BuildGraph(instance, &result.plan);
+  util::StatusOr<core::CandidateGraph> graph =
+      BuildGraphOn(instance, &result.plan, deadline, executor);
+  if (!graph.ok()) {
+    // The build tripped the budget mid-scan; report it the same way a
+    // budget-exceeded solve would.
+    if (partial_stats != nullptr) {
+      *partial_stats = core::SolveStats{};
+      partial_stats->budget_exhausted = true;
+    }
+    return graph.status();
+  }
 
-  util::StatusOr<core::SolveResult> solve =
-      DoSolve(instance, graph, deadline, controls.partial_stats);
+  util::StatusOr<core::SolveResult> solve = DoSolve(
+      instance, graph.value(), solver, deadline, executor, partial_stats);
   if (!solve.ok()) return solve.status();
   result.solve = std::move(solve).value();
   return result;
+}
+
+util::StatusOr<EngineResult> Engine::Run(const core::Instance& instance,
+                                         const RunControls& controls) {
+  if (solver_ == nullptr) {
+    return util::Status::FailedPrecondition(
+        "engine not initialized; construct it with Engine::Create");
+  }
+  return RunOn(instance, *solver_, MakeDeadline(controls), pool_.get(),
+               controls.partial_stats);
+}
+
+std::vector<util::StatusOr<EngineResult>> Engine::RunBatch(
+    std::span<const core::Instance> instances,
+    const RunControls& controls) {
+  const int n = static_cast<int>(instances.size());
+  std::vector<util::StatusOr<EngineResult>> results(
+      n, util::StatusOr<EngineResult>(
+             util::Status::Internal("batch slot never ran")));
+  if (n == 0) return results;
+  if (solver_ == nullptr) {
+    util::Status inert = util::Status::FailedPrecondition(
+        "engine not initialized; construct it with Engine::Create");
+    for (auto& slot : results) slot = inert;
+    return results;
+  }
+
+  // One deadline for the whole batch: the budget is an admission control
+  // on the batch, not a per-instance allowance. Every task gets its own
+  // registry-created solver (identical options), so per-instance results
+  // match individual Run calls and no solver is shared across threads.
+  // Instances run serially inside their task: the fan-out is per
+  // instance, and one queued task per instance (instead of static
+  // sharding) keeps the pool busy on heterogeneous batches.
+  util::Deadline deadline = MakeDeadline(controls);
+  auto run_one = [&](int64_t i) {
+    util::StatusOr<std::unique_ptr<core::Solver>> solver =
+        core::SolverRegistry::Global().Create(config_.solver_name,
+                                              config_.solver_options);
+    if (!solver.ok()) {
+      results[i] = solver.status();
+      return;
+    }
+    results[i] = RunOn(instances[i], *solver.value(), deadline,
+                       /*executor=*/nullptr, /*partial_stats=*/nullptr);
+  };
+  if (pool_ == nullptr) {
+    for (int64_t i = 0; i < n; ++i) run_one(i);
+  } else {
+    std::vector<std::future<void>> pending;
+    pending.reserve(n);
+    for (int64_t i = 0; i < n; ++i) {
+      pending.push_back(pool_->Submit([&run_one, i] { run_one(i); }));
+    }
+    for (std::future<void>& task : pending) task.get();
+  }
+  return results;
 }
 
 }  // namespace rdbsc

@@ -3,14 +3,17 @@
 
 #include <cstdint>
 #include <memory>
+#include <span>
 #include <string>
 #include <string_view>
+#include <vector>
 
 #include "core/instance.h"
 #include "core/registry.h"
 #include "core/solver.h"
 #include "util/deadline.h"
 #include "util/status.h"
+#include "util/thread_pool.h"
 
 namespace rdbsc {
 
@@ -42,6 +45,13 @@ struct EngineConfig {
   double budget_seconds = 0.0;
   /// Run Instance::Validate before solving (admission control).
   bool validate_instances = true;
+
+  /// Worker threads of the engine-owned util::ThreadPool; <= 1 keeps the
+  /// zero-thread serial default. The pool shards graph construction and
+  /// the D&C/sampling solvers inside Run/SolveOn, and schedules whole
+  /// instances in RunBatch. Results are bit-identical to serial for a
+  /// fixed solver seed at every thread count.
+  int num_threads = 0;
 };
 
 /// Per-run admission overrides.
@@ -90,18 +100,33 @@ class Engine {
   static util::StatusOr<Engine> Create(std::string solver_name);
 
   /// Full pipeline: validate -> build graph -> solve. The admission
-  /// budget spans the whole run including graph construction: a tripped
-  /// deadline/token is refused before the build starts, and the solve
-  /// phase polls cooperatively. The build itself is the one phase without
-  /// interruption points (making CandidateGraph/GridIndex construction
-  /// abortable is tracked in ROADMAP.md).
+  /// budget spans the whole run including graph construction: every phase
+  /// polls the deadline/token cooperatively -- the candidate-graph build
+  /// checks it between worker-row / cell blocks, so a budget can now cut
+  /// an in-flight build short with kDeadlineExceeded instead of running
+  /// the O(m*n) scan to completion.
   util::StatusOr<EngineResult> Run(const core::Instance& instance,
                                    const RunControls& controls = {});
 
+  /// Batch admission: schedules whole instances across the engine's
+  /// thread pool (serially when num_threads <= 1) under ONE shared
+  /// wall-clock budget and cancellation token. Each instance runs the
+  /// full Run pipeline on its own registry-created solver, so per-
+  /// instance results are identical to individual Run calls; instances
+  /// that miss the shared budget fail with kDeadlineExceeded/kCancelled
+  /// individually. `controls.partial_stats` is ignored (there is no
+  /// single solve to attribute it to).
+  std::vector<util::StatusOr<EngineResult>> RunBatch(
+      std::span<const core::Instance> instances,
+      const RunControls& controls = {});
+
   /// Graph half of the facade, for callers that reuse one graph across
-  /// several solves (e.g. the bench sweeps running 4 approaches).
-  core::CandidateGraph BuildGraph(const core::Instance& instance,
-                                  GraphPlan* plan = nullptr) const;
+  /// several solves (e.g. the bench sweeps running 4 approaches). Sharded
+  /// over the engine pool; fails with kDeadlineExceeded / kCancelled once
+  /// `deadline` trips mid-build.
+  util::StatusOr<core::CandidateGraph> BuildGraph(
+      const core::Instance& instance, GraphPlan* plan = nullptr,
+      const util::Deadline& deadline = util::Deadline()) const;
 
   /// Solve half, on a prebuilt graph.
   util::StatusOr<core::SolveResult> SolveOn(
@@ -114,15 +139,28 @@ class Engine {
   /// The solver's display name, e.g. "D&C" (empty on an inert engine).
   std::string_view solver_display_name() const;
 
+  /// The engine-owned pool, or nullptr when num_threads <= 1 (serial).
+  util::Executor* executor() const { return pool_.get(); }
+
  private:
   util::Status CheckReady(const core::Instance& instance) const;
   util::Deadline MakeDeadline(const RunControls& controls) const;
+  util::StatusOr<core::CandidateGraph> BuildGraphOn(
+      const core::Instance& instance, GraphPlan* plan,
+      const util::Deadline& deadline, util::Executor* executor) const;
   util::StatusOr<core::SolveResult> DoSolve(
       const core::Instance& instance, const core::CandidateGraph& graph,
-      const util::Deadline& deadline, core::SolveStats* partial_stats);
+      core::Solver& solver, const util::Deadline& deadline,
+      util::Executor* executor, core::SolveStats* partial_stats);
+  util::StatusOr<EngineResult> RunOn(const core::Instance& instance,
+                                     core::Solver& solver,
+                                     const util::Deadline& deadline,
+                                     util::Executor* executor,
+                                     core::SolveStats* partial_stats);
 
   EngineConfig config_;
   std::unique_ptr<core::Solver> solver_;
+  std::unique_ptr<util::ThreadPool> pool_;
 };
 
 }  // namespace rdbsc

@@ -1,6 +1,7 @@
 #include "index/grid_index.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cassert>
 #include <cmath>
 #include <limits>
@@ -20,17 +21,34 @@ GridIndex::GridIndex(double eta, double now, core::ArrivalPolicy policy)
   eta_ = 1.0 / cells_per_axis_;
   cells_.resize(static_cast<size_t>(cells_per_axis_) * cells_per_axis_);
   tcell_cache_.resize(cells_.size());
-  tcell_valid_.assign(cells_.size(), false);
+  tcell_valid_.assign(cells_.size(), 0);
 }
 
 GridIndex GridIndex::Build(const core::Instance& instance, double eta) {
+  // Unlimited deadline: the interruptible overload cannot fail.
+  return Build(instance, eta, util::Deadline()).value();
+}
+
+util::StatusOr<GridIndex> GridIndex::Build(const core::Instance& instance,
+                                           double eta,
+                                           const util::Deadline& deadline) {
+  // Poll between insert blocks: bulk-load cost is dominated by the
+  // per-insert reachability maintenance, which scales with num_cells().
+  constexpr int kInsertsPerDeadlineCheck = 64;
+
   GridIndex index(eta, instance.now(), instance.policy());
   for (core::TaskId i = 0; i < instance.num_tasks(); ++i) {
+    if (i % kInsertsPerDeadlineCheck == 0 && deadline.Exhausted()) {
+      return util::InterruptedStatus(deadline, "grid build interrupted");
+    }
     util::Status status = index.InsertTask(i, instance.task(i));
     assert(status.ok());
     (void)status;
   }
   for (core::WorkerId j = 0; j < instance.num_workers(); ++j) {
+    if (j % kInsertsPerDeadlineCheck == 0 && deadline.Exhausted()) {
+      return util::InterruptedStatus(deadline, "grid build interrupted");
+    }
     util::Status status = index.InsertWorker(j, instance.worker(j));
     assert(status.ok());
     (void)status;
@@ -72,9 +90,8 @@ void GridIndex::AbsorbTask(Cell* cell, const core::Task& task) {
   }
 }
 
-void GridIndex::RepairIfDirty(int cell_id) const {
+void GridIndex::RebuildSummaries(int cell_id) {
   Cell& cell = cells_[cell_id];
-  if (!cell.dirty) return;
   cell.v_max = 0.0;
   cell.has_dir_cover = false;
   cell.dir_cover = geo::AngularInterval::FullCircle();
@@ -87,7 +104,6 @@ void GridIndex::RepairIfDirty(int cell_id) const {
     cell.s_min = std::min(cell.s_min, task.start);
     cell.e_max = std::max(cell.e_max, task.end);
   }
-  cell.dirty = false;
 }
 
 util::Status GridIndex::InsertWorker(core::WorkerId id,
@@ -99,7 +115,7 @@ util::Status GridIndex::InsertWorker(core::WorkerId id,
   worker_cell_[id] = cell_id;
   Cell& cell = cells_[cell_id];
   cell.workers.emplace_back(id, worker);
-  if (!cell.dirty) AbsorbWorker(&cell, worker);
+  AbsorbWorker(&cell, worker);
   InvalidateReachability(cell_id);
   return util::Status::OK();
 }
@@ -117,7 +133,9 @@ util::Status GridIndex::RemoveWorker(core::WorkerId id) {
                           });
   assert(pos != cell.workers.end());
   cell.workers.erase(pos);
-  cell.dirty = true;  // summaries may have shrunk; repair lazily
+  // Summaries may have shrunk; rebuild eagerly so the const retrieval
+  // paths never have to repair cells (they may run concurrently).
+  RebuildSummaries(cell_id);
   worker_cell_.erase(it);
   InvalidateReachability(cell_id);
   return util::Status::OK();
@@ -131,7 +149,7 @@ util::Status GridIndex::InsertTask(core::TaskId id, const core::Task& task) {
   task_cell_[id] = cell_id;
   Cell& cell = cells_[cell_id];
   cell.tasks.emplace_back(id, task);
-  if (!cell.dirty) AbsorbTask(&cell, task);
+  AbsorbTask(&cell, task);
   PatchReachability(cell_id);
   return util::Status::OK();
 }
@@ -149,7 +167,7 @@ util::Status GridIndex::RemoveTask(core::TaskId id) {
                           });
   assert(pos != cell.tasks.end());
   cell.tasks.erase(pos);
-  cell.dirty = true;
+  RebuildSummaries(cell_id);
   task_cell_.erase(it);
   PatchReachability(cell_id);
   return util::Status::OK();
@@ -177,17 +195,15 @@ bool GridIndex::CanPrune(const Cell& from, int from_id, const Cell& to,
 }
 
 void GridIndex::InvalidateReachability(int cell) {
-  tcell_valid_[cell] = false;
+  tcell_valid_[cell] = 0;
 }
 
 void GridIndex::PatchReachability(int target) {
   // Task churn in `target`: re-evaluate that single target cell in every
   // valid cached list (Section 7.2's task insertion/removal maintenance).
-  RepairIfDirty(target);
   const Cell& to = cells_[target];
   for (int from_id = 0; from_id < num_cells(); ++from_id) {
     if (!tcell_valid_[from_id]) continue;
-    RepairIfDirty(from_id);
     const Cell& from = cells_[from_id];
     bool reachable = !to.tasks.empty() && !from.workers.empty() &&
                      !CanPrune(from, from_id, to, target);
@@ -203,9 +219,8 @@ void GridIndex::PatchReachability(int target) {
   }
 }
 
-const std::vector<int>& GridIndex::CachedReachable(int cell) const {
+const std::vector<int>& GridIndex::CachedReachableLocked(int cell) const {
   if (!tcell_valid_[cell]) {
-    RepairIfDirty(cell);
     const Cell& from = cells_[cell];
     std::vector<int>& list = tcell_cache_[cell];
     list.clear();
@@ -213,77 +228,151 @@ const std::vector<int>& GridIndex::CachedReachable(int cell) const {
       for (int to_id = 0; to_id < num_cells(); ++to_id) {
         const Cell& to = cells_[to_id];
         if (to.tasks.empty()) continue;
-        RepairIfDirty(to_id);
         if (!CanPrune(from, cell, to, to_id)) list.push_back(to_id);
       }
     }
-    tcell_valid_[cell] = true;
+    tcell_valid_[cell] = 1;
     ++reachability_rebuilds_;
   }
   return tcell_cache_[cell];
 }
 
-std::vector<std::vector<core::TaskId>> GridIndex::RetrieveEdges(
-    int num_workers, RetrievalStats* stats) const {
-  std::vector<std::vector<core::TaskId>> edges(num_workers);
-  RetrievalStats local;
+const std::vector<int>& GridIndex::CachedReachable(int cell) const {
+  std::lock_guard<std::mutex> lock(*cache_mu_);
+  return CachedReachableLocked(cell);
+}
+
+bool GridIndex::WarmReachability(bool count_prune_scan,
+                                 RetrievalStats* stats,
+                                 const util::Deadline& deadline) const {
+  std::lock_guard<std::mutex> lock(*cache_mu_);
   for (int from_id = 0; from_id < num_cells(); ++from_id) {
-    RepairIfDirty(from_id);
-    const Cell& from = cells_[from_id];
-    if (from.workers.empty()) continue;
-    bool was_cached = tcell_valid_[from_id];
-    const std::vector<int>& targets = CachedReachable(from_id);
-    if (was_cached) {
-      local.cell_pairs_examined += static_cast<int64_t>(targets.size());
-    } else {
-      local.cell_pairs_examined += num_cells();
-      local.cell_pairs_pruned +=
-          num_cells() - static_cast<int64_t>(targets.size());
-    }
-    for (int to_id : targets) {
-      const Cell& to = cells_[to_id];
-      for (const auto& [wid, worker] : from.workers) {
-        assert(wid < num_workers);
-        for (const auto& [tid, task] : to.tasks) {
-          ++local.pair_tests;
-          if (core::IsValidPair(task, worker, now_, policy_)) {
-            edges[wid].push_back(tid);
-            ++local.edges;
-          }
-        }
+    if (cells_[from_id].workers.empty()) continue;
+    if (deadline.Exhausted()) return false;
+    bool was_cached = tcell_valid_[from_id] != 0;
+    const std::vector<int>& targets = CachedReachableLocked(from_id);
+    if (stats != nullptr) {
+      if (was_cached || !count_prune_scan) {
+        stats->cell_pairs_examined += static_cast<int64_t>(targets.size());
+      } else {
+        stats->cell_pairs_examined += num_cells();
+        stats->cell_pairs_pruned +=
+            num_cells() - static_cast<int64_t>(targets.size());
       }
     }
   }
-  for (auto& list : edges) std::sort(list.begin(), list.end());
-  if (stats != nullptr) *stats = local;
+  return true;
+}
+
+util::StatusOr<std::vector<std::vector<core::TaskId>>>
+GridIndex::RetrieveEdges(int num_workers, RetrievalStats* stats,
+                         util::Executor* executor,
+                         const util::Deadline& deadline) const {
+  // Phase 1 (serialized): build every missing tcell_list and account the
+  // cell-pair counters. After this, the cache entries read below are
+  // immutable for the duration of the scan, so shards need no locking.
+  RetrievalStats totals;
+  if (!WarmReachability(/*count_prune_scan=*/true, &totals, deadline)) {
+    return util::InterruptedStatus(deadline, "retrieval interrupted");
+  }
+
+  // Phase 2 (sharded over source cells): the per-cell pair tests, which
+  // dominate retrieval cost. Every worker lives in exactly one cell, so
+  // shards write disjoint rows of `edges` and the merged edge set is
+  // independent of shard boundaries.
+  std::vector<std::vector<core::TaskId>> edges(num_workers);
+  util::Executor& exec = util::OrSerial(executor);
+  std::vector<RetrievalStats> shard_stats(exec.width());
+  std::atomic<bool> interrupted{false};
+  exec.ShardedFor(num_cells(), [&](int shard, int64_t begin, int64_t end) {
+    RetrievalStats local;
+    for (int64_t from_id = begin; from_id < end; ++from_id) {
+      const Cell& from = cells_[from_id];
+      if (from.workers.empty()) continue;
+      if (interrupted.load(std::memory_order_relaxed) ||
+          deadline.Exhausted()) {
+        interrupted.store(true, std::memory_order_relaxed);
+        break;
+      }
+      for (int to_id : tcell_cache_[from_id]) {
+        const Cell& to = cells_[to_id];
+        for (const auto& [wid, worker] : from.workers) {
+          assert(wid < num_workers);
+          for (const auto& [tid, task] : to.tasks) {
+            ++local.pair_tests;
+            if (core::IsValidPair(task, worker, now_, policy_)) {
+              edges[wid].push_back(tid);
+              ++local.edges;
+            }
+          }
+        }
+      }
+      for (const auto& [wid, worker] : from.workers) {
+        std::sort(edges[wid].begin(), edges[wid].end());
+      }
+    }
+    shard_stats[shard] = local;
+  });
+  if (interrupted.load(std::memory_order_relaxed)) {
+    return util::InterruptedStatus(deadline, "retrieval interrupted");
+  }
+  for (const RetrievalStats& shard : shard_stats) totals.Merge(shard);
+  if (stats != nullptr) *stats = totals;
   return edges;
 }
 
-std::vector<std::pair<core::WorkerId, core::TaskId>> GridIndex::RetrievePairs(
-    RetrievalStats* stats) const {
-  std::vector<std::pair<core::WorkerId, core::TaskId>> pairs;
-  RetrievalStats local;
-  for (int from_id = 0; from_id < num_cells(); ++from_id) {
-    RepairIfDirty(from_id);
-    const Cell& from = cells_[from_id];
-    if (from.workers.empty()) continue;
-    const std::vector<int>& targets = CachedReachable(from_id);
-    local.cell_pairs_examined += static_cast<int64_t>(targets.size());
-    for (int to_id : targets) {
-      const Cell& to = cells_[to_id];
-      for (const auto& [wid, worker] : from.workers) {
-        for (const auto& [tid, task] : to.tasks) {
-          ++local.pair_tests;
-          if (core::IsValidPair(task, worker, now_, policy_)) {
-            pairs.emplace_back(wid, tid);
-            ++local.edges;
+util::StatusOr<std::vector<std::pair<core::WorkerId, core::TaskId>>>
+GridIndex::RetrievePairs(RetrievalStats* stats, util::Executor* executor,
+                         const util::Deadline& deadline) const {
+  RetrievalStats totals;
+  if (!WarmReachability(/*count_prune_scan=*/false, &totals, deadline)) {
+    return util::InterruptedStatus(deadline, "retrieval interrupted");
+  }
+
+  util::Executor& exec = util::OrSerial(executor);
+  std::vector<RetrievalStats> shard_stats(exec.width());
+  std::vector<std::vector<std::pair<core::WorkerId, core::TaskId>>>
+      shard_pairs(exec.width());
+  std::atomic<bool> interrupted{false};
+  exec.ShardedFor(num_cells(), [&](int shard, int64_t begin, int64_t end) {
+    RetrievalStats local;
+    auto& pairs = shard_pairs[shard];
+    for (int64_t from_id = begin; from_id < end; ++from_id) {
+      const Cell& from = cells_[from_id];
+      if (from.workers.empty()) continue;
+      if (interrupted.load(std::memory_order_relaxed) ||
+          deadline.Exhausted()) {
+        interrupted.store(true, std::memory_order_relaxed);
+        break;
+      }
+      for (int to_id : tcell_cache_[from_id]) {
+        const Cell& to = cells_[to_id];
+        for (const auto& [wid, worker] : from.workers) {
+          for (const auto& [tid, task] : to.tasks) {
+            ++local.pair_tests;
+            if (core::IsValidPair(task, worker, now_, policy_)) {
+              pairs.emplace_back(wid, tid);
+              ++local.edges;
+            }
           }
         }
       }
     }
+    shard_stats[shard] = local;
+  });
+  if (interrupted.load(std::memory_order_relaxed)) {
+    return util::InterruptedStatus(deadline, "retrieval interrupted");
+  }
+
+  // Shard-order concatenation followed by the (shard-independent) global
+  // sort reproduces the serial result exactly.
+  std::vector<std::pair<core::WorkerId, core::TaskId>> pairs;
+  for (auto& shard : shard_pairs) {
+    pairs.insert(pairs.end(), shard.begin(), shard.end());
   }
   std::sort(pairs.begin(), pairs.end());
-  if (stats != nullptr) *stats = local;
+  for (const RetrievalStats& shard : shard_stats) totals.Merge(shard);
+  if (stats != nullptr) *stats = totals;
   return pairs;
 }
 
@@ -294,14 +383,12 @@ void GridIndex::set_now(double now) {
 
 std::vector<int> GridIndex::ReachableCells(geo::Point location) const {
   int from_id = CellOf(location);
-  RepairIfDirty(from_id);
   const Cell& from = cells_[from_id];
   std::vector<int> reachable;
   if (from.workers.empty()) return reachable;
   for (int to_id = 0; to_id < num_cells(); ++to_id) {
     const Cell& to = cells_[to_id];
     if (to.tasks.empty()) continue;
-    RepairIfDirty(to_id);
     if (!CanPrune(from, from_id, to, to_id)) reachable.push_back(to_id);
   }
   return reachable;

@@ -2,6 +2,8 @@
 #define RDBSC_INDEX_GRID_INDEX_H_
 
 #include <cstdint>
+#include <memory>
+#include <mutex>
 #include <unordered_map>
 #include <utility>
 #include <vector>
@@ -9,6 +11,8 @@
 #include "core/instance.h"
 #include "core/model.h"
 #include "geo/box.h"
+#include "util/deadline.h"
+#include "util/executor.h"
 #include "util/status.h"
 
 namespace rdbsc::index {
@@ -19,6 +23,15 @@ struct RetrievalStats {
   int64_t cell_pairs_pruned = 0;
   int64_t pair_tests = 0;  ///< individual (worker, task) validity checks
   int64_t edges = 0;       ///< valid pairs found
+
+  /// Shard-order merge of per-shard counters (all sums, so the totals are
+  /// independent of shard boundaries and thread count).
+  void Merge(const RetrievalStats& other) {
+    cell_pairs_examined += other.cell_pairs_examined;
+    cell_pairs_pruned += other.cell_pairs_pruned;
+    pair_tests += other.pair_tests;
+    edges += other.edges;
+  }
 };
 
 /// RDB-SC-Grid (Section 7): a uniform grid over [0,1]^2 with cell side eta.
@@ -26,7 +39,13 @@ struct RetrievalStats {
 /// (maximum speed, a covering direction interval, earliest start / latest
 /// deadline), enabling the cell-level pruning rule when retrieving valid
 /// task-and-worker pairs. Workers and tasks can be inserted and removed
-/// dynamically; summaries are repaired lazily.
+/// dynamically; summaries are rebuilt eagerly on removal so every
+/// read-only entry point sees consistent cells.
+///
+/// Thread safety: mutators (Insert*/Remove*/set_now) require exclusive
+/// access, but any number of threads may run the const retrieval methods
+/// concurrently -- the lazily built reachability cache is the only mutable
+/// state they touch and it is guarded internally.
 class GridIndex {
  public:
   /// Creates an empty grid with cell side `eta` (clamped so the grid has
@@ -35,8 +54,18 @@ class GridIndex {
   explicit GridIndex(double eta, double now = 0.0,
                      core::ArrivalPolicy policy = core::ArrivalPolicy::kStrict);
 
+  /// A trivial one-cell grid (needed by StatusOr; use the eta overloads).
+  GridIndex() : GridIndex(1.0) {}
+
   /// Bulk-loads every worker and task of `instance`.
   static GridIndex Build(const core::Instance& instance, double eta);
+
+  /// Same bulk-load with interruption points: `deadline` is polled
+  /// between insert blocks, so a budget or cancellation cuts grid
+  /// construction short with kDeadlineExceeded / kCancelled.
+  static util::StatusOr<GridIndex> Build(const core::Instance& instance,
+                                         double eta,
+                                         const util::Deadline& deadline);
 
   /// Inserts a worker under `id`; fails with kAlreadyExists on duplicates.
   util::Status InsertWorker(core::WorkerId id, const core::Worker& worker);
@@ -49,14 +78,22 @@ class GridIndex {
 
   /// Retrieves all valid (worker, task) pairs using the cell-level pruning.
   /// The result is indexed by worker id (ids must be < `num_workers`).
-  /// Produces exactly the same edge set as CandidateGraph::Build.
-  std::vector<std::vector<core::TaskId>> RetrieveEdges(
-      int num_workers, RetrievalStats* stats = nullptr) const;
+  /// Produces exactly the same edge set as CandidateGraph::Build, for every
+  /// executor width (source cells are sharded across `executor`; each
+  /// worker's list is produced whole by the shard owning its cell).
+  /// `deadline` is polled between cells; a tripped budget or token returns
+  /// kDeadlineExceeded / kCancelled instead of finishing the scan.
+  util::StatusOr<std::vector<std::vector<core::TaskId>>> RetrieveEdges(
+      int num_workers, RetrievalStats* stats = nullptr,
+      util::Executor* executor = nullptr,
+      const util::Deadline& deadline = util::Deadline()) const;
 
-  /// Same retrieval as a flat (worker, task) pair list; works with
+  /// Same retrieval as a flat sorted (worker, task) pair list; works with
   /// arbitrary (sparse) external ids.
-  std::vector<std::pair<core::WorkerId, core::TaskId>> RetrievePairs(
-      RetrievalStats* stats = nullptr) const;
+  util::StatusOr<std::vector<std::pair<core::WorkerId, core::TaskId>>>
+  RetrievePairs(RetrievalStats* stats = nullptr,
+                util::Executor* executor = nullptr,
+                const util::Deadline& deadline = util::Deadline()) const;
 
   /// Advances the clock used by validity tests and temporal pruning.
   /// Must be non-decreasing: cached reachability lists stay conservative
@@ -71,12 +108,16 @@ class GridIndex {
 
   /// The cached tcell_list of `cell` (Section 7.2 dynamic maintenance):
   /// rebuilt lazily after worker churn in the cell, membership-patched
-  /// after task churn elsewhere. RetrieveEdges consults this cache.
+  /// after task churn elsewhere. RetrieveEdges consults this cache. The
+  /// returned reference stays valid until the next mutation.
   const std::vector<int>& CachedReachable(int cell) const;
 
   /// Number of tcell_list rebuilds / membership patches performed so far
   /// (the cost the Appendix I model estimates).
-  int64_t reachability_rebuilds() const { return reachability_rebuilds_; }
+  int64_t reachability_rebuilds() const {
+    std::lock_guard<std::mutex> lock(*cache_mu_);
+    return reachability_rebuilds_;
+  }
   int64_t reachability_patches() const { return reachability_patches_; }
 
   int cells_per_axis() const { return cells_per_axis_; }
@@ -96,20 +137,32 @@ class GridIndex {
     // Task summaries.
     double s_min = 0.0;
     double e_max = 0.0;
-    bool dirty = false;  ///< summaries need a rebuild after a removal
   };
 
   int CellOf(geo::Point p) const;
   geo::Box BoxOf(int cell) const;
   static void AbsorbWorker(Cell* cell, const core::Worker& worker);
   static void AbsorbTask(Cell* cell, const core::Task& task);
-  void RepairIfDirty(int cell_id) const;
+  /// Recomputes a cell's summaries from scratch (called eagerly after a
+  /// removal shrinks them).
+  void RebuildSummaries(int cell_id);
 
   /// Invalidates the cached tcell_list of `cell` (worker churn there).
   void InvalidateReachability(int cell);
   /// Re-evaluates target cell `target` in every valid cached list (task
   /// churn in `target`).
   void PatchReachability(int target);
+
+  /// Cache lookup/rebuild; requires cache_mu_ held.
+  const std::vector<int>& CachedReachableLocked(int cell) const;
+
+  /// Builds every missing tcell_list touched by a retrieval pass and
+  /// accumulates the cell-pair counters exactly as the serial scan did
+  /// (one cache_mu_ critical section; `count_prune_scan` reproduces
+  /// RetrieveEdges' uncached-scan accounting, RetrievePairs passes false).
+  /// Returns false when `deadline` tripped mid-warm.
+  bool WarmReachability(bool count_prune_scan, RetrievalStats* stats,
+                        const util::Deadline& deadline) const;
 
   /// True when no worker of `from` can reach any task of `to` before its
   /// deadline or within its direction cover (the pruning rule).
@@ -120,14 +173,19 @@ class GridIndex {
   int cells_per_axis_;
   double now_;
   core::ArrivalPolicy policy_;
-  mutable std::vector<Cell> cells_;
+  std::vector<Cell> cells_;
   std::unordered_map<core::WorkerId, int> worker_cell_;
   std::unordered_map<core::TaskId, int> task_cell_;
-  // Per-source-cell cached tcell_lists (sorted), built on demand.
+  // Per-source-cell cached tcell_lists (sorted), built on demand. Guarded
+  // by cache_mu_ against concurrent read-only retrievals; mutators run
+  // with exclusive access and touch it lock-free. Heap-allocated so the
+  // index stays movable (GridIndex::Build returns by value).
+  mutable std::unique_ptr<std::mutex> cache_mu_ =
+      std::make_unique<std::mutex>();
   mutable std::vector<std::vector<int>> tcell_cache_;
-  mutable std::vector<bool> tcell_valid_;
+  mutable std::vector<uint8_t> tcell_valid_;
   mutable int64_t reachability_rebuilds_ = 0;
-  mutable int64_t reachability_patches_ = 0;
+  int64_t reachability_patches_ = 0;
 };
 
 }  // namespace rdbsc::index

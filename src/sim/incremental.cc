@@ -109,8 +109,9 @@ IncrementalAssigner::Update(double now) {
   for (core::TaskId tid : expired) RemoveTask(tid).ok();
 
   // Valid pairs among available workers and open tasks, via the index.
+  // Unlimited deadline and serial retrieval: never fails.
   std::vector<std::pair<core::WorkerId, core::TaskId>> pairs =
-      index_.RetrievePairs();
+      index_.RetrievePairs().value();
 
   // Compact snapshot for the solver.
   std::vector<core::TaskId> task_ids;

@@ -61,6 +61,10 @@ Platform::Platform(PlatformConfig config) : config_(std::move(config)) {
     solver_ = std::move(created).value();
   } else {
     init_status_ = created.status();
+    return;  // Run() only reports init_status_; don't spawn idle threads
+  }
+  if (config_.num_threads > 1) {
+    pool_ = std::make_unique<util::ThreadPool>(config_.num_threads);
   }
 }
 
@@ -174,9 +178,16 @@ util::StatusOr<PlatformResult> Platform::Run() {
 
     core::Instance snapshot(std::move(open_tasks), std::move(free_workers),
                             /*now=*/t, core::ArrivalPolicy::kStrict);
-    core::CandidateGraph graph = core::CandidateGraph::Build(snapshot);
-    util::StatusOr<core::SolveResult> solved =
-        solver_->Solve(snapshot, graph);
+    // Each tick's graph build and solve run through the platform pool
+    // (unlimited deadline: the simulator has no per-tick budget).
+    core::CandidateGraph graph =
+        core::CandidateGraph::Build(snapshot, pool_.get(), util::Deadline())
+            .value();
+    core::SolveRequest request;
+    request.instance = &snapshot;
+    request.graph = &graph;
+    request.executor = pool_.get();
+    util::StatusOr<core::SolveResult> solved = solver_->Solve(request);
     if (!solved.ok()) return solved.status();
     const core::SolveResult& solve = solved.value();
 

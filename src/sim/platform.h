@@ -9,6 +9,7 @@
 #include "core/assignment.h"
 #include "core/solver.h"
 #include "util/status.h"
+#include "util/thread_pool.h"
 
 namespace rdbsc::sim {
 
@@ -42,6 +43,10 @@ struct PlatformConfig {
   /// (resolved through core::SolverRegistry; the platform owns the solver).
   std::string solver_name = "dc";
   core::SolverOptions solver_options;
+  /// Worker threads of a platform-owned util::ThreadPool that every tick's
+  /// candidate-graph build and solve run through; <= 1 stays serial. The
+  /// simulated trajectory is bit-identical at every thread count.
+  int num_threads = 0;
 };
 
 /// One answer produced by a worker reaching a task site.
@@ -93,6 +98,7 @@ class Platform {
   PlatformConfig config_;
   util::Status init_status_;
   std::unique_ptr<core::Solver> solver_;
+  std::unique_ptr<util::ThreadPool> pool_;
 };
 
 }  // namespace rdbsc::sim

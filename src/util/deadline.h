@@ -75,6 +75,16 @@ class Deadline {
   const CancelToken* cancel_ = nullptr;
 };
 
+/// Maps an interruption observed by a sharded loop back to the deadline's
+/// status: kCancelled / kDeadlineExceeded from the deadline itself, or a
+/// kDeadlineExceeded carrying `what` should a racy re-read come back OK
+/// (time is monotone and tokens never un-cancel, but the shard's poll and
+/// this read are distinct).
+inline Status InterruptedStatus(const Deadline& deadline, const char* what) {
+  Status status = deadline.Check();
+  return status.ok() ? Status::DeadlineExceeded(what) : status;
+}
+
 }  // namespace rdbsc::util
 
 #endif  // RDBSC_UTIL_DEADLINE_H_

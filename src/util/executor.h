@@ -1,0 +1,68 @@
+#ifndef RDBSC_UTIL_EXECUTOR_H_
+#define RDBSC_UTIL_EXECUTOR_H_
+
+#include <cstdint>
+#include <functional>
+
+namespace rdbsc::util {
+
+/// The seam between algorithms that can shard work over index ranges and
+/// the machinery that runs the shards. Algorithms are written against this
+/// interface; callers pass a ThreadPool to parallelize or nothing at all
+/// to stay on the zero-thread serial default.
+///
+/// Determinism contract: ShardedFor partitions [0, n) into contiguous
+/// shards whose count and boundaries depend only on `n` and width() --
+/// never on timing -- so per-shard outputs can be merged in shard order
+/// and reproduce the serial result bit for bit. Shard *bodies* may run
+/// concurrently and in any order; they must not share mutable state other
+/// than what the caller explicitly partitions by shard or index.
+class Executor {
+ public:
+  virtual ~Executor() = default;
+
+  /// Maximum number of shards ShardedFor will create (>= 1).
+  virtual int width() const = 0;
+
+  /// Invoked once per shard with (shard, begin, end); [begin, end) ranges
+  /// partition [0, n).
+  using ShardBody = std::function<void(int shard, int64_t begin, int64_t end)>;
+
+  /// Runs `body` over a partition of [0, n) into min(n, width()) shards
+  /// and blocks until every shard has finished. Safe to call from inside
+  /// a shard body (implementations must not deadlock under nesting).
+  virtual void ShardedFor(int64_t n, const ShardBody& body) = 0;
+
+  /// Per-index convenience over ShardedFor: fn(i) for every i in [0, n).
+  void ParallelFor(int64_t n, const std::function<void(int64_t)>& fn) {
+    ShardedFor(n, [&fn](int, int64_t begin, int64_t end) {
+      for (int64_t i = begin; i < end; ++i) fn(i);
+    });
+  }
+};
+
+/// The zero-thread default: one shard, run inline on the calling thread.
+class SerialExecutor final : public Executor {
+ public:
+  int width() const override { return 1; }
+
+  void ShardedFor(int64_t n, const ShardBody& body) override {
+    if (n > 0) body(0, 0, n);
+  }
+};
+
+/// A process-wide stateless serial executor, for resolving "no executor".
+inline Executor& SerialExec() {
+  static SerialExecutor serial;
+  return serial;
+}
+
+/// Null-tolerant resolution used at API boundaries where the executor is
+/// an optional pointer: nullptr means the serial default.
+inline Executor& OrSerial(Executor* executor) {
+  return executor == nullptr ? SerialExec() : *executor;
+}
+
+}  // namespace rdbsc::util
+
+#endif  // RDBSC_UTIL_EXECUTOR_H_

@@ -25,11 +25,24 @@ inline double EntropyTerm(double x) {
   return -x * std::log(x);
 }
 
+/// Thread-safe ln|Gamma(x)|. std::lgamma writes the process-global
+/// `signgam`, which races once solvers shard across threads (every D&C
+/// leaf computes a sample-size bound); prefer the reentrant lgamma_r
+/// where the platform has it.
+inline double LogGamma(double x) {
+#if defined(__unix__) || defined(__APPLE__)
+  int sign = 0;
+  return ::lgamma_r(x, &sign);
+#else
+  return std::lgamma(x);
+#endif
+}
+
 /// ln C(n, k) via log-gamma; valid for real n >= k >= 0. Used by the
 /// sampling-size bound (Section 5.2) where n can exceed any integer type.
 inline double LogBinomial(double n, double k) {
   assert(n >= 0.0 && k >= 0.0 && k <= n);
-  return std::lgamma(n + 1.0) - std::lgamma(k + 1.0) - std::lgamma(n - k + 1.0);
+  return LogGamma(n + 1.0) - LogGamma(k + 1.0) - LogGamma(n - k + 1.0);
 }
 
 /// The reduced reliability weight of one worker, -ln(1 - p) (Eq. 8).

@@ -1,0 +1,101 @@
+#include "util/thread_pool.h"
+
+#include <algorithm>
+#include <atomic>
+
+namespace rdbsc::util {
+
+ThreadPool::ThreadPool(int num_threads) {
+  num_threads = std::max(num_threads, 1);
+  workers_.reserve(num_threads);
+  for (int t = 0; t < num_threads; ++t) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+void ThreadPool::Enqueue(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    queue_.push_back(std::move(task));
+  }
+  cv_.notify_one();
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping and drained
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+  }
+}
+
+void ThreadPool::ShardedFor(int64_t n, const ShardBody& body) {
+  if (n <= 0) return;
+  const int shards = static_cast<int>(std::min<int64_t>(n, width()));
+  if (shards == 1) {
+    body(0, 0, n);
+    return;
+  }
+
+  // Shared claim state. Helpers and the caller race to claim shard
+  // indices; whoever claims one runs it. The state outlives this call via
+  // shared_ptr because a helper may wake up after every shard is done --
+  // it then claims an out-of-range index and exits without touching
+  // `body` (which is only guaranteed alive while done < shards).
+  struct State {
+    const ShardBody* body;
+    int64_t n;
+    int shards;
+    std::atomic<int> next{0};
+    std::atomic<int> done{0};
+    std::mutex mu;
+    std::condition_variable cv;
+  };
+  auto state = std::make_shared<State>();
+  state->body = &body;
+  state->n = n;
+  state->shards = shards;
+
+  auto drain = [state] {
+    for (;;) {
+      const int s = state->next.fetch_add(1, std::memory_order_relaxed);
+      if (s >= state->shards) return;
+      const int64_t begin = state->n * s / state->shards;
+      const int64_t end = state->n * (s + 1) / state->shards;
+      (*state->body)(s, begin, end);
+      if (state->done.fetch_add(1, std::memory_order_acq_rel) + 1 ==
+          state->shards) {
+        std::lock_guard<std::mutex> lock(state->mu);
+        state->cv.notify_all();
+      }
+    }
+  };
+
+  // One helper per shard the caller will not necessarily reach itself. If
+  // the pool is saturated (e.g. nested ShardedFor from a pooled task) the
+  // helpers never run in time and the caller simply drains every shard.
+  for (int h = 0; h < shards - 1; ++h) Enqueue(drain);
+  drain();
+
+  std::unique_lock<std::mutex> lock(state->mu);
+  state->cv.wait(lock, [&state] {
+    return state->done.load(std::memory_order_acquire) == state->shards;
+  });
+}
+
+}  // namespace rdbsc::util

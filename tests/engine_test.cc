@@ -139,11 +139,110 @@ TEST(EngineTest, SolveOnReusesACallerGraph) {
   core::Instance instance = SmallInstance(15, 12, 30);
   Engine engine = Engine::Create("greedy").value();
   GraphPlan plan;
-  core::CandidateGraph graph = engine.BuildGraph(instance, &plan);
+  core::CandidateGraph graph = engine.BuildGraph(instance, &plan).value();
   EXPECT_EQ(plan.edges, graph.NumEdges());
   util::StatusOr<core::SolveResult> solve = engine.SolveOn(instance, graph);
   ASSERT_TRUE(solve.ok());
   test::ExpectFeasible(instance, graph, solve.value().assignment);
+}
+
+// Satellite acceptance: the build phase itself now has interruption
+// points, so a deadline that trips during (or before) graph construction
+// surfaces as kDeadlineExceeded instead of the O(m*n) scan running to
+// completion. The instance is large enough that a 50-microsecond budget
+// cannot cover the build on any machine.
+TEST(EngineTest, MidBuildDeadlineReturnsDeadlineExceeded) {
+  core::Instance instance = SmallInstance(16, 1'500, 1'500);
+  EngineConfig config;
+  config.solver_name = "greedy";
+  config.graph_strategy = GraphStrategy::kBruteForce;
+  Engine engine = Engine::Create(config).value();
+  core::SolveStats partial;
+  RunControls controls;
+  controls.budget_seconds = 50e-6;
+  controls.partial_stats = &partial;
+  util::StatusOr<EngineResult> run = engine.Run(instance, controls);
+  ASSERT_FALSE(run.ok());
+  EXPECT_EQ(run.status().code(), util::StatusCode::kDeadlineExceeded);
+  EXPECT_TRUE(partial.budget_exhausted);
+}
+
+TEST(EngineTest, BuildGraphReportsTrippedDeadline) {
+  core::Instance instance = SmallInstance(17, 30, 30);
+  Engine engine = Engine::Create("greedy").value();
+  util::CancelToken cancel;
+  cancel.Cancel();
+  util::Deadline tripped(0.0, &cancel);
+  for (GraphStrategy strategy :
+       {GraphStrategy::kBruteForce, GraphStrategy::kGridIndex}) {
+    EngineConfig config;
+    config.solver_name = "greedy";
+    config.graph_strategy = strategy;
+    Engine strategic = Engine::Create(config).value();
+    util::StatusOr<core::CandidateGraph> graph =
+        strategic.BuildGraph(instance, nullptr, tripped);
+    ASSERT_FALSE(graph.ok());
+    EXPECT_EQ(graph.status().code(), util::StatusCode::kCancelled);
+  }
+}
+
+TEST(EngineTest, RunBatchMatchesIndividualRuns) {
+  std::vector<core::Instance> instances;
+  for (uint64_t seed : {21, 22, 23, 24, 25}) {
+    instances.push_back(SmallInstance(seed, 15, 25));
+  }
+  for (int num_threads : {0, 4}) {
+    EngineConfig config;
+    config.solver_name = "dc";
+    config.num_threads = num_threads;
+    Engine engine = Engine::Create(config).value();
+    std::vector<util::StatusOr<EngineResult>> batch =
+        engine.RunBatch(instances);
+    ASSERT_EQ(batch.size(), instances.size());
+
+    Engine serial = Engine::Create("dc").value();
+    for (size_t i = 0; i < instances.size(); ++i) {
+      ASSERT_TRUE(batch[i].ok())
+          << "threads " << num_threads << ": " << batch[i].status().ToString();
+      EngineResult expected = serial.Run(instances[i]).value();
+      EXPECT_EQ(batch[i].value().plan.edges, expected.plan.edges);
+      EXPECT_DOUBLE_EQ(batch[i].value().solve.objectives.total_std,
+                       expected.solve.objectives.total_std);
+      EXPECT_DOUBLE_EQ(batch[i].value().solve.objectives.min_reliability,
+                       expected.solve.objectives.min_reliability);
+      for (core::WorkerId j = 0; j < instances[i].num_workers(); ++j) {
+        EXPECT_EQ(batch[i].value().solve.assignment.TaskOf(j),
+                  expected.solve.assignment.TaskOf(j));
+      }
+    }
+  }
+}
+
+TEST(EngineTest, RunBatchSharesOneCancelToken) {
+  std::vector<core::Instance> instances;
+  for (uint64_t seed : {31, 32, 33}) {
+    instances.push_back(SmallInstance(seed, 10, 20));
+  }
+  EngineConfig config;
+  config.solver_name = "sampling";
+  config.num_threads = 2;
+  Engine engine = Engine::Create(config).value();
+  util::CancelToken cancel;
+  cancel.Cancel();  // the whole batch is refused by the shared token
+  RunControls controls;
+  controls.cancel = &cancel;
+  std::vector<util::StatusOr<EngineResult>> batch =
+      engine.RunBatch(instances, controls);
+  ASSERT_EQ(batch.size(), instances.size());
+  for (const auto& result : batch) {
+    ASSERT_FALSE(result.ok());
+    EXPECT_EQ(result.status().code(), util::StatusCode::kCancelled);
+  }
+}
+
+TEST(EngineTest, RunBatchOnEmptySpanIsEmpty) {
+  Engine engine = Engine::Create("greedy").value();
+  EXPECT_TRUE(engine.RunBatch({}).empty());
 }
 
 }  // namespace

@@ -2,10 +2,13 @@
 
 #include <algorithm>
 #include <set>
+#include <thread>
+#include <vector>
 
 #include "core/instance.h"
 #include "gtest/gtest.h"
 #include "index/cost_model.h"
+#include "util/deadline.h"
 #include "util/rng.h"
 #include "test_util.h"
 
@@ -22,7 +25,7 @@ using core::WorkerId;
 void ExpectSameEdges(const Instance& instance, const GridIndex& index) {
   CandidateGraph brute = CandidateGraph::Build(instance);
   std::vector<std::vector<TaskId>> indexed =
-      index.RetrieveEdges(instance.num_workers());
+      index.RetrieveEdges(instance.num_workers()).value();
   for (WorkerId j = 0; j < instance.num_workers(); ++j) {
     std::vector<TaskId> expected = brute.TasksOf(j);
     std::sort(expected.begin(), expected.end());
@@ -60,7 +63,7 @@ TEST(GridIndexTest, PruningActuallyFires) {
   Instance instance = gen::GenerateInstance(config);
   GridIndex index = GridIndex::Build(instance, 0.08);
   RetrievalStats stats;
-  index.RetrieveEdges(instance.num_workers(), &stats);
+  index.RetrieveEdges(instance.num_workers(), &stats).value();
   EXPECT_GT(stats.cell_pairs_pruned, 0);
   ExpectSameEdges(instance, index);  // and pruning is safe
 }
@@ -124,7 +127,7 @@ TEST(GridIndexTest, DynamicChurnStaysConsistent) {
   // The churned index must agree with brute force on the surviving ids.
   CandidateGraph brute = CandidateGraph::Build(instance);
   std::vector<std::vector<TaskId>> edges =
-      index.RetrieveEdges(instance.num_workers());
+      index.RetrieveEdges(instance.num_workers()).value();
   for (WorkerId j = 0; j < instance.num_workers(); ++j) {
     if (j % 2 == 0) {
       EXPECT_TRUE(edges[j].empty());
@@ -217,7 +220,7 @@ TEST(GridIndexTest, CachedReachabilityMatchesFreshAfterChurn) {
   // And retrieval stays exact.
   std::vector<core::Task> kept_tasks;
   std::vector<core::Worker> kept_workers_padded = instance.workers();
-  auto edges = index.RetrieveEdges(instance.num_workers());
+  auto edges = index.RetrieveEdges(instance.num_workers()).value();
   CandidateGraph brute = CandidateGraph::Build(instance);
   for (WorkerId j = 0; j < instance.num_workers(); ++j) {
     std::vector<TaskId> expected;
@@ -235,11 +238,66 @@ TEST(GridIndexTest, CachedReachabilityMatchesFreshAfterChurn) {
 TEST(GridIndexTest, WarmCacheAvoidsRebuilds) {
   Instance instance = test::SmallInstance(23, 40, 40);
   GridIndex index = GridIndex::Build(instance, 0.1);
-  index.RetrieveEdges(instance.num_workers());
+  index.RetrieveEdges(instance.num_workers()).value();
   int64_t rebuilds = index.reachability_rebuilds();
   // A second retrieval with no churn rebuilds nothing.
-  index.RetrieveEdges(instance.num_workers());
+  index.RetrieveEdges(instance.num_workers()).value();
   EXPECT_EQ(index.reachability_rebuilds(), rebuilds);
+}
+
+TEST(GridIndexTest, ConcurrentRetrievalIsSafeAndConsistent) {
+  // Regression: lazy summary repair used to mutate cells from the const
+  // retrieval path, so two concurrent read-only retrievals raced. Repair
+  // is now eager (on mutation) and the reachability cache is guarded, so
+  // concurrent retrievals on a shared index must all agree with a single
+  // serial retrieval -- including right after churn left caches cold.
+  Instance instance = test::SmallInstance(29, 60, 60);
+  GridIndex index = GridIndex::Build(instance, 0.1);
+  // Churn so summaries shrank and several tcell_lists are invalid.
+  for (WorkerId j = 0; j < instance.num_workers(); j += 4) {
+    ASSERT_TRUE(index.RemoveWorker(j).ok());
+  }
+  for (TaskId i = 0; i < instance.num_tasks(); i += 5) {
+    ASSERT_TRUE(index.RemoveTask(i).ok());
+  }
+
+  constexpr int kReaders = 4;
+  std::vector<std::vector<std::vector<TaskId>>> edges(kReaders);
+  std::vector<RetrievalStats> stats(kReaders);
+  {
+    std::vector<std::thread> readers;
+    for (int r = 0; r < kReaders; ++r) {
+      readers.emplace_back([&, r] {
+        edges[r] =
+            index.RetrieveEdges(instance.num_workers(), &stats[r]).value();
+      });
+    }
+    for (std::thread& reader : readers) reader.join();
+  }
+
+  RetrievalStats serial_stats;
+  std::vector<std::vector<TaskId>> serial =
+      index.RetrieveEdges(instance.num_workers(), &serial_stats).value();
+  for (int r = 0; r < kReaders; ++r) {
+    EXPECT_EQ(edges[r], serial) << "reader " << r;
+    EXPECT_EQ(stats[r].pair_tests, serial_stats.pair_tests);
+    EXPECT_EQ(stats[r].edges, serial_stats.edges);
+  }
+}
+
+TEST(GridIndexTest, RetrievalReportsTrippedDeadline) {
+  Instance instance = test::SmallInstance(31, 40, 40);
+  GridIndex index = GridIndex::Build(instance, 0.1);
+  util::CancelToken cancel;
+  cancel.Cancel();
+  util::Deadline tripped(/*budget_seconds=*/0.0, &cancel);
+  auto edges =
+      index.RetrieveEdges(instance.num_workers(), nullptr, nullptr, tripped);
+  EXPECT_FALSE(edges.ok());
+  EXPECT_EQ(edges.status().code(), util::StatusCode::kCancelled);
+  auto pairs = index.RetrievePairs(nullptr, nullptr, tripped);
+  EXPECT_FALSE(pairs.ok());
+  EXPECT_EQ(pairs.status().code(), util::StatusCode::kCancelled);
 }
 
 TEST(GridIndexTest, EtaClamping) {

@@ -48,7 +48,7 @@ TEST(IntegrationTest, IndexFedSolveEqualsBruteForceFedSolve) {
 
   index::GridIndex grid = index::GridIndex::Build(instance, eta);
   core::CandidateGraph indexed = core::CandidateGraph::FromEdges(
-      instance, grid.RetrieveEdges(instance.num_workers()));
+      instance, grid.RetrieveEdges(instance.num_workers()).value());
   core::CandidateGraph brute = core::CandidateGraph::Build(instance);
   ASSERT_EQ(indexed.NumEdges(), brute.NumEdges());
 

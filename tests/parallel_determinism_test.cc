@@ -1,0 +1,176 @@
+// Satellite acceptance for the parallel execution layer: with a fixed
+// seed, every parallel path must reproduce its serial result bit for bit
+// at every thread count -- identical candidate-graph edge sets, identical
+// RetrievalStats totals, and identical D&C / sampling assignments and
+// objectives. Threads only change wall-clock time, never answers.
+
+#include <cstdint>
+#include <vector>
+
+#include "core/divide_conquer.h"
+#include "core/instance.h"
+#include "core/sampling.h"
+#include "core/solver.h"
+#include "gtest/gtest.h"
+#include "index/grid_index.h"
+#include "sim/platform.h"
+#include "test_util.h"
+#include "util/thread_pool.h"
+
+namespace rdbsc {
+namespace {
+
+using core::CandidateGraph;
+using core::Instance;
+using core::SolveResult;
+using core::TaskId;
+using core::WorkerId;
+
+constexpr int kThreadCounts[] = {1, 2, 8};
+
+void ExpectSameAssignment(const Instance& instance, const SolveResult& a,
+                          const SolveResult& b, const char* label) {
+  EXPECT_DOUBLE_EQ(a.objectives.total_std, b.objectives.total_std) << label;
+  EXPECT_DOUBLE_EQ(a.objectives.min_reliability,
+                   b.objectives.min_reliability)
+      << label;
+  for (WorkerId j = 0; j < instance.num_workers(); ++j) {
+    ASSERT_EQ(a.assignment.TaskOf(j), b.assignment.TaskOf(j))
+        << label << ", worker " << j;
+  }
+}
+
+SolveResult SolveWith(core::Solver& solver, const Instance& instance,
+                      const CandidateGraph& graph,
+                      util::Executor* executor) {
+  core::SolveRequest request;
+  request.instance = &instance;
+  request.graph = &graph;
+  request.executor = executor;
+  return solver.Solve(request).value();
+}
+
+TEST(ParallelDeterminismTest, CandidateGraphBuildMatchesSerial) {
+  for (uint64_t seed : {3, 7, 11}) {
+    Instance instance = test::SmallInstance(seed, 60, 90);
+    CandidateGraph serial = CandidateGraph::Build(instance);
+    for (int threads : kThreadCounts) {
+      util::ThreadPool pool(threads);
+      CandidateGraph parallel =
+          CandidateGraph::Build(instance, &pool, util::Deadline()).value();
+      ASSERT_EQ(parallel.NumEdges(), serial.NumEdges()) << threads;
+      for (WorkerId j = 0; j < instance.num_workers(); ++j) {
+        ASSERT_EQ(parallel.TasksOf(j), serial.TasksOf(j))
+            << threads << " threads, worker " << j;
+      }
+      for (TaskId i = 0; i < instance.num_tasks(); ++i) {
+        ASSERT_EQ(parallel.WorkersOf(i), serial.WorkersOf(i))
+            << threads << " threads, task " << i;
+      }
+    }
+  }
+}
+
+TEST(ParallelDeterminismTest, GridRetrievalMatchesSerialIncludingStats) {
+  Instance instance = test::SmallInstance(13, 80, 80);
+  for (double eta : {0.05, 0.15}) {
+    index::GridIndex serial_index = index::GridIndex::Build(instance, eta);
+    index::RetrievalStats serial_stats;
+    std::vector<std::vector<TaskId>> serial_edges =
+        serial_index.RetrieveEdges(instance.num_workers(), &serial_stats)
+            .value();
+    auto serial_pairs = serial_index.RetrievePairs().value();
+
+    for (int threads : kThreadCounts) {
+      util::ThreadPool pool(threads);
+      // Fresh index per thread count so the lazy-cache state (and with it
+      // the cell-pair accounting) starts identical to the serial run.
+      index::GridIndex index = index::GridIndex::Build(instance, eta);
+      index::RetrievalStats stats;
+      std::vector<std::vector<TaskId>> edges =
+          index.RetrieveEdges(instance.num_workers(), &stats, &pool).value();
+      EXPECT_EQ(edges, serial_edges) << threads << " threads, eta " << eta;
+      EXPECT_EQ(stats.cell_pairs_examined, serial_stats.cell_pairs_examined);
+      EXPECT_EQ(stats.cell_pairs_pruned, serial_stats.cell_pairs_pruned);
+      EXPECT_EQ(stats.pair_tests, serial_stats.pair_tests);
+      EXPECT_EQ(stats.edges, serial_stats.edges);
+
+      auto pairs = index.RetrievePairs(nullptr, &pool).value();
+      EXPECT_EQ(pairs, serial_pairs) << threads << " threads, eta " << eta;
+    }
+  }
+}
+
+TEST(ParallelDeterminismTest, SamplingSolverMatchesSerial) {
+  for (uint64_t seed : {5, 9}) {
+    Instance instance = test::SmallInstance(seed, 20, 50);
+    CandidateGraph graph = CandidateGraph::Build(instance);
+    core::SolverOptions options;
+    options.seed = seed * 1'000 + 1;
+    core::SamplingSolver solver(options);
+    SolveResult serial = SolveWith(solver, instance, graph, nullptr);
+    for (int threads : kThreadCounts) {
+      util::ThreadPool pool(threads);
+      SolveResult parallel = SolveWith(solver, instance, graph, &pool);
+      ExpectSameAssignment(instance, parallel, serial, "sampling");
+      EXPECT_EQ(parallel.stats.sample_size, serial.stats.sample_size);
+      EXPECT_EQ(parallel.stats.exact_std_evals, serial.stats.exact_std_evals);
+    }
+  }
+}
+
+TEST(ParallelDeterminismTest, DivideConquerMatchesSerial) {
+  for (uint64_t seed : {4, 8}) {
+    // Enough tasks that the recursion produces several leaves.
+    Instance instance = test::SmallInstance(seed, 80, 60);
+    CandidateGraph graph = CandidateGraph::Build(instance);
+    core::SolverOptions options;
+    options.seed = seed + 100;
+    options.gamma = 12;
+    core::DivideConquerSolver solver(options);
+    SolveResult serial = SolveWith(solver, instance, graph, nullptr);
+    for (int threads : kThreadCounts) {
+      util::ThreadPool pool(threads);
+      SolveResult parallel = SolveWith(solver, instance, graph, &pool);
+      ExpectSameAssignment(instance, parallel, serial, "dc");
+      EXPECT_EQ(parallel.stats.exact_std_evals, serial.stats.exact_std_evals);
+      EXPECT_EQ(parallel.stats.sample_size, serial.stats.sample_size);
+    }
+  }
+}
+
+TEST(ParallelDeterminismTest, GroundTruthSolverMatchesSerial) {
+  Instance instance = test::SmallInstance(6, 50, 40);
+  CandidateGraph graph = CandidateGraph::Build(instance);
+  core::SolverOptions options;
+  options.gamma = 10;
+  core::GroundTruthSolver solver(options);
+  SolveResult serial = SolveWith(solver, instance, graph, nullptr);
+  util::ThreadPool pool(4);
+  SolveResult parallel = SolveWith(solver, instance, graph, &pool);
+  ExpectSameAssignment(instance, parallel, serial, "gtruth");
+}
+
+TEST(ParallelDeterminismTest, PlatformTrajectoryMatchesSerial) {
+  sim::PlatformConfig config;
+  config.num_sites = 6;
+  config.num_workers = 12;
+  config.solver_name = "dc";
+  config.seed = 77;
+  sim::PlatformResult serial = sim::Platform(config).Run().value();
+  for (int threads : {2, 8}) {
+    config.num_threads = threads;
+    sim::PlatformResult parallel = sim::Platform(config).Run().value();
+    EXPECT_EQ(parallel.assignments_made, serial.assignments_made) << threads;
+    EXPECT_EQ(parallel.answers_received, serial.answers_received) << threads;
+    EXPECT_DOUBLE_EQ(parallel.final_objectives.total_std,
+                     serial.final_objectives.total_std)
+        << threads;
+    EXPECT_DOUBLE_EQ(parallel.final_objectives.min_reliability,
+                     serial.final_objectives.min_reliability)
+        << threads;
+  }
+}
+
+}  // namespace
+}  // namespace rdbsc

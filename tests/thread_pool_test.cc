@@ -1,0 +1,118 @@
+#include "util/thread_pool.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <future>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "util/executor.h"
+
+namespace rdbsc::util {
+namespace {
+
+TEST(ThreadPoolTest, SubmitReturnsFutureWithResult) {
+  ThreadPool pool(2);
+  std::future<int> forty_two = pool.Submit([] { return 42; });
+  std::future<std::string> text =
+      pool.Submit([] { return std::string("done"); });
+  EXPECT_EQ(forty_two.get(), 42);
+  EXPECT_EQ(text.get(), "done");
+}
+
+TEST(ThreadPoolTest, SubmitRunsManyTasksToCompletion) {
+  ThreadPool pool(4);
+  std::atomic<int> count{0};
+  std::vector<std::future<void>> futures;
+  for (int i = 0; i < 200; ++i) {
+    futures.push_back(pool.Submit([&count] {
+      count.fetch_add(1, std::memory_order_relaxed);
+    }));
+  }
+  for (auto& future : futures) future.get();
+  EXPECT_EQ(count.load(), 200);
+}
+
+TEST(ThreadPoolTest, ParallelForVisitsEveryIndexExactlyOnce) {
+  for (int threads : {1, 2, 8}) {
+    ThreadPool pool(threads);
+    constexpr int64_t kN = 10'000;
+    std::vector<std::atomic<int>> visits(kN);
+    pool.ParallelFor(kN, [&visits](int64_t i) {
+      visits[i].fetch_add(1, std::memory_order_relaxed);
+    });
+    for (int64_t i = 0; i < kN; ++i) {
+      ASSERT_EQ(visits[i].load(), 1) << "index " << i;
+    }
+  }
+}
+
+TEST(ThreadPoolTest, ShardedForPartitionsTheRange) {
+  ThreadPool pool(3);
+  std::mutex mu;
+  std::vector<std::pair<int64_t, int64_t>> ranges;
+  pool.ShardedFor(100, [&](int /*shard*/, int64_t begin, int64_t end) {
+    std::lock_guard<std::mutex> lock(mu);
+    ranges.emplace_back(begin, end);
+  });
+  std::sort(ranges.begin(), ranges.end());
+  ASSERT_FALSE(ranges.empty());
+  ASSERT_LE(static_cast<int>(ranges.size()), pool.width());
+  EXPECT_EQ(ranges.front().first, 0);
+  EXPECT_EQ(ranges.back().second, 100);
+  for (size_t r = 1; r < ranges.size(); ++r) {
+    EXPECT_EQ(ranges[r].first, ranges[r - 1].second);  // contiguous
+  }
+}
+
+TEST(ThreadPoolTest, ShardedForOnEmptyAndTinyRanges) {
+  ThreadPool pool(4);
+  int calls = 0;
+  pool.ShardedFor(0, [&](int, int64_t, int64_t) { ++calls; });
+  EXPECT_EQ(calls, 0);
+  // n smaller than width: one shard per index, never an empty shard.
+  std::atomic<int> sum{0};
+  pool.ShardedFor(2, [&](int, int64_t begin, int64_t end) {
+    EXPECT_LT(begin, end);
+    sum.fetch_add(static_cast<int>(end - begin));
+  });
+  EXPECT_EQ(sum.load(), 2);
+}
+
+TEST(ThreadPoolTest, NestedShardedForDoesNotDeadlock) {
+  // A pooled task that itself shards work: with every worker busy, the
+  // inner call must make progress on the calling thread alone.
+  ThreadPool pool(2);
+  std::atomic<int64_t> total{0};
+  std::vector<std::future<void>> outer;
+  for (int task = 0; task < 8; ++task) {
+    outer.push_back(pool.Submit([&pool, &total] {
+      pool.ShardedFor(50, [&total](int, int64_t begin, int64_t end) {
+        total.fetch_add(end - begin, std::memory_order_relaxed);
+      });
+    }));
+  }
+  for (auto& future : outer) future.get();
+  EXPECT_EQ(total.load(), 8 * 50);
+}
+
+TEST(ExecutorTest, SerialExecutorRunsInline) {
+  SerialExecutor serial;
+  EXPECT_EQ(serial.width(), 1);
+  std::vector<int64_t> order;
+  serial.ParallelFor(5, [&order](int64_t i) { order.push_back(i); });
+  EXPECT_EQ(order, (std::vector<int64_t>{0, 1, 2, 3, 4}));
+}
+
+TEST(ExecutorTest, OrSerialResolvesNull) {
+  EXPECT_EQ(&OrSerial(nullptr), &SerialExec());
+  ThreadPool pool(2);
+  EXPECT_EQ(&OrSerial(&pool), &pool);
+}
+
+}  // namespace
+}  // namespace rdbsc::util
