@@ -1,0 +1,141 @@
+// Admission-server throughput: sweeps submitter threads x dispatch
+// workers, replaying the same pre-generated instance set through
+// engine::Server for every cell, and reports tickets/second plus the p95
+// submit-to-completion latency from ServerStats. Per-ticket results are
+// bit-identical across the whole sweep (the async determinism contract),
+// so the tables measure scheduling, never answer drift.
+//
+// Flags (see bench/harness.h): --base scales the per-ticket instance
+// size, --threads caps the worker-count axis, plus
+//   --tickets=N     submissions per submitter thread (default 6)
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/harness.h"
+#include "engine/server.h"
+#include "gen/workload.h"
+
+using namespace rdbsc;
+
+namespace {
+
+core::Instance MakeInstance(const bench::BenchOptions& options,
+                            uint64_t seed) {
+  gen::WorkloadConfig config;
+  config.num_tasks = bench::Scaled(options, 1'000);
+  config.num_workers = bench::Scaled(options, 1'000);
+  config.start_max = 4.0;
+  config.seed = seed;
+  return gen::GenerateInstance(config);
+}
+
+struct CellResult {
+  double throughput = 0.0;  ///< tickets per second
+  double p95 = 0.0;         ///< submit -> completion, seconds
+};
+
+CellResult RunCell(const std::vector<core::Instance>& instances,
+                   int num_submitters, int num_workers, int tickets_each) {
+  engine::ServerConfig config;
+  config.engine.solver_name = "dc";
+  config.engine.solver_options.seed = 1;
+  config.engine.validate_instances = false;
+  config.num_workers = num_workers;
+  config.max_queue_depth = num_submitters * tickets_each + 1;
+  config.overload_policy = engine::OverloadPolicy::kBlock;
+  std::unique_ptr<engine::Server> server =
+      std::move(engine::Server::Create(std::move(config)).value());
+
+  auto t0 = std::chrono::steady_clock::now();
+  std::vector<std::thread> submitters;
+  submitters.reserve(num_submitters);
+  for (int s = 0; s < num_submitters; ++s) {
+    submitters.emplace_back([&, s] {
+      std::vector<engine::Ticket> tickets;
+      tickets.reserve(tickets_each);
+      for (int i = 0; i < tickets_each; ++i) {
+        const core::Instance& instance =
+            instances[(s * tickets_each + i) % instances.size()];
+        tickets.push_back(server->Submit(instance).value());
+      }
+      for (engine::Ticket& ticket : tickets) ticket.Wait();
+    });
+  }
+  for (std::thread& t : submitters) t.join();
+  double wall =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  engine::ServerStats stats = server->Stats();
+  server->Shutdown(engine::ShutdownMode::kDrain);
+
+  CellResult cell;
+  cell.throughput =
+      wall > 0.0 ? static_cast<double>(stats.completed) / wall : 0.0;
+  cell.p95 = stats.latency_p95_seconds;
+  return cell;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::BenchOptions options = bench::ParseOptions(argc, argv);
+  int tickets_each = 6;
+  for (int a = 1; a < argc; ++a) {
+    if (std::strncmp(argv[a], "--tickets=", 10) == 0) {
+      tickets_each = std::max(1, std::atoi(argv[a] + 10));
+    }
+  }
+
+  std::vector<int> worker_counts = {1, 2, 4, 8};
+  // --threads caps the worker axis (e.g. --threads=2 sweeps {1, 2}). The
+  // raw flag value is used, not EffectiveThreads: one dispatch worker is
+  // a real server configuration, unlike a one-thread engine pool.
+  if (int cap = options.num_threads; cap > 0) {
+    std::erase_if(worker_counts, [cap](int w) { return w > cap; });
+    if (worker_counts.empty()) worker_counts.push_back(cap);
+  }
+  const std::vector<int> submitter_counts = {1, 2, 4, 8};
+
+  std::printf("== Admission-server throughput (submitters x workers) ==\n");
+  std::printf(
+      "scale: base=%d, %d tickets/submitter, instance %d x %d, solver dc\n",
+      options.base, tickets_each, bench::Scaled(options, 1'000),
+      bench::Scaled(options, 1'000));
+
+  // One shared instance set: every cell replays identical work.
+  std::vector<core::Instance> instances;
+  for (uint64_t i = 0; i < 8; ++i) {
+    instances.push_back(MakeInstance(options, options.seed0 + i));
+  }
+
+  std::vector<std::string> row_labels, column_labels;
+  for (int w : worker_counts) {
+    row_labels.push_back("workers=" + std::to_string(w));
+  }
+  for (int s : submitter_counts) {
+    column_labels.push_back(std::to_string(s) + " sub");
+  }
+  std::vector<std::vector<double>> throughput(worker_counts.size());
+  std::vector<std::vector<double>> p95(worker_counts.size());
+  for (size_t w = 0; w < worker_counts.size(); ++w) {
+    for (int submitters : submitter_counts) {
+      CellResult cell = RunCell(instances, submitters, worker_counts[w],
+                                tickets_each);
+      throughput[w].push_back(cell.throughput);
+      p95[w].push_back(cell.p95);
+    }
+  }
+
+  bench::PrintTable("Throughput (tickets/s)", "pool size", row_labels,
+                    column_labels, throughput, 1);
+  bench::PrintTable("p95 latency (s)", "pool size", row_labels,
+                    column_labels, p95);
+  std::printf("\n");
+  return 0;
+}

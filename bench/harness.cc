@@ -27,13 +27,29 @@ BenchOptions ParseOptions(int argc, char** argv) {
     } else if (std::strncmp(arg, "--seeds=", 8) == 0) {
       options.num_seeds = std::atoi(arg + 8);
     } else if (std::strncmp(arg, "--threads=", 10) == 0) {
-      options.num_threads = std::atoi(arg + 10);
+      // Validate instead of silently accepting 0/negative/garbage: a
+      // mistyped flag would otherwise masquerade as a serial measurement.
+      char* end = nullptr;
+      long threads = std::strtol(arg + 10, &end, 10);
+      if (end == arg + 10 || *end != '\0' || threads < 0) {
+        std::fprintf(stderr,
+                     "warning: invalid %s (want --threads=N with N >= 0); "
+                     "running serial\n",
+                     arg);
+        threads = 0;
+      }
+      options.num_threads = static_cast<int>(threads);
     }
   }
   if (options.base < 10) options.base = 10;
   if (options.num_seeds < 1) options.num_seeds = 1;
-  if (options.num_threads < 0) options.num_threads = 0;
   return options;
+}
+
+int EffectiveThreads(const BenchOptions& options) {
+  // Engine/ThreadPool only spawn a pool for N > 1; 0 and 1 are both the
+  // serial path. Report what will actually run.
+  return options.num_threads > 1 ? options.num_threads : 0;
 }
 
 int Scaled(const BenchOptions& options, int paper_count) {
@@ -90,9 +106,10 @@ std::vector<std::vector<PointResult>> RunQualitySweep(
     const std::string& figure_title, const std::string& x_label,
     const std::vector<SweepPoint>& points, const BenchOptions& options) {
   std::printf("== %s ==\n", figure_title.c_str());
-  std::printf("scale: base=%d (paper 10K)%s, seeds=%d, threads=%d\n",
+  const int threads = EffectiveThreads(options);
+  std::printf("scale: base=%d (paper 10K)%s, seeds=%d, threads=%d%s\n",
               options.base, options.paper_scale ? " [paper scale]" : "",
-              options.num_seeds, options.num_threads);
+              options.num_seeds, threads, threads == 0 ? " (serial)" : "");
 
   std::vector<std::string> solver_names;
   for (const Engine& engine : MakeEngines(0)) {

@@ -20,7 +20,10 @@ namespace rdbsc::bench {
 ///   --base=N        the scaled stand-in for the paper's 10K (default 300)
 ///   --seeds=K       number of random seeds averaged per point (default 3)
 ///   --threads=N     engine thread-pool size (default 0 = serial); results
-///                   are bit-identical at every setting, only time changes
+///                   are bit-identical at every setting, only time changes.
+///                   Negative or non-numeric values are rejected with a
+///                   warning and fall back to serial; the effective count
+///                   is reported in the result header.
 struct BenchOptions {
   int base = 300;
   int num_seeds = 3;
@@ -36,6 +39,11 @@ BenchOptions ParseOptions(int argc, char** argv);
 /// Maps a paper-sized count (e.g. 5'000 tasks) to the bench scale:
 /// count * base / 10'000, at least 10. With --paper-scale it is identity.
 int Scaled(const BenchOptions& options, int paper_count);
+
+/// The pool width `--threads` will actually produce: N for N > 1, else 0
+/// (Engine and ThreadPool treat 0 and 1 both as the serial path). Benches
+/// report this effective count rather than the raw flag value.
+int EffectiveThreads(const BenchOptions& options);
 
 /// Registry keys of the four approaches of Section 8.1, in display order:
 /// GREEDY, SAMPLING, D&C, G-TRUTH.

@@ -6,6 +6,7 @@
 //   $ ./examples/run_workload --m=200 --n=300 --dist=skewed --solver=dc
 //   $ ./examples/run_workload --tasks=t.csv --workers=w.csv --solver=greedy
 //   $ ./examples/run_workload --m=100 --n=100 --out-dir=/tmp/run1
+//   $ ./examples/run_workload --server --submitters=8 --threads=4
 //   $ ./examples/run_workload --list-solvers
 //
 // Flags: --m, --n, --dist=uniform|skewed|real, --solver=<registry name>
@@ -14,15 +15,25 @@
 // consults the Appendix I cost model), --threads=N (engine thread pool;
 // 0 = serial, results identical at every setting), --tasks/--workers
 // (CSV input), --out-dir (writes tasks/workers/assignment CSVs).
+//
+// Server mode: --server routes the work through the engine::Server
+// admission layer instead of a direct Engine::Run -- --submitters=K
+// concurrent submitter threads each submit one instance (seeds seed ..
+// seed+K-1), --threads sets the server's dispatch workers (min 1), and
+// --budget becomes the per-request default budget. Prints one line per
+// ticket plus the ServerStats snapshot.
 
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <string>
+#include <thread>
+#include <vector>
 
 #include "core/metrics.h"
 #include "core/registry.h"
 #include "engine/engine.h"
+#include "engine/server.h"
 #include "gen/trajectory.h"
 #include "gen/workload.h"
 #include "io/csv.h"
@@ -82,25 +93,20 @@ int main(int argc, char** argv) {
   const char* workers_path = FlagValue(argc, argv, "--workers");
   const char* out_dir = FlagValue(argc, argv, "--out-dir");
 
-  // --- Acquire the instance. ---
-  core::Instance instance;
-  if (tasks_path != nullptr && workers_path != nullptr) {
-    auto loaded = io::ReadInstanceCsv(tasks_path, workers_path);
-    if (!loaded.ok()) {
-      std::fprintf(stderr, "load failed: %s\n",
-                   loaded.status().ToString().c_str());
-      return 1;
+  // --- Instance factory (server mode varies the seed per ticket). ---
+  auto make_instance = [&](uint64_t s) -> util::StatusOr<core::Instance> {
+    if (tasks_path != nullptr && workers_path != nullptr) {
+      return io::ReadInstanceCsv(tasks_path, workers_path);
     }
-    instance = std::move(loaded).value();
-  } else if (dist == "real") {
-    gen::RealWorkloadConfig config;
-    config.num_tasks = m;
-    config.trajectory.num_taxis = n;
-    config.poi.num_pois = m * 8;
-    config.start_max = 4.0;
-    config.seed = seed;
-    instance = gen::GenerateRealInstance(config);
-  } else {
+    if (dist == "real") {
+      gen::RealWorkloadConfig config;
+      config.num_tasks = m;
+      config.trajectory.num_taxis = n;
+      config.poi.num_pois = m * 8;
+      config.start_max = 4.0;
+      config.seed = s;
+      return gen::GenerateRealInstance(config);
+    }
     gen::WorkloadConfig config;
     config.num_tasks = m;
     config.num_workers = n;
@@ -109,12 +115,11 @@ int main(int argc, char** argv) {
       config.task_distribution = gen::SpatialDistribution::kSkewed;
       config.worker_distribution = gen::SpatialDistribution::kSkewed;
     } else if (dist != "uniform") {
-      std::fprintf(stderr, "unknown --dist=%s\n", dist.c_str());
-      return 1;
+      return util::Status::InvalidArgument("unknown --dist=" + dist);
     }
-    config.seed = seed;
-    instance = gen::GenerateInstance(config);
-  }
+    config.seed = s;
+    return gen::GenerateInstance(config);
+  };
 
   // --- Configure the engine. ---
   EngineConfig config;
@@ -131,6 +136,105 @@ int main(int argc, char** argv) {
                  graph_mode.c_str());
     return 1;
   }
+
+  // --- Server mode: concurrent submitters through the admission layer. ---
+  if (HasFlag(argc, argv, "--server")) {
+    int submitters =
+        (flag = FlagValue(argc, argv, "--submitters")) ? std::atoi(flag) : 4;
+    if (submitters < 1) submitters = 1;
+
+    engine::ServerConfig server_config;
+    server_config.engine = config;
+    server_config.num_workers = num_threads > 1 ? num_threads : 1;
+    server_config.default_budget_seconds = budget;
+    server_config.overload_policy = engine::OverloadPolicy::kBlock;
+    server_config.max_queue_depth = submitters + 1;
+    util::StatusOr<std::unique_ptr<engine::Server>> created =
+        engine::Server::Create(std::move(server_config));
+    if (!created.ok()) {
+      std::fprintf(stderr, "server start failed: %s; available solvers:\n",
+                   created.status().ToString().c_str());
+      PrintSolverNames(stderr);
+      return 1;
+    }
+    std::unique_ptr<engine::Server> server = std::move(created).value();
+
+    std::printf("server   : solver %s, %d workers, %d submitters\n",
+                solver_name.c_str(), server_config.num_workers, submitters);
+    std::vector<engine::Ticket> tickets(submitters);
+    std::vector<util::Status> submit_status(submitters);
+    std::vector<std::thread> threads;
+    threads.reserve(submitters);
+    for (int s = 0; s < submitters; ++s) {
+      threads.emplace_back([&, s] {
+        util::StatusOr<core::Instance> inst = make_instance(seed + s);
+        if (!inst.ok()) {
+          submit_status[s] = inst.status();
+          return;
+        }
+        auto ticket = server->Submit(std::move(inst).value());
+        if (ticket.ok()) {
+          tickets[s] = std::move(ticket).value();
+        } else {
+          submit_status[s] = ticket.status();
+        }
+      });
+    }
+    for (std::thread& t : threads) t.join();
+
+    bool all_ok = true;
+    for (int s = 0; s < submitters; ++s) {
+      if (!tickets[s].valid()) {
+        std::printf("ticket %2d: not admitted: %s\n", s,
+                    submit_status[s].ToString().c_str());
+        all_ok = false;
+        continue;
+      }
+      const util::StatusOr<EngineResult>& run = tickets[s].Wait();
+      if (!run.ok()) {
+        std::printf("ticket %2d: %s\n", s, run.status().ToString().c_str());
+        all_ok = false;
+        continue;
+      }
+      // CSV-loaded instances ignore the per-submitter seed (every ticket
+      // solves the same file); only claim a seed when one was used.
+      std::string source =
+          tasks_path != nullptr
+              ? "csv"
+              : "seed " + std::to_string(seed + static_cast<uint64_t>(s));
+      std::printf(
+          "ticket %2d: %s, min reliability = %.4f, total_STD = %.4f "
+          "(%s graph, %lld edges)\n",
+          s, source.c_str(),
+          run.value().solve.objectives.min_reliability,
+          run.value().solve.objectives.total_std,
+          run.value().plan.used_grid_index ? "grid" : "brute",
+          static_cast<long long>(run.value().plan.edges));
+    }
+    server->Shutdown(engine::ShutdownMode::kDrain);
+    engine::ServerStats stats = server->Stats();
+    std::printf(
+        "stats    : %lld submitted, %lld admitted, %lld completed, "
+        "%lld rejected, %lld shed\n",
+        static_cast<long long>(stats.submitted),
+        static_cast<long long>(stats.admitted),
+        static_cast<long long>(stats.completed),
+        static_cast<long long>(stats.rejected),
+        static_cast<long long>(stats.shed));
+    std::printf("latency  : p50 %.4f s, p95 %.4f s, max %.4f s\n",
+                stats.latency_p50_seconds, stats.latency_p95_seconds,
+                stats.latency_max_seconds);
+    return all_ok ? 0 : 1;
+  }
+
+  // --- Acquire the instance (server mode uses the factory directly). ---
+  util::StatusOr<core::Instance> acquired = make_instance(seed);
+  if (!acquired.ok()) {
+    std::fprintf(stderr, "load failed: %s\n",
+                 acquired.status().ToString().c_str());
+    return 1;
+  }
+  core::Instance instance = std::move(acquired).value();
 
   util::StatusOr<Engine> engine = Engine::Create(config);
   if (!engine.ok()) {

@@ -156,11 +156,10 @@ util::StatusOr<core::SolveResult> Engine::SolveOn(
                  controls.partial_stats);
 }
 
-util::StatusOr<EngineResult> Engine::RunOn(const core::Instance& instance,
-                                           core::Solver& solver,
-                                           const util::Deadline& deadline,
-                                           util::Executor* executor,
-                                           core::SolveStats* partial_stats) {
+util::StatusOr<EngineResult> Engine::RunOn(
+    const core::Instance& instance, core::Solver& solver,
+    const util::Deadline& deadline, util::Executor* executor,
+    core::SolveStats* partial_stats) const {
   if (util::Status ready = CheckReady(instance); !ready.ok()) return ready;
   // The admission budget covers the whole run, so the clock starts before
   // graph construction: a solve after an expensive build only gets the
@@ -195,6 +194,20 @@ util::StatusOr<EngineResult> Engine::Run(const core::Instance& instance,
                controls.partial_stats);
 }
 
+util::StatusOr<EngineResult> Engine::RunIsolated(
+    const core::Instance& instance, const util::Deadline& deadline) const {
+  if (solver_ == nullptr) {
+    return util::Status::FailedPrecondition(
+        "engine not initialized; construct it with Engine::Create");
+  }
+  util::StatusOr<std::unique_ptr<core::Solver>> solver =
+      core::SolverRegistry::Global().Create(config_.solver_name,
+                                            config_.solver_options);
+  if (!solver.ok()) return solver.status();
+  return RunOn(instance, *solver.value(), deadline,
+               /*executor=*/nullptr, /*partial_stats=*/nullptr);
+}
+
 std::vector<util::StatusOr<EngineResult>> Engine::RunBatch(
     std::span<const core::Instance> instances,
     const RunControls& controls) {
@@ -219,15 +232,7 @@ std::vector<util::StatusOr<EngineResult>> Engine::RunBatch(
   // sharding) keeps the pool busy on heterogeneous batches.
   util::Deadline deadline = MakeDeadline(controls);
   auto run_one = [&](int64_t i) {
-    util::StatusOr<std::unique_ptr<core::Solver>> solver =
-        core::SolverRegistry::Global().Create(config_.solver_name,
-                                              config_.solver_options);
-    if (!solver.ok()) {
-      results[i] = solver.status();
-      return;
-    }
-    results[i] = RunOn(instances[i], *solver.value(), deadline,
-                       /*executor=*/nullptr, /*partial_stats=*/nullptr);
+    results[i] = RunIsolated(instances[i], deadline);
   };
   if (pool_ == nullptr) {
     for (int64_t i = 0; i < n; ++i) run_one(i);

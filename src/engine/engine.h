@@ -133,6 +133,15 @@ class Engine {
       const core::Instance& instance, const core::CandidateGraph& graph,
       const RunControls& controls = {});
 
+  /// The RunBatch per-slot path, exposed for async admission layers
+  /// (engine::Server): runs the full pipeline on a fresh registry-created
+  /// solver under a caller-owned deadline. Thread-safe -- concurrent calls
+  /// share no mutable state -- and serial inside the call (no executor),
+  /// so the result is bit-identical no matter which thread runs it.
+  util::StatusOr<EngineResult> RunIsolated(
+      const core::Instance& instance,
+      const util::Deadline& deadline = util::Deadline()) const;
+
   const EngineConfig& config() const { return config_; }
   /// Registry key, e.g. "dc".
   const std::string& solver_name() const { return config_.solver_name; }
@@ -148,7 +157,7 @@ class Engine {
   util::StatusOr<core::CandidateGraph> BuildGraphOn(
       const core::Instance& instance, GraphPlan* plan,
       const util::Deadline& deadline, util::Executor* executor) const;
-  util::StatusOr<core::SolveResult> DoSolve(
+  static util::StatusOr<core::SolveResult> DoSolve(
       const core::Instance& instance, const core::CandidateGraph& graph,
       core::Solver& solver, const util::Deadline& deadline,
       util::Executor* executor, core::SolveStats* partial_stats);
@@ -156,7 +165,7 @@ class Engine {
                                      core::Solver& solver,
                                      const util::Deadline& deadline,
                                      util::Executor* executor,
-                                     core::SolveStats* partial_stats);
+                                     core::SolveStats* partial_stats) const;
 
   EngineConfig config_;
   std::unique_ptr<core::Solver> solver_;

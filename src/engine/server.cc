@@ -1,0 +1,317 @@
+#include "engine/server.h"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+namespace rdbsc::engine {
+namespace {
+
+double SecondsSince(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+// Nearest-rank percentile of an already-sorted sample.
+double Percentile(const std::vector<double>& sorted, double q) {
+  if (sorted.empty()) return 0.0;
+  size_t rank = static_cast<size_t>(
+      std::ceil(q * static_cast<double>(sorted.size())));
+  rank = std::clamp<size_t>(rank, 1, sorted.size());
+  return sorted[rank - 1];
+}
+
+}  // namespace
+
+const util::StatusOr<EngineResult>& Ticket::Wait() const {
+  std::unique_lock<std::mutex> lock(state_->mu);
+  state_->cv.wait(lock, [this] { return state_->done; });
+  return state_->result;
+}
+
+const util::StatusOr<EngineResult>* Ticket::TryGet() const {
+  std::lock_guard<std::mutex> lock(state_->mu);
+  return state_->done ? &state_->result : nullptr;
+}
+
+bool Ticket::WaitFor(double seconds) const {
+  std::unique_lock<std::mutex> lock(state_->mu);
+  return state_->cv.wait_for(lock, std::chrono::duration<double>(seconds),
+                             [this] { return state_->done; });
+}
+
+util::StatusOr<std::unique_ptr<Server>> Server::Create(ServerConfig config) {
+  config.num_workers = std::max(config.num_workers, 1);
+  config.max_queue_depth = std::max(config.max_queue_depth, 1);
+  // Concurrency comes from dispatching `num_workers` requests at once;
+  // inside a request the pipeline runs serially on a fresh solver so the
+  // result never depends on the worker count (determinism contract).
+  config.engine.num_threads = 0;
+
+  util::StatusOr<Engine> engine = Engine::Create(config.engine);
+  if (!engine.ok()) return engine.status();
+
+  std::unique_ptr<Server> server(new Server());
+  server->config_ = std::move(config);
+  server->engine_ = std::move(engine).value();
+  server->budget_limited_ = server->config_.total_budget_seconds > 0.0;
+  server->budget_remaining_ = server->config_.total_budget_seconds;
+  server->pool_ =
+      std::make_unique<util::ThreadPool>(server->config_.num_workers);
+  return server;
+}
+
+Server::~Server() { Shutdown(ShutdownMode::kCancel); }
+
+void Server::Complete(const std::shared_ptr<internal::TicketState>& state,
+                      util::StatusOr<EngineResult> result) {
+  {
+    std::lock_guard<std::mutex> lock(state->mu);
+    state->result = std::move(result);
+    state->done = true;
+  }
+  state->cv.notify_all();
+}
+
+void Server::RecordFinishLocked(const internal::TicketState& state,
+                                const util::Status& status) {
+  const double latency = SecondsSince(state.submit_time);
+  if (latencies_.size() < kLatencyWindow) {
+    latencies_.push_back(latency);
+  } else {
+    latencies_[latency_next_] = latency;
+    latency_next_ = (latency_next_ + 1) % kLatencyWindow;
+  }
+  switch (status.code()) {
+    case util::StatusCode::kOk:
+      ++counters_.completed;
+      break;
+    case util::StatusCode::kDeadlineExceeded:
+      ++counters_.deadline_exceeded;
+      break;
+    case util::StatusCode::kCancelled:
+      ++counters_.cancelled;
+      break;
+    case util::StatusCode::kResourceExhausted:
+      ++counters_.shed;
+      break;
+    default:
+      ++counters_.failed;
+      break;
+  }
+}
+
+util::StatusOr<Ticket> Server::Submit(core::Instance instance,
+                                      const SubmitControls& controls) {
+  std::shared_ptr<internal::TicketState> shed_state;
+  Ticket ticket;
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    ++counters_.submitted;
+    if (closed_) {
+      ++counters_.rejected;
+      return util::Status::FailedPrecondition("server is shut down");
+    }
+
+    // Pool-exhaustion is checked before overload handling: a request that
+    // cannot be funded must not block for queue space, and above all must
+    // not shed an already-admitted (and already-funded) victim only to be
+    // rejected itself a few lines later.
+    if (budget_limited_ && budget_remaining_ <= 0.0) {
+      ++counters_.rejected;
+      return util::Status::ResourceExhausted("server budget pool exhausted");
+    }
+
+    // Overload handling at the queue bound.
+    while (static_cast<int>(queue_.size()) >= config_.max_queue_depth) {
+      switch (config_.overload_policy) {
+        case OverloadPolicy::kReject:
+          ++counters_.rejected;
+          return util::Status::ResourceExhausted(
+              "admission queue full (kReject)");
+        case OverloadPolicy::kBlock:
+          space_cv_.wait(lock, [this] {
+            return closed_ ||
+                   static_cast<int>(queue_.size()) < config_.max_queue_depth;
+          });
+          if (closed_) {
+            ++counters_.rejected;
+            return util::Status::FailedPrecondition("server is shut down");
+          }
+          continue;
+        case OverloadPolicy::kShedOldest: {
+          // The oldest queued request (smallest sequence number across all
+          // priorities) is dropped to make room.
+          auto oldest = queue_.begin();
+          for (auto it = queue_.begin(); it != queue_.end(); ++it) {
+            if (it->first.seq < oldest->first.seq) oldest = it;
+          }
+          shed_state = oldest->second;
+          queue_.erase(oldest);
+          // The victim never ran: return its budget to the pool and drop
+          // its instance copy.
+          if (budget_limited_) {
+            budget_remaining_ += shed_state->budget_seconds;
+          }
+          shed_state->instance = core::Instance();
+          RecordFinishLocked(
+              *shed_state,
+              util::Status::ResourceExhausted("shed by queue overflow"));
+          continue;
+        }
+      }
+    }
+
+    // Per-request budget, deducted from the server-wide pool. The pool is
+    // re-checked here because a kBlock wait releases mu_: a competing
+    // submitter may have drained the remainder while this one slept.
+    double budget = controls.budget_seconds >= 0.0
+                        ? controls.budget_seconds
+                        : config_.default_budget_seconds;
+    if (budget_limited_) {
+      if (budget_remaining_ <= 0.0) {
+        ++counters_.rejected;
+        // This submitter may have consumed a queue-pop notification on
+        // its way here (kBlock); pass the baton so the next blocked
+        // submitter wakes up to claim the slot -- or to be rejected like
+        // this one -- instead of hanging forever.
+        space_cv_.notify_one();
+        return util::Status::ResourceExhausted(
+            "server budget pool exhausted");
+      }
+      if (budget <= 0.0 || budget > budget_remaining_) {
+        budget = budget_remaining_;
+      }
+      budget_remaining_ -= budget;
+    }
+
+    auto state = std::make_shared<internal::TicketState>();
+    state->id = next_seq_++;
+    state->priority = controls.priority;
+    state->submit_time = std::chrono::steady_clock::now();
+    state->instance = std::move(instance);
+    state->budget_seconds = budget;
+    queue_.emplace(QueueKey{controls.priority, state->id}, state);
+    ++counters_.admitted;
+    ++pending_pool_tasks_;
+    ticket = Ticket(state);
+    // One generic drain task per admission: each pool task pops whatever
+    // is the best queued request at run time, so priorities hold even
+    // though the pool's own queue is FIFO. A task finding the queue empty
+    // (its request was shed or cancelled first) simply retires. Enqueued
+    // under mu_ so Shutdown cannot observe the incremented task count and
+    // join the pool before the task exists.
+    pool_->Submit([this] { RunNext(); });
+  }
+
+  if (shed_state != nullptr) {
+    Complete(shed_state,
+             util::Status::ResourceExhausted("shed by queue overflow"));
+  }
+  return ticket;
+}
+
+void Server::RunNext() {
+  std::shared_ptr<internal::TicketState> state;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (queue_.empty()) {
+      if (--pending_pool_tasks_ == 0) idle_cv_.notify_all();
+      return;
+    }
+    auto it = queue_.begin();
+    state = it->second;
+    queue_.erase(it);
+    ++in_flight_;
+  }
+  // A queue slot freed; wake one kBlock submitter.
+  space_cv_.notify_one();
+
+  util::Deadline deadline(state->budget_seconds, &cancel_);
+  util::StatusOr<EngineResult> result =
+      engine_.RunIsolated(state->instance, deadline);
+  // Nothing reads the instance after dispatch; release the copy now so
+  // tickets held long after completion don't pin task/worker vectors.
+  state->instance = core::Instance();
+
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    --in_flight_;
+    RecordFinishLocked(*state, result.ok() ? util::Status::OK()
+                                           : result.status());
+    if (--pending_pool_tasks_ == 0) idle_cv_.notify_all();
+  }
+  Complete(state, std::move(result));
+}
+
+void Server::Shutdown(ShutdownMode mode) {
+  std::vector<std::shared_ptr<internal::TicketState>> cancelled;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    // The first call wins and its mode sticks: a Shutdown(kCancel)
+    // racing (or following) an in-progress Shutdown(kDrain) must not
+    // cancel the queued work the drain promised to complete -- later
+    // calls just wait for the wind-down below.
+    const bool first = !closed_;
+    closed_ = true;
+    if (first && mode == ShutdownMode::kCancel) {
+      cancel_.Cancel();
+      cancelled.reserve(queue_.size());
+      for (auto& [key, state] : queue_) {
+        RecordFinishLocked(*state,
+                           util::Status::Cancelled("server shutdown"));
+        // The request never ran; drop its instance copy right away.
+        state->instance = core::Instance();
+        cancelled.push_back(state);
+      }
+      queue_.clear();
+    }
+  }
+  space_cv_.notify_all();
+  for (const auto& state : cancelled) {
+    Complete(state, util::Status::Cancelled("server shutdown"));
+  }
+
+  bool join_here = false;
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    idle_cv_.wait(lock, [this] { return pending_pool_tasks_ == 0; });
+    if (!joining_) {
+      joining_ = true;
+      join_here = true;
+    }
+  }
+  if (join_here) {
+    pool_.reset();  // joins the dispatch threads
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      wound_down_ = true;
+    }
+    idle_cv_.notify_all();
+  } else {
+    std::unique_lock<std::mutex> lock(mu_);
+    idle_cv_.wait(lock, [this] { return wound_down_; });
+  }
+}
+
+ServerStats Server::Stats() const {
+  std::vector<double> latencies;
+  ServerStats stats;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stats = counters_;
+    stats.queue_depth = static_cast<int>(queue_.size());
+    stats.in_flight = in_flight_;
+    stats.budget_remaining_seconds =
+        budget_limited_ ? std::max(budget_remaining_, 0.0) : -1.0;
+    latencies = latencies_;
+  }
+  std::sort(latencies.begin(), latencies.end());
+  stats.latency_p50_seconds = Percentile(latencies, 0.50);
+  stats.latency_p95_seconds = Percentile(latencies, 0.95);
+  stats.latency_p99_seconds = Percentile(latencies, 0.99);
+  stats.latency_max_seconds = latencies.empty() ? 0.0 : latencies.back();
+  return stats;
+}
+
+}  // namespace rdbsc::engine

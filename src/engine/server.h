@@ -1,0 +1,251 @@
+#ifndef RDBSC_ENGINE_SERVER_H_
+#define RDBSC_ENGINE_SERVER_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "core/instance.h"
+#include "engine/engine.h"
+#include "util/deadline.h"
+#include "util/status.h"
+#include "util/thread_pool.h"
+
+namespace rdbsc::engine {
+
+/// What Submit does once the admission queue is at max_queue_depth.
+enum class OverloadPolicy {
+  /// Block the submitter until a slot frees up (or the server shuts down).
+  kBlock,
+  /// Fail the new request immediately with kResourceExhausted.
+  kReject,
+  /// Drop the oldest queued request (it completes with kResourceExhausted)
+  /// to make room for the new one. Age alone decides the victim --
+  /// deliberately ignoring priority, so a stale high-priority request
+  /// cannot pin the queue; pair high priorities with kBlock/kReject if
+  /// they must never be shed.
+  kShedOldest,
+};
+
+/// How Shutdown winds the server down.
+enum class ShutdownMode {
+  /// Stop admitting, run every queued request to completion, then stop.
+  kDrain,
+  /// Stop admitting, fail queued requests with kCancelled, and trip the
+  /// server CancelToken so in-flight solves return kCancelled at their
+  /// next deadline poll.
+  kCancel,
+};
+
+/// Configuration of an admission server.
+struct ServerConfig {
+  /// Solver / graph-strategy / validation settings of the underlying
+  /// pipeline. `engine.num_threads` is ignored: each admitted request runs
+  /// serially on a fresh registry-created solver (the determinism
+  /// contract), and concurrency comes from `num_workers` requests in
+  /// flight at once.
+  EngineConfig engine;
+
+  /// Dispatch threads, i.e. requests solved concurrently (clamped to 1).
+  int num_workers = 1;
+  /// Queued-but-not-yet-running requests admitted before `overload_policy`
+  /// kicks in (clamped to 1).
+  int max_queue_depth = 256;
+  OverloadPolicy overload_policy = OverloadPolicy::kReject;
+
+  /// Per-request wall-clock budget applied when SubmitControls does not
+  /// override it; <= 0 means unlimited.
+  double default_budget_seconds = 0.0;
+  /// Server-wide budget pool in seconds; <= 0 means unlimited. Every
+  /// admission deducts the request's effective budget from the pool:
+  /// an unlimited request is capped at the remaining pool, and once the
+  /// pool hits zero further submissions fail with kResourceExhausted.
+  double total_budget_seconds = 0.0;
+};
+
+/// Per-submission overrides.
+struct SubmitControls {
+  /// Higher-priority requests dispatch first; ties in submission order.
+  int priority = 0;
+  /// < 0: use the server's default budget. 0: unlimited (still capped by
+  /// the server-wide pool when that is finite). The clock starts at
+  /// *dispatch*, not Submit: the budget bounds the solve itself, so a
+  /// result stays independent of how long the ticket sat queued (time in
+  /// queue is governed by the overload policy and queue depth instead).
+  double budget_seconds = -1.0;
+};
+
+/// Counter snapshot returned by Server::Stats. Latency percentiles are
+/// measured submit -> completion over a sliding window of the most
+/// recently finished requests (including shed / cancelled ones).
+struct ServerStats {
+  int64_t submitted = 0;   ///< Submit calls, including rejected ones.
+  int64_t admitted = 0;    ///< entered the queue
+  int64_t rejected = 0;    ///< refused at admission (full / closed / pool)
+  int64_t shed = 0;        ///< dropped from the queue by kShedOldest
+  int64_t completed = 0;   ///< finished with an OK result
+  int64_t deadline_exceeded = 0;  ///< finished with kDeadlineExceeded
+  int64_t cancelled = 0;   ///< finished with kCancelled (Shutdown(kCancel))
+  int64_t failed = 0;      ///< finished with any other error
+
+  int queue_depth = 0;     ///< waiting right now
+  int in_flight = 0;       ///< solving right now
+  /// Remaining server-wide budget pool; < 0 when the pool is unlimited.
+  double budget_remaining_seconds = -1.0;
+
+  double latency_p50_seconds = 0.0;
+  double latency_p95_seconds = 0.0;
+  double latency_p99_seconds = 0.0;
+  double latency_max_seconds = 0.0;
+};
+
+namespace internal {
+/// Shared completion slot of one admitted request. Submitters hold it
+/// through Ticket; the server fills it exactly once (solve result, shed,
+/// or shutdown-cancel) and notifies.
+struct TicketState {
+  uint64_t id = 0;
+  int priority = 0;
+  std::chrono::steady_clock::time_point submit_time;
+  core::Instance instance;
+  double budget_seconds = 0.0;  ///< effective per-request budget; 0 = none
+
+  mutable std::mutex mu;
+  mutable std::condition_variable cv;
+  bool done = false;
+  util::StatusOr<EngineResult> result{
+      util::Status::Internal("ticket still pending")};
+};
+}  // namespace internal
+
+/// Future-style handle to one admitted request. Cheap to copy; outlives
+/// the server (the result slot is shared), so Wait/TryGet stay valid after
+/// Shutdown. Every admitted ticket is eventually completed -- with its
+/// solve result, kResourceExhausted when shed, or kCancelled on
+/// Shutdown(kCancel) -- so Wait never hangs past shutdown.
+class Ticket {
+ public:
+  /// An empty ticket: valid() is false, Wait/TryGet must not be called.
+  Ticket() = default;
+
+  bool valid() const { return state_ != nullptr; }
+  uint64_t id() const { return state_ == nullptr ? 0 : state_->id; }
+
+  /// Blocks until the request finished and returns its result.
+  const util::StatusOr<EngineResult>& Wait() const;
+  /// Non-blocking: the result once finished, nullptr while pending.
+  const util::StatusOr<EngineResult>* TryGet() const;
+  /// Blocks up to `seconds`; true once the request finished.
+  bool WaitFor(double seconds) const;
+
+ private:
+  friend class Server;
+  explicit Ticket(std::shared_ptr<internal::TicketState> state)
+      : state_(std::move(state)) {}
+
+  std::shared_ptr<internal::TicketState> state_;
+};
+
+/// Asynchronous admission layer over the Engine pipeline: Submit copies an
+/// instance into a bounded priority queue and returns a Ticket; a pool of
+/// `num_workers` dispatch threads pops the best queued request (highest
+/// priority, then FIFO) and runs Engine::RunIsolated on it -- a fresh
+/// registry-created solver, serial inside the request -- so per-ticket
+/// results are bit-identical across worker counts and reruns (the PR-3
+/// determinism contract, extended to the async layer and enforced by
+/// tests/server_stress_test.cc).
+///
+///   auto server = engine::Server::Create({.engine = {.solver_name = "dc"}});
+///   engine::Ticket t = server.value()->Submit(instance).value();
+///   const util::StatusOr<EngineResult>& result = t.Wait();
+///
+/// All methods are thread-safe.
+class Server {
+ public:
+  /// Resolves the engine config through the registry; kNotFound for an
+  /// unknown solver name. The returned server is running.
+  static util::StatusOr<std::unique_ptr<Server>> Create(ServerConfig config);
+
+  /// Shutdown(kCancel) when the server is still running.
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Admits `instance` (copied; the server owns it until completion) and
+  /// returns its ticket. Fails with kResourceExhausted when the queue is
+  /// full under kReject or the budget pool is spent, and with
+  /// kFailedPrecondition after Shutdown.
+  util::StatusOr<Ticket> Submit(core::Instance instance,
+                                const SubmitControls& controls = {});
+
+  /// Stops admissions and winds down per `mode`; blocks until every
+  /// queued/in-flight request completed and the dispatch threads joined.
+  /// Idempotent, first call wins: later calls (and calls racing the
+  /// first) ignore their own `mode` -- a kCancel arriving during a drain
+  /// does not cancel the work the drain promised to run -- and simply
+  /// wait for the wind-down to finish.
+  void Shutdown(ShutdownMode mode);
+
+  ServerStats Stats() const;
+
+  const ServerConfig& config() const { return config_; }
+
+ private:
+  // Dispatch order: highest priority first, then submission order.
+  struct QueueKey {
+    int priority = 0;
+    uint64_t seq = 0;
+    bool operator<(const QueueKey& other) const {
+      if (priority != other.priority) return priority > other.priority;
+      return seq < other.seq;
+    }
+  };
+
+  Server() = default;
+
+  /// Body of one queued pool task: pop the best ticket, solve, complete.
+  void RunNext();
+  /// Fills a ticket's result slot and wakes its waiters.
+  static void Complete(const std::shared_ptr<internal::TicketState>& state,
+                       util::StatusOr<EngineResult> result);
+  /// Accounts one finished request (counters + latency) under mu_.
+  void RecordFinishLocked(const internal::TicketState& state,
+                          const util::Status& status);
+
+  ServerConfig config_;
+  Engine engine_;
+  std::unique_ptr<util::ThreadPool> pool_;
+  util::CancelToken cancel_;
+
+  mutable std::mutex mu_;
+  std::condition_variable space_cv_;  ///< kBlock submitters wait here
+  std::condition_variable idle_cv_;   ///< Shutdown waits here
+  bool closed_ = false;               ///< no further admissions
+  bool joining_ = false;              ///< one Shutdown call owns the join
+  bool wound_down_ = false;           ///< dispatch threads joined
+  uint64_t next_seq_ = 1;
+  std::map<QueueKey, std::shared_ptr<internal::TicketState>> queue_;
+  int in_flight_ = 0;
+  /// Queued-but-unfinished pool tasks; every admission enqueues exactly
+  /// one, so 0 here means queue_ is empty and nothing is in flight.
+  int pending_pool_tasks_ = 0;
+  bool budget_limited_ = false;
+  double budget_remaining_ = 0.0;
+
+  ServerStats counters_;              ///< counter part only
+  /// Sliding window over the most recent finished requests, so a
+  /// long-running server's memory and Stats() sort cost stay bounded.
+  /// Percentiles therefore describe recent traffic, not all-time history.
+  static constexpr size_t kLatencyWindow = 8192;
+  std::vector<double> latencies_;     ///< ring buffer, capacity above
+  size_t latency_next_ = 0;           ///< next ring slot to overwrite
+};
+
+}  // namespace rdbsc::engine
+
+#endif  // RDBSC_ENGINE_SERVER_H_

@@ -9,6 +9,7 @@
 
 #include "core/diversity.h"
 #include "core/registry.h"
+#include "engine/server.h"
 #include "util/config.h"
 #include "geo/angle.h"
 #include "util/math.h"
@@ -63,7 +64,9 @@ Platform::Platform(PlatformConfig config) : config_(std::move(config)) {
     init_status_ = created.status();
     return;  // Run() only reports init_status_; don't spawn idle threads
   }
-  if (config_.num_threads > 1) {
+  // In server mode every tick solves through the engine::Server, which
+  // owns its own dispatch threads -- the platform pool would sit idle.
+  if (config_.num_threads > 1 && config_.server_workers <= 0) {
     pool_ = std::make_unique<util::ThreadPool>(config_.num_threads);
   }
 }
@@ -72,6 +75,25 @@ util::StatusOr<PlatformResult> Platform::Run() {
   if (!init_status_.ok()) return init_status_;
   util::Rng rng(config_.seed);
   PlatformResult result;
+
+  // Optional async admission path: ticks submit through an engine::Server
+  // instead of solving inline. Brute-force graph construction keeps the
+  // candidate graph identical to the inline CandidateGraph::Build below,
+  // and the per-ticket fresh solver reproduces the reused solver_ bit for
+  // bit (every solver reseeds from its options per solve).
+  std::unique_ptr<rdbsc::engine::Server> server;
+  if (config_.server_workers > 0) {
+    rdbsc::engine::ServerConfig server_config;
+    server_config.engine.solver_name = config_.solver_name;
+    server_config.engine.solver_options = config_.solver_options;
+    server_config.engine.graph_strategy = GraphStrategy::kBruteForce;
+    server_config.engine.validate_instances = false;
+    server_config.num_workers = config_.server_workers;
+    util::StatusOr<std::unique_ptr<rdbsc::engine::Server>> created =
+        rdbsc::engine::Server::Create(std::move(server_config));
+    if (!created.ok()) return created.status();
+    server = std::move(created).value();
+  }
 
   // --- Set up the campus: sites clustered around the center. ---
   const geo::Point center{0.5, 0.5};
@@ -178,18 +200,30 @@ util::StatusOr<PlatformResult> Platform::Run() {
 
     core::Instance snapshot(std::move(open_tasks), std::move(free_workers),
                             /*now=*/t, core::ArrivalPolicy::kStrict);
-    // Each tick's graph build and solve run through the platform pool
-    // (unlimited deadline: the simulator has no per-tick budget).
-    core::CandidateGraph graph =
-        core::CandidateGraph::Build(snapshot, pool_.get(), util::Deadline())
-            .value();
-    core::SolveRequest request;
-    request.instance = &snapshot;
-    request.graph = &graph;
-    request.executor = pool_.get();
-    util::StatusOr<core::SolveResult> solved = solver_->Solve(request);
-    if (!solved.ok()) return solved.status();
-    const core::SolveResult& solve = solved.value();
+    core::SolveResult solve;
+    if (server != nullptr) {
+      // Async admission path: the tick is one server request (priority 0,
+      // unlimited budget -- the simulator has no per-tick budget).
+      util::StatusOr<rdbsc::engine::Ticket> ticket =
+          server->Submit(snapshot);
+      if (!ticket.ok()) return ticket.status();
+      const util::StatusOr<EngineResult>& run = ticket.value().Wait();
+      if (!run.ok()) return run.status();
+      solve = run.value().solve;
+    } else {
+      // Inline path: graph build and solve run through the platform pool.
+      core::CandidateGraph graph =
+          core::CandidateGraph::Build(snapshot, pool_.get(),
+                                      util::Deadline())
+              .value();
+      core::SolveRequest request;
+      request.instance = &snapshot;
+      request.graph = &graph;
+      request.executor = pool_.get();
+      util::StatusOr<core::SolveResult> solved = solver_->Solve(request);
+      if (!solved.ok()) return solved.status();
+      solve = std::move(solved).value();
+    }
 
     RoundRecord record;
     record.time = t;

@@ -47,6 +47,12 @@ struct PlatformConfig {
   /// candidate-graph build and solve run through; <= 1 stays serial. The
   /// simulated trajectory is bit-identical at every thread count.
   int num_threads = 0;
+  /// When > 0, each tick's snapshot is submitted through an
+  /// engine::Server with this many dispatch workers (the async admission
+  /// layer) instead of being solved inline -- exercising the same
+  /// code path a serving deployment would. The trajectory stays
+  /// bit-identical to the inline path at every worker count.
+  int server_workers = 0;
 };
 
 /// One answer produced by a worker reaching a task site.

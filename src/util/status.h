@@ -19,6 +19,7 @@ enum class StatusCode {
   kInternal,
   kDeadlineExceeded,
   kCancelled,
+  kResourceExhausted,
 };
 
 /// A lightweight success-or-error value, in the style of RocksDB's Status.
@@ -61,6 +62,9 @@ class Status {
   }
   static Status Cancelled(std::string msg) {
     return Status(StatusCode::kCancelled, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
   }
 
   /// True iff the operation succeeded.

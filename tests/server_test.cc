@@ -1,0 +1,447 @@
+// Unit and race coverage of engine::Server: admission policies (block /
+// reject / shed-oldest), the server-wide budget pool, priority dispatch,
+// graceful shutdown in both modes, and a concurrent
+// Submit + Shutdown(kCancel) + deadline-expiry loop that the TSan CI job
+// runs to flush races out of the ticket/future path.
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include "engine/engine.h"
+#include "engine/server.h"
+#include "gtest/gtest.h"
+#include "stress_util.h"
+#include "test_util.h"
+
+namespace rdbsc {
+namespace {
+
+using engine::OverloadPolicy;
+using engine::Server;
+using engine::ServerConfig;
+using engine::ServerStats;
+using engine::ShutdownMode;
+using engine::SubmitControls;
+using engine::Ticket;
+
+ServerConfig BaseConfig(int num_workers = 1) {
+  ServerConfig config;
+  config.engine.solver_name = "dc";
+  config.engine.solver_options.seed = 7;
+  config.engine.validate_instances = false;
+  config.num_workers = num_workers;
+  return config;
+}
+
+std::unique_ptr<Server> MakeServer(ServerConfig config) {
+  return std::move(Server::Create(std::move(config)).value());
+}
+
+// A solve heavy enough (hundreds of ms) to keep the single dispatch
+// worker busy while a test manipulates the queue behind it.
+core::Instance GateInstance() { return test::SmallInstance(1, 220, 220); }
+
+// A solve in the low milliseconds.
+core::Instance QuickInstance(uint64_t seed = 3) {
+  return test::SmallInstance(seed, 10, 24);
+}
+
+// Spins (with 1 ms naps) until `pred` holds; fails the test after ~10 s.
+template <typename Pred>
+void WaitUntil(Pred pred) {
+  for (int i = 0; i < 10'000; ++i) {
+    if (pred()) return;
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  FAIL() << "condition not reached within 10 s";
+}
+
+TEST(ServerTest, CreateRejectsUnknownSolver) {
+  ServerConfig config;
+  config.engine.solver_name = "no-such-solver";
+  auto server = Server::Create(std::move(config));
+  ASSERT_FALSE(server.ok());
+  EXPECT_EQ(server.status().code(), util::StatusCode::kNotFound);
+}
+
+TEST(ServerTest, SubmitMatchesDirectEngineRun) {
+  core::Instance instance = QuickInstance(11);
+  ServerConfig config = BaseConfig(2);
+  util::StatusOr<Engine> direct = Engine::Create(config.engine);
+  util::StatusOr<EngineResult> expected = direct.value().Run(instance);
+
+  auto server = MakeServer(std::move(config));
+  Ticket ticket = server->Submit(instance).value();
+  const util::StatusOr<EngineResult>& got = ticket.Wait();
+  EXPECT_EQ(test::Fingerprint(got), test::Fingerprint(expected));
+  server->Shutdown(ShutdownMode::kDrain);
+
+  ServerStats stats = server->Stats();
+  EXPECT_EQ(stats.submitted, 1);
+  EXPECT_EQ(stats.admitted, 1);
+  EXPECT_EQ(stats.completed, 1);
+  EXPECT_EQ(stats.queue_depth, 0);
+  EXPECT_EQ(stats.in_flight, 0);
+  EXPECT_GT(stats.latency_p50_seconds, 0.0);
+  EXPECT_GE(stats.latency_max_seconds, stats.latency_p50_seconds);
+}
+
+TEST(ServerTest, TryGetAndWaitFor) {
+  auto server = MakeServer(BaseConfig(1));
+  Ticket ticket = server->Submit(QuickInstance()).value();
+  EXPECT_TRUE(ticket.valid());
+  EXPECT_TRUE(ticket.WaitFor(30.0));
+  ASSERT_NE(ticket.TryGet(), nullptr);
+  EXPECT_TRUE(ticket.TryGet()->ok());
+}
+
+TEST(ServerTest, TinyBudgetExpiresTicket) {
+  auto server = MakeServer(BaseConfig(1));
+  SubmitControls controls;
+  controls.budget_seconds = 1e-9;
+  Ticket ticket = server->Submit(QuickInstance(), controls).value();
+  const util::StatusOr<EngineResult>& result = ticket.Wait();
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), util::StatusCode::kDeadlineExceeded);
+  server->Shutdown(ShutdownMode::kDrain);
+  EXPECT_EQ(server->Stats().deadline_exceeded, 1);
+}
+
+TEST(ServerTest, RejectPolicyFailsWhenQueueFull) {
+  ServerConfig config = BaseConfig(1);
+  config.max_queue_depth = 1;
+  config.overload_policy = OverloadPolicy::kReject;
+  auto server = MakeServer(std::move(config));
+
+  Ticket gate = server->Submit(GateInstance()).value();
+  WaitUntil([&] { return server->Stats().in_flight == 1; });
+  Ticket queued = server->Submit(QuickInstance()).value();
+
+  auto rejected = server->Submit(QuickInstance());
+  ASSERT_FALSE(rejected.ok());
+  EXPECT_EQ(rejected.status().code(), util::StatusCode::kResourceExhausted);
+
+  EXPECT_TRUE(gate.Wait().ok());
+  EXPECT_TRUE(queued.Wait().ok());
+  server->Shutdown(ShutdownMode::kDrain);
+  ServerStats stats = server->Stats();
+  EXPECT_EQ(stats.rejected, 1);
+  EXPECT_EQ(stats.completed, 2);
+}
+
+TEST(ServerTest, ShedOldestDropsTheOldestQueuedTicket) {
+  ServerConfig config = BaseConfig(1);
+  config.max_queue_depth = 2;
+  config.overload_policy = OverloadPolicy::kShedOldest;
+  auto server = MakeServer(std::move(config));
+
+  Ticket gate = server->Submit(GateInstance()).value();
+  WaitUntil([&] { return server->Stats().in_flight == 1; });
+  Ticket oldest = server->Submit(QuickInstance(1)).value();
+  Ticket second = server->Submit(QuickInstance(2)).value();
+  Ticket third = server->Submit(QuickInstance(3)).value();  // sheds `oldest`
+
+  const util::StatusOr<EngineResult>& shed = oldest.Wait();
+  ASSERT_FALSE(shed.ok());
+  EXPECT_EQ(shed.status().code(), util::StatusCode::kResourceExhausted);
+
+  EXPECT_TRUE(gate.Wait().ok());
+  EXPECT_TRUE(second.Wait().ok());
+  EXPECT_TRUE(third.Wait().ok());
+  server->Shutdown(ShutdownMode::kDrain);
+  ServerStats stats = server->Stats();
+  EXPECT_EQ(stats.shed, 1);
+  EXPECT_EQ(stats.completed, 3);
+  EXPECT_EQ(stats.rejected, 0);
+}
+
+TEST(ServerTest, BlockPolicyWaitsForSpace) {
+  ServerConfig config = BaseConfig(1);
+  config.max_queue_depth = 1;
+  config.overload_policy = OverloadPolicy::kBlock;
+  auto server = MakeServer(std::move(config));
+
+  Ticket gate = server->Submit(GateInstance()).value();
+  WaitUntil([&] { return server->Stats().in_flight == 1; });
+  Ticket queued = server->Submit(QuickInstance(1)).value();
+
+  std::atomic<bool> admitted{false};
+  std::thread blocked([&] {
+    Ticket late = server->Submit(QuickInstance(2)).value();
+    admitted.store(true);
+    EXPECT_TRUE(late.Wait().ok());
+  });
+  // The submitter stays blocked while the queue is full...
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  EXPECT_FALSE(admitted.load());
+  // ...and is admitted once the gate finishes and frees the slot.
+  EXPECT_TRUE(gate.Wait().ok());
+  blocked.join();
+  EXPECT_TRUE(admitted.load());
+  EXPECT_TRUE(queued.Wait().ok());
+  server->Shutdown(ShutdownMode::kDrain);
+  EXPECT_EQ(server->Stats().rejected, 0);
+  EXPECT_EQ(server->Stats().completed, 3);
+}
+
+TEST(ServerTest, HighPriorityDispatchesBeforeEarlierLowPriority) {
+  // One worker, busy gate; a *slow* low-priority ticket is queued before a
+  // *quick* high-priority one. With priority dispatch the quick ticket
+  // finishes while the slow one is still pending/running; with FIFO the
+  // slow one would already be done when the quick one completes.
+  auto server = MakeServer(BaseConfig(1));
+  Ticket gate = server->Submit(GateInstance()).value();
+  WaitUntil([&] { return server->Stats().in_flight == 1; });
+
+  SubmitControls low;
+  low.priority = 0;
+  Ticket slow_low = server->Submit(test::SmallInstance(2, 220, 220), low)
+                        .value();
+  SubmitControls high;
+  high.priority = 5;
+  Ticket quick_high = server->Submit(QuickInstance(), high).value();
+
+  EXPECT_TRUE(quick_high.Wait().ok());
+  EXPECT_EQ(slow_low.TryGet(), nullptr)
+      << "low-priority ticket finished first: FIFO dispatch?";
+  EXPECT_TRUE(slow_low.Wait().ok());
+  server->Shutdown(ShutdownMode::kDrain);
+}
+
+TEST(ServerTest, BudgetPoolDeductsAndExhausts) {
+  ServerConfig config = BaseConfig(1);
+  config.default_budget_seconds = 20.0;
+  config.total_budget_seconds = 30.0;
+  auto server = MakeServer(std::move(config));
+
+  // First admission deducts its 20 s budget; the second (unlimited
+  // request) is capped at the remaining 10 s; the third finds the pool
+  // empty.
+  Ticket first = server->Submit(QuickInstance(1)).value();
+  SubmitControls unlimited;
+  unlimited.budget_seconds = 0.0;
+  Ticket second = server->Submit(QuickInstance(2), unlimited).value();
+  auto third = server->Submit(QuickInstance(3));
+  ASSERT_FALSE(third.ok());
+  EXPECT_EQ(third.status().code(), util::StatusCode::kResourceExhausted);
+
+  EXPECT_TRUE(first.Wait().ok());
+  EXPECT_TRUE(second.Wait().ok());
+  server->Shutdown(ShutdownMode::kDrain);
+  ServerStats stats = server->Stats();
+  EXPECT_EQ(stats.rejected, 1);
+  EXPECT_EQ(stats.budget_remaining_seconds, 0.0);
+}
+
+TEST(ServerTest, ExhaustedPoolRejectsWithoutShedding) {
+  // Regression: with the budget pool spent, a Submit under kShedOldest
+  // must be rejected up front -- not evict an already-funded queued
+  // ticket and then get rejected anyway.
+  ServerConfig config = BaseConfig(1);
+  config.max_queue_depth = 2;
+  config.overload_policy = OverloadPolicy::kShedOldest;
+  config.default_budget_seconds = 10.0;
+  config.total_budget_seconds = 30.0;
+  auto server = MakeServer(std::move(config));
+
+  Ticket gate = server->Submit(GateInstance()).value();
+  WaitUntil([&] { return server->Stats().in_flight == 1; });
+  Ticket q1 = server->Submit(QuickInstance(1)).value();
+  Ticket q2 = server->Submit(QuickInstance(2)).value();  // pool now empty
+
+  auto q3 = server->Submit(QuickInstance(3));
+  ASSERT_FALSE(q3.ok());
+  EXPECT_EQ(q3.status().code(), util::StatusCode::kResourceExhausted);
+
+  EXPECT_TRUE(gate.Wait().ok());
+  EXPECT_TRUE(q1.Wait().ok());
+  EXPECT_TRUE(q2.Wait().ok());
+  server->Shutdown(ShutdownMode::kDrain);
+  ServerStats stats = server->Stats();
+  EXPECT_EQ(stats.shed, 0);
+  EXPECT_EQ(stats.rejected, 1);
+  EXPECT_EQ(stats.completed, 3);
+}
+
+TEST(ServerTest, BlockedSubmitterIsRejectedNotHungWhenPoolDrains) {
+  // Regression: a kBlock submitter woken by a queue pop but rejected for
+  // pool exhaustion must pass the wake-up on, so the next blocked
+  // submitter gets rejected too instead of hanging forever.
+  ServerConfig config = BaseConfig(1);
+  config.max_queue_depth = 1;
+  config.overload_policy = OverloadPolicy::kBlock;
+  config.default_budget_seconds = 10.0;
+  config.total_budget_seconds = 30.0;  // funds gate + queued + ONE more
+  auto server = MakeServer(std::move(config));
+
+  Ticket gate = server->Submit(GateInstance()).value();
+  WaitUntil([&] { return server->Stats().in_flight == 1; });
+  Ticket queued = server->Submit(QuickInstance(1)).value();
+
+  // Two submitters block on the full queue; only one can still be funded.
+  util::Status results[2];
+  std::thread blocked[2];
+  for (int i = 0; i < 2; ++i) {
+    blocked[i] = std::thread([&, i] {
+      auto ticket = server->Submit(QuickInstance(10 + i));
+      results[i] = ticket.ok() ? util::Status::OK() : ticket.status();
+      if (ticket.ok()) ticket.value().Wait();
+    });
+  }
+  // Without the baton-pass this join hangs (the second waiter is never
+  // woken once the first consumes the pop notification and is rejected).
+  blocked[0].join();
+  blocked[1].join();
+
+  int admitted = (results[0].ok() ? 1 : 0) + (results[1].ok() ? 1 : 0);
+  EXPECT_EQ(admitted, 1);
+  for (const util::Status& status : results) {
+    if (!status.ok()) {
+      EXPECT_EQ(status.code(), util::StatusCode::kResourceExhausted);
+    }
+  }
+  EXPECT_TRUE(gate.Wait().ok());
+  EXPECT_TRUE(queued.Wait().ok());
+  server->Shutdown(ShutdownMode::kDrain);
+}
+
+TEST(ServerTest, ShedRefundsVictimBudgetToPool) {
+  ServerConfig config = BaseConfig(1);
+  config.max_queue_depth = 1;
+  config.overload_policy = OverloadPolicy::kShedOldest;
+  config.default_budget_seconds = 10.0;
+  config.total_budget_seconds = 30.0;
+  auto server = MakeServer(std::move(config));
+
+  Ticket gate = server->Submit(GateInstance()).value();  // pool: 20
+  WaitUntil([&] { return server->Stats().in_flight == 1; });
+  Ticket victim = server->Submit(QuickInstance(1)).value();  // pool: 10
+  // Sheds `victim` (refund -> 20), then funds itself (deduct -> 10).
+  Ticket replacement = server->Submit(QuickInstance(2)).value();
+
+  ASSERT_FALSE(victim.Wait().ok());
+  EXPECT_EQ(victim.Wait().status().code(),
+            util::StatusCode::kResourceExhausted);
+  EXPECT_TRUE(gate.Wait().ok());
+  EXPECT_TRUE(replacement.Wait().ok());
+  server->Shutdown(ShutdownMode::kDrain);
+  ServerStats stats = server->Stats();
+  EXPECT_EQ(stats.shed, 1);
+  EXPECT_EQ(stats.rejected, 0);
+  EXPECT_DOUBLE_EQ(stats.budget_remaining_seconds, 10.0);
+}
+
+TEST(ServerTest, ShutdownDrainRunsEverythingThenRefuses) {
+  auto server = MakeServer(BaseConfig(2));
+  std::vector<Ticket> tickets;
+  for (uint64_t s = 0; s < 6; ++s) {
+    tickets.push_back(server->Submit(QuickInstance(s)).value());
+  }
+  server->Shutdown(ShutdownMode::kDrain);
+  for (Ticket& ticket : tickets) EXPECT_TRUE(ticket.Wait().ok());
+
+  auto late = server->Submit(QuickInstance());
+  ASSERT_FALSE(late.ok());
+  EXPECT_EQ(late.status().code(), util::StatusCode::kFailedPrecondition);
+  ServerStats stats = server->Stats();
+  EXPECT_EQ(stats.completed, 6);
+  EXPECT_EQ(stats.rejected, 1);
+}
+
+TEST(ServerTest, ShutdownCancelFailsQueuedTickets) {
+  auto server = MakeServer(BaseConfig(1));
+  Ticket gate = server->Submit(GateInstance()).value();
+  WaitUntil([&] { return server->Stats().in_flight == 1; });
+  std::vector<Ticket> queued;
+  for (uint64_t s = 0; s < 4; ++s) {
+    queued.push_back(server->Submit(QuickInstance(s)).value());
+  }
+  server->Shutdown(ShutdownMode::kCancel);
+  // The in-flight gate either finished in time or saw the token.
+  const util::StatusOr<EngineResult>& gate_result = gate.Wait();
+  EXPECT_TRUE(gate_result.ok() ||
+              gate_result.status().code() == util::StatusCode::kCancelled);
+  for (Ticket& ticket : queued) {
+    ASSERT_FALSE(ticket.Wait().ok());
+    EXPECT_EQ(ticket.Wait().status().code(), util::StatusCode::kCancelled);
+  }
+  ServerStats stats = server->Stats();
+  EXPECT_GE(stats.cancelled, 4);
+  EXPECT_EQ(stats.queue_depth, 0);
+  EXPECT_EQ(stats.in_flight, 0);
+}
+
+TEST(ServerTest, ShutdownIsIdempotent) {
+  auto server = MakeServer(BaseConfig(1));
+  Ticket ticket = server->Submit(QuickInstance()).value();
+  server->Shutdown(ShutdownMode::kDrain);
+  server->Shutdown(ShutdownMode::kDrain);
+  server->Shutdown(ShutdownMode::kCancel);
+  EXPECT_TRUE(ticket.Wait().ok());
+}
+
+// The race-focused satellite: concurrent Submit + Shutdown(kCancel) +
+// deadline expiry, looped. Every ticket must resolve to exactly one of
+// {OK, kCancelled, kDeadlineExceeded}, the counters must reconcile, and
+// under the TSan CI job any data race in the ticket/future or
+// admission path fails the test.
+TEST(ServerTest, ConcurrentSubmitShutdownCancelAndDeadlines) {
+  for (int round = 0; round < 8; ++round) {
+    ServerConfig config = BaseConfig(4);
+    config.max_queue_depth = 8;
+    config.overload_policy =
+        round % 2 == 0 ? OverloadPolicy::kReject : OverloadPolicy::kShedOldest;
+    auto server = MakeServer(std::move(config));
+
+    constexpr int kSubmitters = 4;
+    constexpr int kPerSubmitter = 6;
+    std::vector<std::vector<Ticket>> tickets(kSubmitters);
+    std::vector<std::thread> threads;
+    threads.reserve(kSubmitters);
+    for (int s = 0; s < kSubmitters; ++s) {
+      threads.emplace_back([&, s] {
+        for (int i = 0; i < kPerSubmitter; ++i) {
+          SubmitControls controls;
+          controls.priority = i % 3;
+          // Mix unlimited, expiring, and generous budgets.
+          controls.budget_seconds =
+              i % 3 == 0 ? -1.0 : (i % 3 == 1 ? 1e-9 : 30.0);
+          auto ticket = server->Submit(
+              QuickInstance(static_cast<uint64_t>(s * 100 + i)), controls);
+          if (ticket.ok()) tickets[s].push_back(std::move(ticket).value());
+          // Rejections (queue full / already shut down) are legal here.
+        }
+      });
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(round));
+    server->Shutdown(ShutdownMode::kCancel);
+    for (std::thread& t : threads) t.join();
+
+    int64_t resolved = 0;
+    for (std::vector<Ticket>& per : tickets) {
+      for (Ticket& ticket : per) {
+        const util::StatusOr<EngineResult>& result = ticket.Wait();
+        ++resolved;
+        if (result.ok()) continue;
+        util::StatusCode code = result.status().code();
+        EXPECT_TRUE(code == util::StatusCode::kCancelled ||
+                    code == util::StatusCode::kDeadlineExceeded ||
+                    code == util::StatusCode::kResourceExhausted)
+            << result.status().ToString();
+      }
+    }
+    ServerStats stats = server->Stats();
+    EXPECT_EQ(stats.admitted, resolved);
+    EXPECT_EQ(stats.admitted, stats.completed + stats.cancelled +
+                                  stats.deadline_exceeded + stats.shed +
+                                  stats.failed);
+    EXPECT_EQ(stats.submitted, stats.admitted + stats.rejected);
+    EXPECT_EQ(stats.queue_depth, 0);
+    EXPECT_EQ(stats.in_flight, 0);
+  }
+}
+
+}  // namespace
+}  // namespace rdbsc

@@ -1,0 +1,147 @@
+#ifndef RDBSC_TESTS_STRESS_UTIL_H_
+#define RDBSC_TESTS_STRESS_UTIL_H_
+
+// Deterministic stress-harness pieces for the async admission server
+// (genny-style: a workload is a *scripted* arrival schedule generated from
+// one seed, so a run can be replayed bit for bit). A StressScript lists,
+// per scripted submitter thread, which instances it submits in which
+// order; ReplayScript plays it against a live engine::Server from real
+// concurrent threads and folds every ticket's outcome into a canonical
+// fingerprint string ordered by (submitter, arrival index) -- independent
+// of scheduling -- so two replays can be compared with a single EXPECT_EQ.
+
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/instance.h"
+#include "engine/server.h"
+#include "gen/workload.h"
+#include "test_util.h"
+#include "util/rng.h"
+
+namespace rdbsc::test {
+
+/// One scripted submission.
+struct StressArrival {
+  uint64_t instance_seed = 0;
+  int num_tasks = 0;
+  int num_workers = 0;
+  int priority = 0;
+};
+
+/// The full schedule: arrivals[s] is the ordered submission list of
+/// scripted submitter thread s.
+struct StressScript {
+  std::vector<std::vector<StressArrival>> arrivals;
+};
+
+/// Draws a schedule from one seed: instance sizes, seeds, and priorities
+/// all come from the same deterministic stream.
+inline StressScript MakeStressScript(uint64_t seed, int num_submitters,
+                                     int arrivals_per_submitter) {
+  util::Rng rng(seed);
+  StressScript script;
+  script.arrivals.resize(num_submitters);
+  for (int s = 0; s < num_submitters; ++s) {
+    script.arrivals[s].reserve(arrivals_per_submitter);
+    for (int a = 0; a < arrivals_per_submitter; ++a) {
+      StressArrival arrival;
+      arrival.instance_seed = static_cast<uint64_t>(rng.UniformInt(1, 1'000'000));
+      arrival.num_tasks = static_cast<int>(rng.UniformInt(6, 18));
+      arrival.num_workers = static_cast<int>(rng.UniformInt(10, 40));
+      arrival.priority = static_cast<int>(rng.UniformInt(0, 3));
+      script.arrivals[s].push_back(arrival);
+    }
+  }
+  return script;
+}
+
+/// The instance a scripted arrival stands for (same generator the solver
+/// tests use, sized by the script).
+inline core::Instance StressInstance(const StressArrival& arrival) {
+  return SmallInstance(arrival.instance_seed, arrival.num_tasks,
+                       arrival.num_workers);
+}
+
+/// Hex bit-pattern of a double: bit-identical results produce identical
+/// strings, and nothing is lost to decimal formatting.
+inline std::string HexBits(double value) {
+  uint64_t bits = 0;
+  std::memcpy(&bits, &value, sizeof(bits));
+  char buffer[20];
+  std::snprintf(buffer, sizeof(buffer), "%016llx",
+                static_cast<unsigned long long>(bits));
+  return buffer;
+}
+
+/// Canonical encoding of one ticket outcome: status code, then (on
+/// success) the full assignment, the objective bit patterns, and the graph
+/// plan. Timing fields are deliberately excluded -- they are the only part
+/// of a result allowed to vary between runs.
+inline std::string Fingerprint(const util::StatusOr<EngineResult>& result) {
+  std::string out =
+      "code=" + std::to_string(static_cast<int>(result.status().code()));
+  if (!result.ok()) return out;
+  const EngineResult& r = result.value();
+  out += ";assign=";
+  for (core::WorkerId j = 0; j < r.solve.assignment.num_workers(); ++j) {
+    out += std::to_string(r.solve.assignment.TaskOf(j));
+    out += ',';
+  }
+  out += ";std=" + HexBits(r.solve.objectives.total_std);
+  out += ";rel=" + HexBits(r.solve.objectives.min_reliability);
+  out += ";edges=" + std::to_string(r.plan.edges);
+  out += ";grid=" + std::to_string(r.plan.used_grid_index ? 1 : 0);
+  return out;
+}
+
+/// Plays `script` against a fresh server built from `config` (its
+/// num_workers overridden to `num_workers`): one real thread per scripted
+/// submitter, each submitting its arrivals in order and waiting for every
+/// ticket. Returns the fingerprints in script order, which is the same
+/// for every interleaving -- so the caller compares replays directly.
+inline std::vector<std::string> ReplayScript(const StressScript& script,
+                                             engine::ServerConfig config,
+                                             int num_workers) {
+  config.num_workers = num_workers;
+  std::unique_ptr<engine::Server> server =
+      std::move(engine::Server::Create(std::move(config)).value());
+
+  const int num_submitters = static_cast<int>(script.arrivals.size());
+  std::vector<std::vector<std::string>> prints(num_submitters);
+  std::vector<std::thread> submitters;
+  submitters.reserve(num_submitters);
+  for (int s = 0; s < num_submitters; ++s) {
+    submitters.emplace_back([&, s] {
+      const std::vector<StressArrival>& mine = script.arrivals[s];
+      std::vector<engine::Ticket> tickets;
+      tickets.reserve(mine.size());
+      for (const StressArrival& arrival : mine) {
+        engine::SubmitControls controls;
+        controls.priority = arrival.priority;
+        tickets.push_back(
+            server->Submit(StressInstance(arrival), controls).value());
+      }
+      prints[s].reserve(tickets.size());
+      for (const engine::Ticket& ticket : tickets) {
+        prints[s].push_back(Fingerprint(ticket.Wait()));
+      }
+    });
+  }
+  for (std::thread& t : submitters) t.join();
+  server->Shutdown(engine::ShutdownMode::kDrain);
+
+  std::vector<std::string> flat;
+  for (const std::vector<std::string>& per : prints) {
+    flat.insert(flat.end(), per.begin(), per.end());
+  }
+  return flat;
+}
+
+}  // namespace rdbsc::test
+
+#endif  // RDBSC_TESTS_STRESS_UTIL_H_
