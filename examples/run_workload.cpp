@@ -16,13 +16,23 @@
 // 0 = serial, results identical at every setting), --tasks/--workers
 // (CSV input), --out-dir (writes tasks/workers/assignment CSVs).
 //
+// Caching: --cache=off|ro|wo|rw attaches a SolveCache to the run
+// (CacheMode kOff/kReadOnly/kWriteOnly/kReadWrite; default off) and
+// --repeat=N solves the same instance N times, so repeated runs after the
+// first are answered from the cache in the read-enabled modes -- each
+// repetition reports whether it hit and how long it took (bit-identical
+// answers either way). In server mode the flags configure the server's
+// cache and every submitter submits its instance N times.
+//
 // Server mode: --server routes the work through the engine::Server
 // admission layer instead of a direct Engine::Run -- --submitters=K
 // concurrent submitter threads each submit one instance (seeds seed ..
 // seed+K-1), --threads sets the server's dispatch workers (min 1), and
 // --budget becomes the per-request default budget. Prints one line per
-// ticket plus the ServerStats snapshot.
+// ticket plus the ServerStats snapshot (including cache hit/miss/collapse
+// counters when caching is on).
 
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -34,6 +44,7 @@
 #include "core/registry.h"
 #include "engine/engine.h"
 #include "engine/server.h"
+#include "engine/solve_cache.h"
 #include "gen/trajectory.h"
 #include "gen/workload.h"
 #include "io/csv.h"
@@ -65,6 +76,22 @@ void PrintSolverNames(std::FILE* out) {
   }
 }
 
+bool ParseCacheMode(const char* value, engine::CacheMode* mode) {
+  std::string text = value == nullptr ? "off" : value;
+  if (text == "off") {
+    *mode = engine::CacheMode::kOff;
+  } else if (text == "ro" || text == "readonly") {
+    *mode = engine::CacheMode::kReadOnly;
+  } else if (text == "wo" || text == "writeonly") {
+    *mode = engine::CacheMode::kWriteOnly;
+  } else if (text == "rw" || text == "readwrite") {
+    *mode = engine::CacheMode::kReadWrite;
+  } else {
+    return false;
+  }
+  return true;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -92,6 +119,15 @@ int main(int argc, char** argv) {
   const char* tasks_path = FlagValue(argc, argv, "--tasks");
   const char* workers_path = FlagValue(argc, argv, "--workers");
   const char* out_dir = FlagValue(argc, argv, "--out-dir");
+  int repeat =
+      (flag = FlagValue(argc, argv, "--repeat")) ? std::atoi(flag) : 1;
+  if (repeat < 1) repeat = 1;
+  engine::CacheMode cache_mode = engine::CacheMode::kOff;
+  if ((flag = FlagValue(argc, argv, "--cache")) != nullptr &&
+      !ParseCacheMode(flag, &cache_mode)) {
+    std::fprintf(stderr, "unknown --cache=%s (off|ro|wo|rw)\n", flag);
+    return 1;
+  }
 
   // --- Instance factory (server mode varies the seed per ticket). ---
   auto make_instance = [&](uint64_t s) -> util::StatusOr<core::Instance> {
@@ -148,7 +184,8 @@ int main(int argc, char** argv) {
     server_config.num_workers = num_threads > 1 ? num_threads : 1;
     server_config.default_budget_seconds = budget;
     server_config.overload_policy = engine::OverloadPolicy::kBlock;
-    server_config.max_queue_depth = submitters + 1;
+    server_config.max_queue_depth = submitters * repeat + 1;
+    server_config.cache_mode = cache_mode;
     util::StatusOr<std::unique_ptr<engine::Server>> created =
         engine::Server::Create(std::move(server_config));
     if (!created.ok()) {
@@ -159,40 +196,47 @@ int main(int argc, char** argv) {
     }
     std::unique_ptr<engine::Server> server = std::move(created).value();
 
-    std::printf("server   : solver %s, %d workers, %d submitters\n",
-                solver_name.c_str(), server_config.num_workers, submitters);
-    std::vector<engine::Ticket> tickets(submitters);
-    std::vector<util::Status> submit_status(submitters);
+    std::printf("server   : solver %s, %d workers, %d submitters x %d\n",
+                solver_name.c_str(), server_config.num_workers, submitters,
+                repeat);
+    const int total = submitters * repeat;
+    std::vector<engine::Ticket> tickets(total);
+    std::vector<util::Status> submit_status(total);
     std::vector<std::thread> threads;
     threads.reserve(submitters);
     for (int s = 0; s < submitters; ++s) {
       threads.emplace_back([&, s] {
         util::StatusOr<core::Instance> inst = make_instance(seed + s);
-        if (!inst.ok()) {
-          submit_status[s] = inst.status();
-          return;
-        }
-        auto ticket = server->Submit(std::move(inst).value());
-        if (ticket.ok()) {
-          tickets[s] = std::move(ticket).value();
-        } else {
-          submit_status[s] = ticket.status();
+        for (int r = 0; r < repeat; ++r) {
+          const int slot = s * repeat + r;
+          if (!inst.ok()) {
+            submit_status[slot] = inst.status();
+            continue;
+          }
+          auto ticket = server->Submit(inst.value());
+          if (ticket.ok()) {
+            tickets[slot] = std::move(ticket).value();
+          } else {
+            submit_status[slot] = ticket.status();
+          }
         }
       });
     }
     for (std::thread& t : threads) t.join();
 
     bool all_ok = true;
-    for (int s = 0; s < submitters; ++s) {
-      if (!tickets[s].valid()) {
-        std::printf("ticket %2d: not admitted: %s\n", s,
-                    submit_status[s].ToString().c_str());
+    for (int slot = 0; slot < total; ++slot) {
+      const int s = slot / repeat;
+      if (!tickets[slot].valid()) {
+        std::printf("ticket %2d: not admitted: %s\n", slot,
+                    submit_status[slot].ToString().c_str());
         all_ok = false;
         continue;
       }
-      const util::StatusOr<EngineResult>& run = tickets[s].Wait();
+      const util::StatusOr<EngineResult>& run = tickets[slot].Wait();
       if (!run.ok()) {
-        std::printf("ticket %2d: %s\n", s, run.status().ToString().c_str());
+        std::printf("ticket %2d: %s\n", slot,
+                    run.status().ToString().c_str());
         all_ok = false;
         continue;
       }
@@ -204,12 +248,13 @@ int main(int argc, char** argv) {
               : "seed " + std::to_string(seed + static_cast<uint64_t>(s));
       std::printf(
           "ticket %2d: %s, min reliability = %.4f, total_STD = %.4f "
-          "(%s graph, %lld edges)\n",
-          s, source.c_str(),
+          "(%s graph, %lld edges)%s\n",
+          slot, source.c_str(),
           run.value().solve.objectives.min_reliability,
           run.value().solve.objectives.total_std,
           run.value().plan.used_grid_index ? "grid" : "brute",
-          static_cast<long long>(run.value().plan.edges));
+          static_cast<long long>(run.value().plan.edges),
+          run.value().from_cache ? " [cache hit]" : "");
     }
     server->Shutdown(engine::ShutdownMode::kDrain);
     engine::ServerStats stats = server->Stats();
@@ -221,6 +266,15 @@ int main(int argc, char** argv) {
         static_cast<long long>(stats.completed),
         static_cast<long long>(stats.rejected),
         static_cast<long long>(stats.shed));
+    if (cache_mode != engine::CacheMode::kOff) {
+      std::printf(
+          "cache    : %lld hits, %lld misses, %lld collapsed, "
+          "%lld evictions\n",
+          static_cast<long long>(stats.cache_hits),
+          static_cast<long long>(stats.cache_misses),
+          static_cast<long long>(stats.collapsed),
+          static_cast<long long>(stats.cache_evictions));
+    }
     std::printf("latency  : p50 %.4f s, p95 %.4f s, max %.4f s\n",
                 stats.latency_p50_seconds, stats.latency_p95_seconds,
                 stats.latency_max_seconds);
@@ -244,8 +298,15 @@ int main(int argc, char** argv) {
     return 1;
   }
 
-  // --- Solve and report. ---
-  util::StatusOr<EngineResult> run = engine.value().Run(instance);
+  // --- Solve and report (repetitions exercise the SolveCache). ---
+  engine::SolveCache cache;
+  RunControls controls;
+  if (cache_mode != engine::CacheMode::kOff) {
+    controls.cache = &cache;
+    controls.cache_mode = cache_mode;
+  }
+  util::StatusOr<EngineResult> run =
+      engine.value().Run(instance, controls);
   if (!run.ok()) {
     std::fprintf(stderr, "solve failed: %s\n",
                  run.status().ToString().c_str());
@@ -279,6 +340,36 @@ int main(int argc, char** argv) {
     std::printf("%zu:%d ", r, metrics.roster_histogram[r]);
   }
   std::printf("\n");
+
+  // Repetitions 2..N replay the identical request; read-enabled modes
+  // answer them from the cache (bit-identical to the first solve).
+  for (int rep = 2; rep <= repeat; ++rep) {
+    auto t0 = std::chrono::steady_clock::now();
+    util::StatusOr<EngineResult> again =
+        engine.value().Run(instance, controls);
+    double wall =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count();
+    if (!again.ok()) {
+      std::fprintf(stderr, "repeat %d failed: %s\n", rep,
+                   again.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("repeat %2d: %s in %.6f s\n", rep,
+                again.value().from_cache ? "cache hit " : "cold solve",
+                wall);
+  }
+  if (cache_mode != engine::CacheMode::kOff) {
+    engine::CacheStats cache_stats = cache.Stats();
+    std::printf(
+        "cache    : %lld result hits / %lld misses, %lld graph hits, "
+        "%lld entries\n",
+        static_cast<long long>(cache_stats.result_hits),
+        static_cast<long long>(cache_stats.result_misses),
+        static_cast<long long>(cache_stats.graph_hits),
+        static_cast<long long>(cache_stats.result_entries +
+                               cache_stats.graph_entries));
+  }
 
   if (out_dir != nullptr) {
     std::string dir(out_dir);

@@ -6,6 +6,8 @@
 #include <utility>
 #include <vector>
 
+#include "engine/fingerprint.h"
+#include "engine/solve_cache.h"
 #include "index/cost_model.h"
 #include "index/grid_index.h"
 
@@ -31,6 +33,21 @@ index::CostModelParams ParamsFor(const core::Instance& instance,
   params.num_points = std::max(instance.num_tasks(), 1);
   return params;
 }
+
+// Resolves the RunControls/RunIsolated cache convention: no cache means
+// kOff, and kDefault with a cache attached means kReadWrite.
+engine::CacheMode ResolveCacheMode(const engine::SolveCache* cache,
+                                   engine::CacheMode mode) {
+  if (cache == nullptr) return engine::CacheMode::kOff;
+  if (mode == engine::CacheMode::kDefault) {
+    return engine::CacheMode::kReadWrite;
+  }
+  return mode;
+}
+
+using engine::CacheModeReads;
+using engine::CacheModeWrites;
+using util::SecondsSince;
 
 }  // namespace
 
@@ -59,18 +76,24 @@ std::string_view Engine::solver_display_name() const {
   return solver_ == nullptr ? std::string_view{} : solver_->name();
 }
 
-util::StatusOr<core::CandidateGraph> Engine::BuildGraph(
-    const core::Instance& instance, GraphPlan* plan,
-    const util::Deadline& deadline) const {
-  return BuildGraphOn(instance, plan, deadline, pool_.get());
+util::Hash128 Engine::ResultCacheKey(const core::Instance& instance) const {
+  return engine::ResultCacheKey(instance, config_);
 }
 
-util::StatusOr<core::CandidateGraph> Engine::BuildGraphOn(
-    const core::Instance& instance, GraphPlan* plan,
-    const util::Deadline& deadline, util::Executor* executor) const {
-  auto t0 = std::chrono::steady_clock::now();
-  GraphPlan local;
+// --- Stages --------------------------------------------------------------
 
+util::Status Engine::StageValidate(engine::ExecutionContext& ctx) const {
+  if (config_.validate_instances) {
+    if (util::Status status = ctx.instance->Validate(); !status.ok()) {
+      return status;
+    }
+  }
+  ctx.validated = true;
+  return util::Status::OK();
+}
+
+util::Status Engine::StagePlan(engine::ExecutionContext& ctx) const {
+  const core::Instance& instance = *ctx.instance;
   bool use_grid = config_.graph_strategy == GraphStrategy::kGridIndex;
   double eta = config_.eta;
   if (config_.graph_strategy != GraphStrategy::kBruteForce &&
@@ -89,6 +112,19 @@ util::StatusOr<core::CandidateGraph> Engine::BuildGraphOn(
       use_grid = grid_cost < brute_cost;
     }
   }
+  ctx.plan.used_grid_index = use_grid;
+  ctx.resolved_eta = eta;
+  ctx.planned = true;
+  return util::Status::OK();
+}
+
+util::StatusOr<core::CandidateGraph> Engine::ExecutePlannedBuild(
+    const core::Instance& instance, bool use_grid, double eta,
+    GraphPlan* plan, const util::Deadline& deadline,
+    util::Executor* executor) const {
+  auto t0 = std::chrono::steady_clock::now();
+  GraphPlan local;
+  local.used_grid_index = use_grid;
 
   core::CandidateGraph graph;
   if (use_grid) {
@@ -101,7 +137,6 @@ util::StatusOr<core::CandidateGraph> Engine::BuildGraphOn(
     if (!edges.ok()) return edges.status();
     graph =
         core::CandidateGraph::FromEdges(instance, std::move(edges).value());
-    local.used_grid_index = true;
     local.eta = grid.value().eta();
   } else {
     util::StatusOr<core::CandidateGraph> built =
@@ -110,20 +145,124 @@ util::StatusOr<core::CandidateGraph> Engine::BuildGraphOn(
     graph = std::move(built).value();
   }
   local.edges = graph.NumEdges();
-  local.build_seconds =
-      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
-          .count();
+  local.build_seconds = SecondsSince(t0);
   if (plan != nullptr) *plan = local;
   return graph;
 }
 
-util::Status Engine::CheckReady(const core::Instance& instance) const {
+util::Status Engine::StageBuildGraph(engine::ExecutionContext& ctx) const {
+  if (!ctx.planned) {
+    if (util::Status status = StagePlan(ctx); !status.ok()) return status;
+  }
+  const engine::CacheMode mode = ResolveCacheMode(ctx.cache, ctx.cache_mode);
+  util::Hash128 key{};
+  if (CacheModeReads(mode) || CacheModeWrites(mode)) {
+    key = engine::GraphCacheKey(*ctx.instance, ctx.plan.used_grid_index,
+                                ctx.resolved_eta);
+  }
+  if (CacheModeReads(mode)) {
+    auto t0 = std::chrono::steady_clock::now();
+    GraphPlan cached_plan;
+    if (std::shared_ptr<const core::CandidateGraph> hit =
+            ctx.cache->LookupGraph(key, &cached_plan)) {
+      ctx.graph = std::move(hit);
+      ctx.plan = cached_plan;
+      ctx.plan.build_seconds = SecondsSince(t0);
+      ctx.plan.from_cache = true;
+      return util::Status::OK();
+    }
+  }
+
+  util::StatusOr<core::CandidateGraph> built = ExecutePlannedBuild(
+      *ctx.instance, ctx.plan.used_grid_index, ctx.resolved_eta, &ctx.plan,
+      ctx.deadline, ctx.executor);
+  if (!built.ok()) return built.status();
+  auto shared = std::make_shared<const core::CandidateGraph>(
+      std::move(built).value());
+  if (CacheModeWrites(mode)) {
+    ctx.cache->InsertGraph(key, shared, ctx.plan);
+  }
+  ctx.graph = std::move(shared);
+  return util::Status::OK();
+}
+
+util::Status Engine::StageSolve(engine::ExecutionContext& ctx,
+                                core::Solver& solver) const {
+  core::SolveRequest request;
+  request.instance = ctx.instance;
+  request.graph = ctx.graph.get();
+  request.deadline = &ctx.deadline;
+  request.partial_stats = ctx.partial_stats;
+  request.executor = ctx.executor;
+  util::StatusOr<core::SolveResult> solved = solver.Solve(request);
+  if (!solved.ok()) return solved.status();
+  ctx.solve = std::move(solved).value();
+  return util::Status::OK();
+}
+
+util::StatusOr<EngineResult> Engine::RunPipeline(
+    engine::ExecutionContext& ctx, core::Solver& solver) const {
+  if (!ctx.validated) {
+    if (util::Status status = StageValidate(ctx); !status.ok()) {
+      return status;
+    }
+  }
+
+  const engine::CacheMode mode = ResolveCacheMode(ctx.cache, ctx.cache_mode);
+  util::Hash128 result_key{};
+  if (CacheModeReads(mode) || CacheModeWrites(mode)) {
+    result_key = ctx.result_key != nullptr
+                     ? *ctx.result_key
+                     : engine::ResultCacheKey(*ctx.instance, config_);
+  }
+  if (CacheModeReads(mode)) {
+    if (std::shared_ptr<const EngineResult> hit =
+            ctx.cache->LookupResult(result_key)) {
+      // Bit-identical replay of the cold run that produced the entry
+      // (values are immutable and shared); only the provenance flag and
+      // -- implicitly -- wall-clock differ.
+      EngineResult result = *hit;
+      result.from_cache = true;
+      ctx.plan = result.plan;
+      ctx.solve = result.solve;
+      ctx.result_from_cache = true;
+      return result;
+    }
+  }
+
+  if (ctx.graph == nullptr) {
+    if (util::Status status = StageBuildGraph(ctx); !status.ok()) {
+      // The build tripped the budget mid-scan; report it the same way a
+      // budget-exceeded solve would.
+      if (ctx.partial_stats != nullptr &&
+          (status.code() == util::StatusCode::kDeadlineExceeded ||
+           status.code() == util::StatusCode::kCancelled)) {
+        *ctx.partial_stats = core::SolveStats{};
+        ctx.partial_stats->budget_exhausted = true;
+      }
+      return status;
+    }
+  }
+
+  if (util::Status status = StageSolve(ctx, solver); !status.ok()) {
+    return status;
+  }
+
+  EngineResult result;
+  result.solve = ctx.solve;
+  result.plan = ctx.plan;
+  if (CacheModeWrites(mode)) {
+    ctx.cache->InsertResult(result_key, result);
+  }
+  return result;
+}
+
+// --- Entry points (stage compositions) -----------------------------------
+
+util::Status Engine::CheckInitialized() const {
   if (solver_ == nullptr) {
     return util::Status::FailedPrecondition(
         "engine not initialized; construct it with Engine::Create");
-  }
-  if (config_.validate_instances) {
-    return instance.Validate();
   }
   return util::Status::OK();
 }
@@ -134,78 +273,69 @@ util::Deadline Engine::MakeDeadline(const RunControls& controls) const {
   return util::Deadline(budget, controls.cancel);
 }
 
-util::StatusOr<core::SolveResult> Engine::DoSolve(
-    const core::Instance& instance, const core::CandidateGraph& graph,
-    core::Solver& solver, const util::Deadline& deadline,
-    util::Executor* executor, core::SolveStats* partial_stats) {
-  core::SolveRequest request;
-  request.instance = &instance;
-  request.graph = &graph;
-  request.deadline = &deadline;
-  request.partial_stats = partial_stats;
-  request.executor = executor;
-  return solver.Solve(request);
+util::StatusOr<core::CandidateGraph> Engine::BuildGraph(
+    const core::Instance& instance, GraphPlan* plan,
+    const util::Deadline& deadline) const {
+  engine::ExecutionContext ctx;
+  ctx.instance = &instance;
+  if (util::Status status = StagePlan(ctx); !status.ok()) return status;
+  util::StatusOr<core::CandidateGraph> built = ExecutePlannedBuild(
+      instance, ctx.plan.used_grid_index, ctx.resolved_eta, &ctx.plan,
+      deadline, pool_.get());
+  if (built.ok() && plan != nullptr) *plan = ctx.plan;
+  return built;
 }
 
 util::StatusOr<core::SolveResult> Engine::SolveOn(
     const core::Instance& instance, const core::CandidateGraph& graph,
     const RunControls& controls) {
-  if (util::Status ready = CheckReady(instance); !ready.ok()) return ready;
-  util::Deadline deadline = MakeDeadline(controls);
-  return DoSolve(instance, graph, *solver_, deadline, pool_.get(),
-                 controls.partial_stats);
-}
-
-util::StatusOr<EngineResult> Engine::RunOn(
-    const core::Instance& instance, core::Solver& solver,
-    const util::Deadline& deadline, util::Executor* executor,
-    core::SolveStats* partial_stats) const {
-  if (util::Status ready = CheckReady(instance); !ready.ok()) return ready;
-  // The admission budget covers the whole run, so the clock starts before
-  // graph construction: a solve after an expensive build only gets the
-  // remaining budget (and fails immediately if the build consumed it all).
-  EngineResult result;
-  util::StatusOr<core::CandidateGraph> graph =
-      BuildGraphOn(instance, &result.plan, deadline, executor);
-  if (!graph.ok()) {
-    // The build tripped the budget mid-scan; report it the same way a
-    // budget-exceeded solve would.
-    if (partial_stats != nullptr) {
-      *partial_stats = core::SolveStats{};
-      partial_stats->budget_exhausted = true;
-    }
-    return graph.status();
+  if (util::Status status = CheckInitialized(); !status.ok()) return status;
+  engine::ExecutionContext ctx;
+  ctx.instance = &instance;
+  ctx.deadline = MakeDeadline(controls);
+  ctx.executor = pool_.get();
+  ctx.partial_stats = controls.partial_stats;
+  if (util::Status status = StageValidate(ctx); !status.ok()) return status;
+  // The graph is caller-owned and outlives the call; alias it into the
+  // context's shared slot without taking ownership.
+  ctx.graph = std::shared_ptr<const core::CandidateGraph>(
+      std::shared_ptr<const core::CandidateGraph>(), &graph);
+  ctx.planned = true;
+  if (util::Status status = StageSolve(ctx, *solver_); !status.ok()) {
+    return status;
   }
-
-  util::StatusOr<core::SolveResult> solve = DoSolve(
-      instance, graph.value(), solver, deadline, executor, partial_stats);
-  if (!solve.ok()) return solve.status();
-  result.solve = std::move(solve).value();
-  return result;
+  return std::move(ctx.solve);
 }
 
 util::StatusOr<EngineResult> Engine::Run(const core::Instance& instance,
                                          const RunControls& controls) {
-  if (solver_ == nullptr) {
-    return util::Status::FailedPrecondition(
-        "engine not initialized; construct it with Engine::Create");
-  }
-  return RunOn(instance, *solver_, MakeDeadline(controls), pool_.get(),
-               controls.partial_stats);
+  if (util::Status status = CheckInitialized(); !status.ok()) return status;
+  engine::ExecutionContext ctx;
+  ctx.instance = &instance;
+  ctx.deadline = MakeDeadline(controls);
+  ctx.executor = pool_.get();
+  ctx.partial_stats = controls.partial_stats;
+  ctx.cache = controls.cache;
+  ctx.cache_mode = controls.cache_mode;
+  return RunPipeline(ctx, *solver_);
 }
 
 util::StatusOr<EngineResult> Engine::RunIsolated(
-    const core::Instance& instance, const util::Deadline& deadline) const {
-  if (solver_ == nullptr) {
-    return util::Status::FailedPrecondition(
-        "engine not initialized; construct it with Engine::Create");
-  }
+    const core::Instance& instance, const util::Deadline& deadline,
+    engine::SolveCache* cache, engine::CacheMode mode,
+    const util::Hash128* result_key) const {
+  if (util::Status status = CheckInitialized(); !status.ok()) return status;
   util::StatusOr<std::unique_ptr<core::Solver>> solver =
       core::SolverRegistry::Global().Create(config_.solver_name,
                                             config_.solver_options);
   if (!solver.ok()) return solver.status();
-  return RunOn(instance, *solver.value(), deadline,
-               /*executor=*/nullptr, /*partial_stats=*/nullptr);
+  engine::ExecutionContext ctx;
+  ctx.instance = &instance;
+  ctx.deadline = deadline;
+  ctx.cache = cache;
+  ctx.cache_mode = mode;
+  ctx.result_key = result_key;
+  return RunPipeline(ctx, *solver.value());
 }
 
 std::vector<util::StatusOr<EngineResult>> Engine::RunBatch(
@@ -232,7 +362,8 @@ std::vector<util::StatusOr<EngineResult>> Engine::RunBatch(
   // sharding) keeps the pool busy on heterogeneous batches.
   util::Deadline deadline = MakeDeadline(controls);
   auto run_one = [&](int64_t i) {
-    results[i] = RunIsolated(instances[i], deadline);
+    results[i] = RunIsolated(instances[i], deadline, controls.cache,
+                             controls.cache_mode);
   };
   if (pool_ == nullptr) {
     for (int64_t i = 0; i < n; ++i) run_one(i);

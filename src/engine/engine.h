@@ -12,10 +12,42 @@
 #include "core/registry.h"
 #include "core/solver.h"
 #include "util/deadline.h"
+#include "util/hash.h"
 #include "util/status.h"
 #include "util/thread_pool.h"
 
 namespace rdbsc {
+
+namespace engine {
+class SolveCache;
+
+/// Per-run cache policy. The cache itself (engine::SolveCache) is owned by
+/// whoever serves repeated traffic (engine::Server, a bench, an example);
+/// the mode says what one run may do with it.
+enum class CacheMode {
+  /// Fall back to the owner's configured default (SubmitControls only; a
+  /// RunControls/RunIsolated kDefault with a cache attached means
+  /// kReadWrite).
+  kDefault,
+  /// Bypass the cache entirely: solve cold, store nothing.
+  kOff,
+  /// Serve hits but never insert (probing traffic must not evict).
+  kReadOnly,
+  /// Always solve cold but insert/refresh the entry (cache warming).
+  kWriteOnly,
+  /// Serve hits and insert misses (the normal serving mode).
+  kReadWrite,
+};
+
+/// The two CacheMode capabilities, defined once next to the enum so the
+/// engine pipeline and the server's accounting can never drift apart.
+inline bool CacheModeReads(CacheMode mode) {
+  return mode == CacheMode::kReadOnly || mode == CacheMode::kReadWrite;
+}
+inline bool CacheModeWrites(CacheMode mode) {
+  return mode == CacheMode::kWriteOnly || mode == CacheMode::kReadWrite;
+}
+}  // namespace engine
 
 /// How Engine builds the candidate graph of an instance.
 enum class GraphStrategy {
@@ -41,7 +73,14 @@ struct EngineConfig {
   /// Correlation fractal dimension fed to the cost model (2 = uniform).
   double d2 = 2.0;
 
-  /// Default wall-clock budget per Run/SolveOn in seconds; <= 0 unlimited.
+  /// Default wall-clock budget in seconds; <= 0 unlimited. The scope
+  /// depends on the entry point: Run and SolveOn derive one deadline per
+  /// call from it, but RunBatch derives ONE deadline for the whole batch
+  /// (a shared pool, not a per-instance allowance -- instances late in
+  /// the batch only get what their predecessors left). RunIsolated (and
+  /// therefore engine::Server, whose budgets come from ServerConfig's
+  /// default_budget_seconds / total_budget_seconds pool) ignores this
+  /// field entirely: the caller owns the deadline there.
   double budget_seconds = 0.0;
   /// Run Instance::Validate before solving (admission control).
   bool validate_instances = true;
@@ -62,6 +101,15 @@ struct RunControls {
   const util::CancelToken* cancel = nullptr;
   /// When non-null, receives the partial stats of a failed solve.
   core::SolveStats* partial_stats = nullptr;
+  /// Optional result/graph cache (unowned; must be thread-safe -- it is).
+  /// nullptr keeps every run cold. RunBatch shares one cache across all
+  /// slots. SolveOn ignores both cache fields: its graph is caller-
+  /// provided, so the content fingerprints (which describe the graph the
+  /// engine's own configuration would build) cannot vouch for the result.
+  engine::SolveCache* cache = nullptr;
+  /// What the run may do with `cache`; kDefault means kReadWrite when a
+  /// cache is attached.
+  engine::CacheMode cache_mode = engine::CacheMode::kDefault;
 };
 
 /// How one run built its candidate graph (reported back to the caller).
@@ -71,18 +119,84 @@ struct GraphPlan {
   double eta = 0.0;
   int64_t edges = 0;
   double build_seconds = 0.0;
+  /// The graph came from the cache's plan/graph tier instead of a fresh
+  /// build (build_seconds is then the fetch time). Provenance only --
+  /// never part of a result fingerprint.
+  bool from_cache = false;
 };
 
 struct EngineResult {
   core::SolveResult solve;
   GraphPlan plan;
+  /// The whole result came from the cache's full-result tier. Provenance
+  /// only -- a hit is bit-identical to the cold solve it replays (the
+  /// assignment, objective bit patterns, and plan.edges all match; only
+  /// timing fields may differ).
+  bool from_cache = false;
 };
 
-/// The facade over the whole solving pipeline: validates the instance,
-/// consults the Appendix I cost model to pick brute-force or grid-index
-/// candidate-graph construction, creates the configured solver through
-/// core::SolverRegistry, and runs it under the configured budget. One
-/// admission point instead of N copies of wiring code.
+namespace engine {
+
+/// The typed state one request threads through the staged pipeline
+/// Validate -> Plan -> BuildGraph -> Solve. Each stage consumes the
+/// products of the previous ones and records its own, so callers can run
+/// stages independently, skip a stage by pre-filling its product (e.g.
+/// SolveOn sets `graph` and skips the build), or replay a stage on a
+/// fresh context. Inputs are set up by the caller; everything below the
+/// marker is stage output.
+struct ExecutionContext {
+  // --- inputs ---
+  const core::Instance* instance = nullptr;
+  util::Deadline deadline;
+  /// Optional executor the build/solve stages shard over (nullptr =
+  /// serial; results are bit-identical either way).
+  util::Executor* executor = nullptr;
+  /// When non-null, receives the partial stats of a failed solve.
+  core::SolveStats* partial_stats = nullptr;
+  /// Optional cache consulted by BuildGraph (plan/graph tier) and by the
+  /// full pipeline (result tier), per `cache_mode`.
+  SolveCache* cache = nullptr;
+  CacheMode cache_mode = CacheMode::kOff;
+  /// Optional precomputed result-tier key (unowned; must equal what
+  /// Engine::ResultCacheKey(*instance) would return). Callers that
+  /// already fingerprinted the instance -- engine::Server hashes it at
+  /// admission for single-flight -- pass it here so RunPipeline does not
+  /// hash the instance a second time.
+  const util::Hash128* result_key = nullptr;
+
+  // --- stage products ---
+  /// StageValidate passed (or validation is disabled).
+  bool validated = false;
+  /// StagePlan decided the build path below.
+  bool planned = false;
+  /// Cell side the grid path would use (resolved by StagePlan even when
+  /// the brute-force path wins, so cache keys are stable).
+  double resolved_eta = 0.0;
+  /// used_grid_index/eta after StagePlan; edges/build_seconds/from_cache
+  /// after StageBuildGraph.
+  GraphPlan plan;
+  /// StageBuildGraph product. Shared so the cache and any number of
+  /// concurrent readers can hold the same immutable graph.
+  std::shared_ptr<const core::CandidateGraph> graph;
+  /// StageSolve product.
+  core::SolveResult solve;
+  /// Result-tier hit: `solve`/`plan` were replayed from the cache and the
+  /// Plan/BuildGraph/Solve stages were skipped entirely.
+  bool result_from_cache = false;
+};
+
+}  // namespace engine
+
+/// The facade over the whole solving pipeline, now an explicit staged one:
+///
+///   Validate -> Plan -> BuildGraph -> Solve
+///
+/// Each stage is a public method over an engine::ExecutionContext, so a
+/// stage can be run, skipped (pre-fill its product), or replayed
+/// independently; Run/RunIsolated/RunBatch/SolveOn are compositions of
+/// the stages. An optional engine::SolveCache short-circuits the pipeline
+/// at two seams: the full-result tier skips everything after Validate,
+/// and the plan/graph tier skips the candidate-graph build.
 ///
 ///   auto engine = rdbsc::Engine::Create({.solver_name = "greedy"});
 ///   auto result = engine.value().Run(instance);
@@ -99,12 +213,12 @@ class Engine {
   /// Convenience: default config with just the solver name set.
   static util::StatusOr<Engine> Create(std::string solver_name);
 
-  /// Full pipeline: validate -> build graph -> solve. The admission
-  /// budget spans the whole run including graph construction: every phase
-  /// polls the deadline/token cooperatively -- the candidate-graph build
-  /// checks it between worker-row / cell blocks, so a budget can now cut
-  /// an in-flight build short with kDeadlineExceeded instead of running
-  /// the O(m*n) scan to completion.
+  /// Full pipeline: validate -> plan -> build graph -> solve. The
+  /// admission budget spans the whole run including graph construction:
+  /// every phase polls the deadline/token cooperatively -- the candidate-
+  /// graph build checks it between worker-row / cell blocks, so a budget
+  /// can cut an in-flight build short with kDeadlineExceeded instead of
+  /// running the O(m*n) scan to completion.
   util::StatusOr<EngineResult> Run(const core::Instance& instance,
                                    const RunControls& controls = {});
 
@@ -115,7 +229,9 @@ class Engine {
   /// instance results are identical to individual Run calls; instances
   /// that miss the shared budget fail with kDeadlineExceeded/kCancelled
   /// individually. `controls.partial_stats` is ignored (there is no
-  /// single solve to attribute it to).
+  /// single solve to attribute it to); `controls.cache` is shared by
+  /// every slot, so duplicate instances in one batch hit after the first
+  /// solve completes.
   std::vector<util::StatusOr<EngineResult>> RunBatch(
       std::span<const core::Instance> instances,
       const RunControls& controls = {});
@@ -128,19 +244,67 @@ class Engine {
       const core::Instance& instance, GraphPlan* plan = nullptr,
       const util::Deadline& deadline = util::Deadline()) const;
 
-  /// Solve half, on a prebuilt graph.
+  /// Solve half, on a prebuilt graph. `controls.cache`/`cache_mode` are
+  /// deliberately ignored here: the cache keys fingerprint the graph this
+  /// engine's configuration would build, and a caller-provided graph may
+  /// be anything -- serving or storing such results would poison the
+  /// cache with entries the key cannot vouch for.
   util::StatusOr<core::SolveResult> SolveOn(
       const core::Instance& instance, const core::CandidateGraph& graph,
       const RunControls& controls = {});
 
   /// The RunBatch per-slot path, exposed for async admission layers
   /// (engine::Server): runs the full pipeline on a fresh registry-created
-  /// solver under a caller-owned deadline. Thread-safe -- concurrent calls
-  /// share no mutable state -- and serial inside the call (no executor),
-  /// so the result is bit-identical no matter which thread runs it.
+  /// solver under a caller-owned deadline (EngineConfig::budget_seconds
+  /// is ignored here). Thread-safe -- concurrent calls share no mutable
+  /// state -- and serial inside the call (no executor), so the result is
+  /// bit-identical no matter which thread runs it. `cache`/`mode` follow
+  /// the RunControls semantics (kDefault with a cache means kReadWrite);
+  /// a cache hit is bit-identical to the cold solve, so the determinism
+  /// contract holds with or without one. `result_key`, when non-null, is
+  /// the caller's precomputed ResultCacheKey(instance) (saves re-hashing
+  /// the instance on the dispatch hot path).
   util::StatusOr<EngineResult> RunIsolated(
       const core::Instance& instance,
-      const util::Deadline& deadline = util::Deadline()) const;
+      const util::Deadline& deadline = util::Deadline(),
+      engine::SolveCache* cache = nullptr,
+      engine::CacheMode mode = engine::CacheMode::kDefault,
+      const util::Hash128* result_key = nullptr) const;
+
+  // --- The pipeline stages (see engine::ExecutionContext) ---
+
+  /// Validate: admission control. Fails with the instance's validation
+  /// error; a no-op (still marking `validated`) when the engine is
+  /// configured with validate_instances = false.
+  util::Status StageValidate(engine::ExecutionContext& ctx) const;
+
+  /// Plan: consults the Appendix I cost model to pick brute-force or
+  /// grid-index construction and resolves the grid cell side. Pure
+  /// decision -- no graph is built.
+  util::Status StagePlan(engine::ExecutionContext& ctx) const;
+
+  /// BuildGraph: executes the planned construction (running StagePlan
+  /// first if the caller skipped it). Consults the cache's plan/graph
+  /// tier per ctx.cache_mode; fills ctx.graph and the plan's
+  /// edges/build_seconds.
+  util::Status StageBuildGraph(engine::ExecutionContext& ctx) const;
+
+  /// Solve: runs `solver` on ctx.graph under ctx.deadline.
+  util::Status StageSolve(engine::ExecutionContext& ctx,
+                          core::Solver& solver) const;
+
+  /// Runs the remaining stages of `ctx` in order, consulting the cache's
+  /// full-result tier between Validate and Plan, and returns the
+  /// composed EngineResult. Stages whose product is already present
+  /// (validated / planned / graph) are skipped.
+  util::StatusOr<EngineResult> RunPipeline(engine::ExecutionContext& ctx,
+                                           core::Solver& solver) const;
+
+  /// The full-result cache key / single-flight identity of `instance`
+  /// under this engine's configuration: a content hash over the instance,
+  /// the solver name + options, and the graph strategy (engine/
+  /// fingerprint.h documents the exact field order).
+  util::Hash128 ResultCacheKey(const core::Instance& instance) const;
 
   const EngineConfig& config() const { return config_; }
   /// Registry key, e.g. "dc".
@@ -152,20 +316,14 @@ class Engine {
   util::Executor* executor() const { return pool_.get(); }
 
  private:
-  util::Status CheckReady(const core::Instance& instance) const;
+  util::Status CheckInitialized() const;
   util::Deadline MakeDeadline(const RunControls& controls) const;
-  util::StatusOr<core::CandidateGraph> BuildGraphOn(
-      const core::Instance& instance, GraphPlan* plan,
-      const util::Deadline& deadline, util::Executor* executor) const;
-  static util::StatusOr<core::SolveResult> DoSolve(
-      const core::Instance& instance, const core::CandidateGraph& graph,
-      core::Solver& solver, const util::Deadline& deadline,
-      util::Executor* executor, core::SolveStats* partial_stats);
-  util::StatusOr<EngineResult> RunOn(const core::Instance& instance,
-                                     core::Solver& solver,
-                                     const util::Deadline& deadline,
-                                     util::Executor* executor,
-                                     core::SolveStats* partial_stats) const;
+  /// The planned construction itself (grid or brute), shared by
+  /// StageBuildGraph and the legacy BuildGraph entry point.
+  util::StatusOr<core::CandidateGraph> ExecutePlannedBuild(
+      const core::Instance& instance, bool use_grid, double eta,
+      GraphPlan* plan, const util::Deadline& deadline,
+      util::Executor* executor) const;
 
   EngineConfig config_;
   std::unique_ptr<core::Solver> solver_;

@@ -4,13 +4,12 @@
 #include <cmath>
 #include <utility>
 
+#include "engine/fingerprint.h"
+
 namespace rdbsc::engine {
 namespace {
 
-double SecondsSince(std::chrono::steady_clock::time_point t0) {
-  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
-      .count();
-}
+using util::SecondsSince;
 
 // Nearest-rank percentile of an already-sorted sample.
 double Percentile(const std::vector<double>& sorted, double q) {
@@ -47,6 +46,11 @@ util::StatusOr<std::unique_ptr<Server>> Server::Create(ServerConfig config) {
   // inside a request the pipeline runs serially on a fresh solver so the
   // result never depends on the worker count (determinism contract).
   config.engine.num_threads = 0;
+  // kDefault is a SubmitControls sentinel; as a server default it means
+  // "no default", i.e. off.
+  if (config.cache_mode == CacheMode::kDefault) {
+    config.cache_mode = CacheMode::kOff;
+  }
 
   util::StatusOr<Engine> engine = Engine::Create(config.engine);
   if (!engine.ok()) return engine.status();
@@ -56,6 +60,19 @@ util::StatusOr<std::unique_ptr<Server>> Server::Create(ServerConfig config) {
   server->engine_ = std::move(engine).value();
   server->budget_limited_ = server->config_.total_budget_seconds > 0.0;
   server->budget_remaining_ = server->config_.total_budget_seconds;
+  if (server->config_.cache_result_entries > 0 ||
+      server->config_.cache_graph_entries > 0) {
+    // Capacities pass through verbatim: a zero tier stays disabled inside
+    // the SolveCache (lookups miss, inserts dropped), so e.g.
+    // {cache_result_entries = 4096, cache_graph_entries = 0} caches
+    // results without ever pinning a heavy CandidateGraph.
+    SolveCacheConfig cache_config;
+    cache_config.result_capacity = server->config_.cache_result_entries;
+    cache_config.graph_capacity = server->config_.cache_graph_entries;
+    cache_config.num_shards =
+        std::max(server->config_.num_workers, 4);
+    server->cache_ = std::make_unique<SolveCache>(cache_config);
+  }
   server->pool_ =
       std::make_unique<util::ThreadPool>(server->config_.num_workers);
   return server;
@@ -101,9 +118,54 @@ void Server::RecordFinishLocked(const internal::TicketState& state,
   }
 }
 
+void Server::AbortTicketLocked(
+    const std::shared_ptr<internal::TicketState>& state,
+    const util::Status& status,
+    std::vector<std::shared_ptr<internal::TicketState>>& out) {
+  if (state->single_flight) {
+    inflight_.erase(state->fingerprint);
+    state->single_flight = false;
+  }
+  // The request never ran; drop its instance copy right away.
+  state->instance = core::Instance();
+  RecordFinishLocked(*state, status);
+  out.push_back(state);
+  // Collapsed duplicates share their leader's fate -- the leader is the
+  // only copy of the work, so there is nothing left to run them against.
+  for (std::shared_ptr<internal::TicketState>& follower : state->followers) {
+    RecordFinishLocked(*follower, status);
+    out.push_back(std::move(follower));
+  }
+  state->followers.clear();
+}
+
 util::StatusOr<Ticket> Server::Submit(core::Instance instance,
                                       const SubmitControls& controls) {
-  std::shared_ptr<internal::TicketState> shed_state;
+  // Resolve the cache policy and single-flight identity before taking
+  // mu_: fingerprinting is O(instance) and must not serialize submitters.
+  CacheMode mode = controls.cache == CacheMode::kDefault
+                       ? config_.cache_mode
+                       : controls.cache;
+  if (cache_ == nullptr) mode = CacheMode::kOff;
+  const double requested_budget = controls.budget_seconds >= 0.0
+                                      ? controls.budget_seconds
+                                      : config_.default_budget_seconds;
+  // Single-flight needs outcome equivalence between "ran myself" and
+  // "shared the leader's result"; a finite budget breaks that (the leader
+  // may time out where this request would not), so only unlimited-budget
+  // requests participate. A pool-limited server caps every budget, which
+  // makes them finite too.
+  const bool single_flight_eligible =
+      mode != CacheMode::kOff && requested_budget <= 0.0 && !budget_limited_;
+  // Only computed when this request could lead or ride a single-flight
+  // group: RunIsolated derives its own cache key at dispatch, so hashing
+  // here for ineligible requests would be pure admission-path overhead.
+  util::Hash128 fingerprint{};
+  if (single_flight_eligible) {
+    fingerprint = engine_.ResultCacheKey(instance);
+  }
+
+  std::vector<std::shared_ptr<internal::TicketState>> aborted;
   Ticket ticket;
   {
     std::unique_lock<std::mutex> lock(mu_);
@@ -111,6 +173,39 @@ util::StatusOr<Ticket> Server::Submit(core::Instance instance,
     if (closed_) {
       ++counters_.rejected;
       return util::Status::FailedPrecondition("server is shut down");
+    }
+
+    // Single-flight collapse: an identical request is already queued or
+    // in flight -- ride it instead of occupying a queue slot and a solve.
+    // The follower consumes no pool budget (it runs nothing) and skips
+    // overload handling entirely.
+    if (single_flight_eligible && CacheModeReads(mode)) {
+      if (auto it = inflight_.find(fingerprint); it != inflight_.end()) {
+        const std::shared_ptr<internal::TicketState>& leader = it->second;
+        // No priority inversion through the collapse: a follower more
+        // urgent than its still-queued leader promotes the leader to its
+        // own priority (keeping the leader's sequence number, so FIFO
+        // order within the new priority band is preserved). An in-flight
+        // leader is already past scheduling -- nothing to promote.
+        if (controls.priority > leader->priority) {
+          auto queued =
+              queue_.find(QueueKey{leader->priority, leader->id});
+          if (queued != queue_.end()) {
+            queue_.erase(queued);
+            leader->priority = controls.priority;
+            queue_.emplace(QueueKey{leader->priority, leader->id}, leader);
+          }
+        }
+        auto state = std::make_shared<internal::TicketState>();
+        state->id = next_seq_++;
+        state->priority = controls.priority;
+        state->submit_time = std::chrono::steady_clock::now();
+        state->cache_mode = mode;
+        leader->followers.push_back(state);
+        ++counters_.admitted;
+        ++counters_.collapsed;
+        return Ticket(std::move(state));
+      }
     }
 
     // Pool-exhaustion is checked before overload handling: a request that
@@ -146,17 +241,17 @@ util::StatusOr<Ticket> Server::Submit(core::Instance instance,
           for (auto it = queue_.begin(); it != queue_.end(); ++it) {
             if (it->first.seq < oldest->first.seq) oldest = it;
           }
-          shed_state = oldest->second;
+          std::shared_ptr<internal::TicketState> victim = oldest->second;
           queue_.erase(oldest);
           // The victim never ran: return its budget to the pool and drop
-          // its instance copy.
+          // its instance copy (AbortTicketLocked also releases any
+          // collapsed duplicates riding it).
           if (budget_limited_) {
-            budget_remaining_ += shed_state->budget_seconds;
+            budget_remaining_ += victim->budget_seconds;
           }
-          shed_state->instance = core::Instance();
-          RecordFinishLocked(
-              *shed_state,
-              util::Status::ResourceExhausted("shed by queue overflow"));
+          AbortTicketLocked(
+              victim, util::Status::ResourceExhausted("shed by queue overflow"),
+              aborted);
           continue;
         }
       }
@@ -165,9 +260,7 @@ util::StatusOr<Ticket> Server::Submit(core::Instance instance,
     // Per-request budget, deducted from the server-wide pool. The pool is
     // re-checked here because a kBlock wait releases mu_: a competing
     // submitter may have drained the remainder while this one slept.
-    double budget = controls.budget_seconds >= 0.0
-                        ? controls.budget_seconds
-                        : config_.default_budget_seconds;
+    double budget = requested_budget;
     if (budget_limited_) {
       if (budget_remaining_ <= 0.0) {
         ++counters_.rejected;
@@ -191,6 +284,20 @@ util::StatusOr<Ticket> Server::Submit(core::Instance instance,
     state->submit_time = std::chrono::steady_clock::now();
     state->instance = std::move(instance);
     state->budget_seconds = budget;
+    state->cache_mode = mode;
+    if (single_flight_eligible) {
+      // A leader may have registered this fingerprint while mu_ was
+      // released (a kBlock wait above), and write-only duplicates skip
+      // the collapse check entirely -- so registration must be
+      // conditional on actually inserting. Marking single_flight without
+      // owning the entry would make this ticket's completion erase a
+      // still-live leader's registration.
+      if (auto [it, inserted] = inflight_.emplace(fingerprint, state);
+          inserted) {
+        state->fingerprint = fingerprint;
+        state->single_flight = true;
+      }
+    }
     queue_.emplace(QueueKey{controls.priority, state->id}, state);
     ++counters_.admitted;
     ++pending_pool_tasks_;
@@ -204,8 +311,8 @@ util::StatusOr<Ticket> Server::Submit(core::Instance instance,
     pool_->Submit([this] { RunNext(); });
   }
 
-  if (shed_state != nullptr) {
-    Complete(shed_state,
+  for (const auto& state : aborted) {
+    Complete(state,
              util::Status::ResourceExhausted("shed by queue overflow"));
   }
   return ticket;
@@ -213,6 +320,7 @@ util::StatusOr<Ticket> Server::Submit(core::Instance instance,
 
 void Server::RunNext() {
   std::shared_ptr<internal::TicketState> state;
+  bool is_leader = false;
   {
     std::lock_guard<std::mutex> lock(mu_);
     if (queue_.empty()) {
@@ -222,24 +330,54 @@ void Server::RunNext() {
     auto it = queue_.begin();
     state = it->second;
     queue_.erase(it);
+    is_leader = state->single_flight;
     ++in_flight_;
   }
   // A queue slot freed; wake one kBlock submitter.
   space_cv_.notify_one();
 
+  // A single-flight leader's fingerprint was already computed at
+  // admission; reuse it so dispatch does not hash the instance again.
   util::Deadline deadline(state->budget_seconds, &cancel_);
-  util::StatusOr<EngineResult> result =
-      engine_.RunIsolated(state->instance, deadline);
+  util::StatusOr<EngineResult> result = engine_.RunIsolated(
+      state->instance, deadline, cache_.get(), state->cache_mode,
+      is_leader ? &state->fingerprint : nullptr);
   // Nothing reads the instance after dispatch; release the copy now so
   // tickets held long after completion don't pin task/worker vectors.
   state->instance = core::Instance();
 
+  std::vector<std::shared_ptr<internal::TicketState>> followers;
   {
     std::lock_guard<std::mutex> lock(mu_);
     --in_flight_;
-    RecordFinishLocked(*state, result.ok() ? util::Status::OK()
-                                           : result.status());
+    // Retire the single-flight registration before the completion below:
+    // once the entry is gone, a racing Submit starts a fresh leader (and
+    // likely hits the cache the just-finished run populated).
+    if (state->single_flight) {
+      inflight_.erase(state->fingerprint);
+      state->single_flight = false;
+    }
+    followers = std::move(state->followers);
+    state->followers.clear();
+    const util::Status status =
+        result.ok() ? util::Status::OK() : result.status();
+    RecordFinishLocked(*state, status);
+    for (const auto& follower : followers) {
+      RecordFinishLocked(*follower, status);
+    }
+    if (CacheModeReads(state->cache_mode)) {
+      if (result.ok() && result.value().from_cache) {
+        ++counters_.cache_hits;
+      } else {
+        ++counters_.cache_misses;
+      }
+    }
     if (--pending_pool_tasks_ == 0) idle_cv_.notify_all();
+  }
+  // Every collapsed duplicate receives a copy of the leader's outcome --
+  // the single-flight contract: one solve, N identical answers.
+  for (const auto& follower : followers) {
+    Complete(follower, result);
   }
   Complete(state, std::move(result));
 }
@@ -258,11 +396,8 @@ void Server::Shutdown(ShutdownMode mode) {
       cancel_.Cancel();
       cancelled.reserve(queue_.size());
       for (auto& [key, state] : queue_) {
-        RecordFinishLocked(*state,
-                           util::Status::Cancelled("server shutdown"));
-        // The request never ran; drop its instance copy right away.
-        state->instance = core::Instance();
-        cancelled.push_back(state);
+        AbortTicketLocked(state, util::Status::Cancelled("server shutdown"),
+                          cancelled);
       }
       queue_.clear();
     }
@@ -306,12 +441,21 @@ ServerStats Server::Stats() const {
         budget_limited_ ? std::max(budget_remaining_, 0.0) : -1.0;
     latencies = latencies_;
   }
+  if (cache_ != nullptr) {
+    CacheStats cache_stats = cache_->Stats();
+    stats.cache_evictions =
+        cache_stats.result_evictions + cache_stats.graph_evictions;
+  }
   std::sort(latencies.begin(), latencies.end());
   stats.latency_p50_seconds = Percentile(latencies, 0.50);
   stats.latency_p95_seconds = Percentile(latencies, 0.95);
   stats.latency_p99_seconds = Percentile(latencies, 0.99);
   stats.latency_max_seconds = latencies.empty() ? 0.0 : latencies.back();
   return stats;
+}
+
+CacheStats Server::GetCacheStats() const {
+  return cache_ == nullptr ? CacheStats{} : cache_->Stats();
 }
 
 }  // namespace rdbsc::engine

@@ -7,11 +7,14 @@
 #include <map>
 #include <memory>
 #include <mutex>
+#include <unordered_map>
 #include <vector>
 
 #include "core/instance.h"
 #include "engine/engine.h"
+#include "engine/solve_cache.h"
 #include "util/deadline.h"
+#include "util/hash.h"
 #include "util/status.h"
 #include "util/thread_pool.h"
 
@@ -47,7 +50,9 @@ struct ServerConfig {
   /// pipeline. `engine.num_threads` is ignored: each admitted request runs
   /// serially on a fresh registry-created solver (the determinism
   /// contract), and concurrency comes from `num_workers` requests in
-  /// flight at once.
+  /// flight at once. `engine.budget_seconds` is also ignored -- request
+  /// budgets come from `default_budget_seconds` / SubmitControls and the
+  /// `total_budget_seconds` pool below.
   EngineConfig engine;
 
   /// Dispatch threads, i.e. requests solved concurrently (clamped to 1).
@@ -65,6 +70,17 @@ struct ServerConfig {
   /// an unlimited request is capped at the remaining pool, and once the
   /// pool hits zero further submissions fail with kResourceExhausted.
   double total_budget_seconds = 0.0;
+
+  /// Default cache policy applied when SubmitControls::cache is kDefault.
+  /// kOff keeps every request cold unless a submission opts in.
+  CacheMode cache_mode = CacheMode::kOff;
+  /// Tier capacities of the server-owned SolveCache (entries). Setting
+  /// one to 0 disables that tier only (e.g. graph_entries = 0 caches
+  /// results without pinning heavy CandidateGraphs); setting both to 0
+  /// disables the cache entirely: every request solves cold and
+  /// single-flight collapsing is off, whatever the cache modes say.
+  size_t cache_result_entries = 4096;
+  size_t cache_graph_entries = 1024;
 };
 
 /// Per-submission overrides.
@@ -77,6 +93,13 @@ struct SubmitControls {
   /// result stays independent of how long the ticket sat queued (time in
   /// queue is governed by the overload policy and queue depth instead).
   double budget_seconds = -1.0;
+  /// What this request may do with the server's SolveCache; kDefault
+  /// falls back to ServerConfig::cache_mode. A read-enabled, unlimited-
+  /// budget request is also eligible for single-flight collapsing onto an
+  /// identical queued/in-flight request; a collapse never inverts
+  /// priority -- a follower more urgent than its still-queued leader
+  /// promotes the leader to its own priority.
+  CacheMode cache = CacheMode::kDefault;
 };
 
 /// Counter snapshot returned by Server::Stats. Latency percentiles are
@@ -84,13 +107,20 @@ struct SubmitControls {
 /// recently finished requests (including shed / cancelled ones).
 struct ServerStats {
   int64_t submitted = 0;   ///< Submit calls, including rejected ones.
-  int64_t admitted = 0;    ///< entered the queue
+  int64_t admitted = 0;    ///< entered the queue (collapsed ones included)
   int64_t rejected = 0;    ///< refused at admission (full / closed / pool)
   int64_t shed = 0;        ///< dropped from the queue by kShedOldest
   int64_t completed = 0;   ///< finished with an OK result
   int64_t deadline_exceeded = 0;  ///< finished with kDeadlineExceeded
   int64_t cancelled = 0;   ///< finished with kCancelled (Shutdown(kCancel))
   int64_t failed = 0;      ///< finished with any other error
+
+  int64_t cache_hits = 0;    ///< dispatched requests answered from the
+                             ///< full-result cache tier
+  int64_t cache_misses = 0;  ///< cache-read-enabled requests that solved cold
+  int64_t cache_evictions = 0;  ///< entries evicted from either cache tier
+  int64_t collapsed = 0;     ///< submissions collapsed onto an identical
+                             ///< queued/in-flight request (single-flight)
 
   int queue_depth = 0;     ///< waiting right now
   int in_flight = 0;       ///< solving right now
@@ -113,6 +143,18 @@ struct TicketState {
   std::chrono::steady_clock::time_point submit_time;
   core::Instance instance;
   double budget_seconds = 0.0;  ///< effective per-request budget; 0 = none
+
+  /// Resolved cache policy of this request.
+  CacheMode cache_mode = CacheMode::kOff;
+  /// Result-tier fingerprint; the single-flight identity. Only meaningful
+  /// when `single_flight` is set.
+  util::Hash128 fingerprint{};
+  /// Registered in the server's in-flight fingerprint map as a collapse
+  /// leader (erased on completion / shed / cancel).
+  bool single_flight = false;
+  /// Duplicate submissions collapsed onto this leader; completed with a
+  /// copy of the leader's outcome, never dispatched themselves.
+  std::vector<std::shared_ptr<TicketState>> followers;
 
   mutable std::mutex mu;
   mutable std::condition_variable cv;
@@ -159,6 +201,15 @@ class Ticket {
 /// determinism contract, extended to the async layer and enforced by
 /// tests/server_stress_test.cc).
 ///
+/// Repeated traffic is served through a content-addressed SolveCache:
+/// each request resolves a CacheMode (SubmitControls::cache, falling back
+/// to ServerConfig::cache_mode) and, when read-enabled with an unlimited
+/// budget, duplicate submissions of an identical instance are collapsed
+/// single-flight onto the queued/in-flight leader -- one solve, N tickets,
+/// all completed with the same (bit-identical) outcome. Cache hits are
+/// bit-identical to cold solves, so enabling the cache never changes an
+/// answer, only its latency (tests/cache_stress_test.cc).
+///
 ///   auto server = engine::Server::Create({.engine = {.solver_name = "dc"}});
 ///   engine::Ticket t = server.value()->Submit(instance).value();
 ///   const util::StatusOr<EngineResult>& result = t.Wait();
@@ -193,6 +244,10 @@ class Server {
 
   ServerStats Stats() const;
 
+  /// Detailed per-tier counters of the server-owned cache (all zeros when
+  /// the cache is disabled).
+  CacheStats GetCacheStats() const;
+
   const ServerConfig& config() const { return config_; }
 
  private:
@@ -216,10 +271,18 @@ class Server {
   /// Accounts one finished request (counters + latency) under mu_.
   void RecordFinishLocked(const internal::TicketState& state,
                           const util::Status& status);
+  /// Drops `state` from the single-flight map (if registered), accounts
+  /// it and its followers as finished with `status`, and appends every
+  /// ticket to complete to `out`. Requires mu_; used by shed and cancel.
+  void AbortTicketLocked(
+      const std::shared_ptr<internal::TicketState>& state,
+      const util::Status& status,
+      std::vector<std::shared_ptr<internal::TicketState>>& out);
 
   ServerConfig config_;
   Engine engine_;
   std::unique_ptr<util::ThreadPool> pool_;
+  std::unique_ptr<SolveCache> cache_;
   util::CancelToken cancel_;
 
   mutable std::mutex mu_;
@@ -230,6 +293,12 @@ class Server {
   bool wound_down_ = false;           ///< dispatch threads joined
   uint64_t next_seq_ = 1;
   std::map<QueueKey, std::shared_ptr<internal::TicketState>> queue_;
+  /// Single-flight registry: result fingerprint -> queued/in-flight
+  /// leader. Entries are erased when their leader completes, is shed, or
+  /// is cancelled, so the map never outgrows queue depth + workers.
+  std::unordered_map<util::Hash128, std::shared_ptr<internal::TicketState>,
+                     util::Hash128Hasher>
+      inflight_;
   int in_flight_ = 0;
   /// Queued-but-unfinished pool tasks; every admission enqueues exactly
   /// one, so 0 here means queue_ is empty and nothing is in flight.

@@ -1,0 +1,108 @@
+#include "engine/solve_cache.h"
+
+#include <algorithm>
+
+namespace rdbsc::engine {
+
+namespace {
+
+// Per-shard capacities round up so the configured totals are a floor,
+// and every enabled shard holds at least one entry. A configured total
+// of 0 stays 0: the tier is disabled (inserts dropped), never "rounded
+// up" into a surprise num_shards-entry cache.
+size_t PerShardCapacity(size_t total, int num_shards) {
+  if (total == 0) return 0;
+  return std::max<size_t>(
+      (total + static_cast<size_t>(num_shards) - 1) /
+          static_cast<size_t>(num_shards),
+      1);
+}
+
+}  // namespace
+
+SolveCache::SolveCache(SolveCacheConfig config) {
+  num_shards_ = std::max(config.num_shards, 1);
+  result_capacity_per_shard_ =
+      PerShardCapacity(config.result_capacity, num_shards_);
+  graph_capacity_per_shard_ =
+      PerShardCapacity(config.graph_capacity, num_shards_);
+  result_shards_ = std::vector<Shard<ResultEntry>>(num_shards_);
+  graph_shards_ = std::vector<Shard<GraphEntry>>(num_shards_);
+}
+
+std::shared_ptr<const EngineResult> SolveCache::LookupResult(
+    const util::Hash128& key) {
+  Shard<ResultEntry>& shard = result_shards_[ShardOf(key)];
+  std::lock_guard<std::mutex> lock(shard.mu);
+  ResultEntry* entry = LookupIn(shard, key);
+  return entry == nullptr ? nullptr : entry->result;
+}
+
+void SolveCache::InsertResult(const util::Hash128& key, EngineResult result) {
+  if (result_capacity_per_shard_ == 0) return;  // tier disabled
+  // Stored entries describe the original cold run; hits re-stamp
+  // provenance on their own copies.
+  result.from_cache = false;
+  result.plan.from_cache = false;
+  Shard<ResultEntry>& shard = result_shards_[ShardOf(key)];
+  ResultEntry entry{std::make_shared<const EngineResult>(std::move(result))};
+  std::lock_guard<std::mutex> lock(shard.mu);
+  InsertIn(shard, result_capacity_per_shard_, key, std::move(entry));
+}
+
+std::shared_ptr<const core::CandidateGraph> SolveCache::LookupGraph(
+    const util::Hash128& key, GraphPlan* plan) {
+  Shard<GraphEntry>& shard = graph_shards_[ShardOf(key)];
+  std::lock_guard<std::mutex> lock(shard.mu);
+  GraphEntry* entry = LookupIn(shard, key);
+  if (entry == nullptr) return nullptr;
+  if (plan != nullptr) *plan = entry->plan;
+  return entry->graph;
+}
+
+void SolveCache::InsertGraph(const util::Hash128& key,
+                             std::shared_ptr<const core::CandidateGraph> graph,
+                             const GraphPlan& plan) {
+  if (graph_capacity_per_shard_ == 0) return;  // tier disabled
+  GraphEntry entry{std::move(graph), plan};
+  entry.plan.from_cache = false;
+  Shard<GraphEntry>& shard = graph_shards_[ShardOf(key)];
+  std::lock_guard<std::mutex> lock(shard.mu);
+  InsertIn(shard, graph_capacity_per_shard_, key, std::move(entry));
+}
+
+CacheStats SolveCache::Stats() const {
+  CacheStats stats;
+  for (const Shard<ResultEntry>& shard : result_shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    stats.result_hits += shard.hits;
+    stats.result_misses += shard.misses;
+    stats.result_insertions += shard.insertions;
+    stats.result_evictions += shard.evictions;
+    stats.result_entries += static_cast<int64_t>(shard.lru.size());
+  }
+  for (const Shard<GraphEntry>& shard : graph_shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    stats.graph_hits += shard.hits;
+    stats.graph_misses += shard.misses;
+    stats.graph_insertions += shard.insertions;
+    stats.graph_evictions += shard.evictions;
+    stats.graph_entries += static_cast<int64_t>(shard.lru.size());
+  }
+  return stats;
+}
+
+void SolveCache::Clear() {
+  for (Shard<ResultEntry>& shard : result_shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    shard.lru.clear();
+    shard.index.clear();
+  }
+  for (Shard<GraphEntry>& shard : graph_shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    shard.lru.clear();
+    shard.index.clear();
+  }
+}
+
+}  // namespace rdbsc::engine

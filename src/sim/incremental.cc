@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "core/diversity.h"
+#include "core/fingerprint.h"
 #include "util/math.h"
 
 namespace rdbsc::sim {
@@ -108,11 +109,6 @@ IncrementalAssigner::Update(double now) {
   }
   for (core::TaskId tid : expired) RemoveTask(tid).ok();
 
-  // Valid pairs among available workers and open tasks, via the index.
-  // Unlimited deadline and serial retrieval: never fails.
-  std::vector<std::pair<core::WorkerId, core::TaskId>> pairs =
-      index_.RetrievePairs().value();
-
   // Compact snapshot for the solver.
   std::vector<core::TaskId> task_ids;
   std::unordered_map<core::TaskId, core::TaskId> task_local;
@@ -138,21 +134,42 @@ IncrementalAssigner::Update(double now) {
   std::vector<std::pair<core::TaskId, core::WorkerId>> committed;
   if (snapshot_tasks.empty() || snapshot_workers.empty()) return committed;
 
-  std::vector<std::vector<core::TaskId>> edges(snapshot_workers.size());
-  for (const auto& [wid, tid] : pairs) {
-    auto w_it = worker_local.find(wid);
-    auto t_it = task_local.find(tid);
-    if (w_it != worker_local.end() && t_it != task_local.end()) {
-      edges[w_it->second].push_back(t_it->second);
-    }
-  }
-
+  const size_t num_snapshot_workers = snapshot_workers.size();
   core::Instance snapshot(std::move(snapshot_tasks),
                           std::move(snapshot_workers), now, policy_);
-  core::CandidateGraph graph =
-      core::CandidateGraph::FromEdges(snapshot, std::move(edges));
+
+  // Round reuse: the snapshot's content fingerprint (tasks, workers, now,
+  // policy) fully determines the candidate edge set the index would
+  // retrieve, so a round identical to the previous one replays the memoed
+  // graph instead of paying RetrievePairs + FromEdges again.
+  const util::Hash128 fingerprint = core::InstanceFingerprint(snapshot);
+  ++round_stats_.rounds;
+  std::shared_ptr<const core::CandidateGraph> graph;
+  if (has_graph_memo_ && fingerprint == graph_memo_key_) {
+    ++round_stats_.graph_reuses;
+    graph = graph_memo_;
+  } else {
+    // Valid pairs among available workers and open tasks, via the index.
+    // Unlimited deadline and serial retrieval: never fails.
+    std::vector<std::pair<core::WorkerId, core::TaskId>> pairs =
+        index_.RetrievePairs().value();
+    std::vector<std::vector<core::TaskId>> edges(num_snapshot_workers);
+    for (const auto& [wid, tid] : pairs) {
+      auto w_it = worker_local.find(wid);
+      auto t_it = task_local.find(tid);
+      if (w_it != worker_local.end() && t_it != task_local.end()) {
+        edges[w_it->second].push_back(t_it->second);
+      }
+    }
+    graph = std::make_shared<const core::CandidateGraph>(
+        core::CandidateGraph::FromEdges(snapshot, std::move(edges)));
+    graph_memo_key_ = fingerprint;
+    graph_memo_ = graph;
+    has_graph_memo_ = true;
+  }
+
   util::StatusOr<core::SolveResult> solved =
-      solver_->Solve(snapshot, graph);
+      solver_->Solve(snapshot, *graph);
   if (!solved.ok()) return solved.status();
   const core::SolveResult& solve = solved.value();
 

@@ -1,6 +1,8 @@
 #ifndef RDBSC_SIM_INCREMENTAL_H_
 #define RDBSC_SIM_INCREMENTAL_H_
 
+#include <cstdint>
+#include <memory>
 #include <unordered_map>
 #include <vector>
 
@@ -9,9 +11,18 @@
 #include "core/model.h"
 #include "core/solver.h"
 #include "index/grid_index.h"
+#include "util/hash.h"
 #include "util/status.h"
 
 namespace rdbsc::sim {
+
+/// Round-reuse counters of an IncrementalAssigner (see Update): how many
+/// rounds ran and how many of them replayed the previous round's candidate
+/// graph instead of retrieving pairs from the index again.
+struct RoundCacheStats {
+  int64_t rounds = 0;
+  int64_t graph_reuses = 0;
+};
 
 /// The incremental updating strategy of Figure 10, decoupled from the toy
 /// platform: tasks and workers arrive and leave dynamically, the
@@ -47,8 +58,20 @@ class IncrementalAssigner {
   /// are still live at `now` (expired tasks are dropped first). Returns
   /// the pairs newly committed this round, or the solver's failure (no
   /// commitments are made on a failed round).
+  ///
+  /// Rounds are content-fingerprinted (core::InstanceFingerprint over the
+  /// compact snapshot, which includes `now`): when a round's snapshot is
+  /// bit-identical to the previous one -- common in event-driven callers
+  /// that re-Update after no-op events, and whenever the last round
+  /// committed nothing -- the index retrieval and graph construction are
+  /// skipped and the cached candidate graph is replayed. The solver still
+  /// runs (it is a pure function of snapshot + graph), so commitments are
+  /// identical with and without the reuse.
   util::StatusOr<std::vector<std::pair<core::TaskId, core::WorkerId>>>
   Update(double now);
+
+  /// Graph-reuse counters accumulated across Update calls.
+  const RoundCacheStats& round_cache_stats() const { return round_stats_; }
 
   /// Current task of a worker, or kNoTask.
   core::TaskId CommittedTask(core::WorkerId id) const;
@@ -83,6 +106,15 @@ class IncrementalAssigner {
   std::unordered_map<core::TaskId, core::Task> tasks_;
   std::unordered_map<core::WorkerId, WorkerRecord> workers_;
   std::unordered_map<core::TaskId, LedgerEntry> ledger_;
+
+  /// One-round graph memo: the previous snapshot's fingerprint and the
+  /// candidate graph built for it. Content-addressed, so it never needs
+  /// explicit invalidation -- any membership / position / time change
+  /// produces a different fingerprint and falls through to a fresh build.
+  bool has_graph_memo_ = false;
+  util::Hash128 graph_memo_key_{};
+  std::shared_ptr<const core::CandidateGraph> graph_memo_;
+  RoundCacheStats round_stats_;
 };
 
 }  // namespace rdbsc::sim

@@ -89,6 +89,7 @@ util::StatusOr<PlatformResult> Platform::Run() {
     server_config.engine.graph_strategy = GraphStrategy::kBruteForce;
     server_config.engine.validate_instances = false;
     server_config.num_workers = config_.server_workers;
+    server_config.cache_mode = config_.cache_mode;
     util::StatusOr<std::unique_ptr<rdbsc::engine::Server>> created =
         rdbsc::engine::Server::Create(std::move(server_config));
     if (!created.ok()) return created.status();

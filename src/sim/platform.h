@@ -8,6 +8,7 @@
 
 #include "core/assignment.h"
 #include "core/solver.h"
+#include "engine/engine.h"
 #include "util/status.h"
 #include "util/thread_pool.h"
 
@@ -53,6 +54,13 @@ struct PlatformConfig {
   /// code path a serving deployment would. The trajectory stays
   /// bit-identical to the inline path at every worker count.
   int server_workers = 0;
+  /// Cache policy of the server-mode ticks (ignored inline): repeated
+  /// round snapshots -- retried ticks, simulation replays -- are answered
+  /// from the server's content-addressed SolveCache. A hit is
+  /// bit-identical to a cold solve, so the trajectory is unchanged by the
+  /// mode; only tick latency varies. kDefault keeps the server's own
+  /// default (off).
+  engine::CacheMode cache_mode = engine::CacheMode::kDefault;
 };
 
 /// One answer produced by a worker reaching a task site.

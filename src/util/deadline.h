@@ -8,6 +8,15 @@
 
 namespace rdbsc::util {
 
+/// Seconds elapsed since `t0` on the steady clock — the one wall-clock
+/// measurement every timing field in the library (plan build times,
+/// server latencies) is derived from.
+inline double SecondsSince(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       t0)
+      .count();
+}
+
 /// Cooperative cancellation flag shared between a caller and a running
 /// solve. The caller sets it (possibly from another thread); the running
 /// operation polls it at its natural iteration granularity.

@@ -1,0 +1,115 @@
+#ifndef RDBSC_UTIL_HASH_H_
+#define RDBSC_UTIL_HASH_H_
+
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <string_view>
+
+namespace rdbsc::util {
+
+/// A 128-bit content hash. Used as the identity of cacheable work
+/// (instances, graphs, solve results): equal inputs hash equal by
+/// construction, and at 128 bits accidental collisions are treated as
+/// impossible (no entry verification on lookup).
+struct Hash128 {
+  uint64_t hi = 0;
+  uint64_t lo = 0;
+
+  friend bool operator==(const Hash128& a, const Hash128& b) {
+    return a.hi == b.hi && a.lo == b.lo;
+  }
+  friend bool operator!=(const Hash128& a, const Hash128& b) {
+    return !(a == b);
+  }
+
+  /// 32 lowercase hex digits, hi half first.
+  std::string ToHex() const;
+};
+
+/// Functor for unordered containers keyed by Hash128. The key is already
+/// uniformly distributed, so folding the halves is enough.
+struct Hash128Hasher {
+  size_t operator()(const Hash128& h) const {
+    return static_cast<size_t>(h.lo ^ (h.hi * 0x9e3779b97f4a7c15ull));
+  }
+};
+
+/// SplitMix64 finalizer: a cheap, well-distributed 64-bit mixer that is
+/// fully specified (no platform dependence), so hashes are stable across
+/// machines and builds.
+inline uint64_t SplitMix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+/// Folds `value` into `seed` (boost-style, with the SplitMix64 mixer).
+/// The single combining primitive every fingerprint in the library is
+/// built from; order-sensitive by design.
+inline uint64_t HashCombine(uint64_t seed, uint64_t value) {
+  return seed ^ (SplitMix64(value) + 0x9e3779b97f4a7c15ull + (seed << 6) +
+                 (seed >> 2));
+}
+
+/// Streaming 128-bit hasher: two independent HashCombine lanes fed the
+/// same value stream with different tweaks. Mix in every field that can
+/// influence the result being fingerprinted, in a fixed documented order;
+/// doubles are hashed by bit pattern so -0.0 / 0.0 and NaN payloads are
+/// distinct (bit-identity is the contract, not numeric equality).
+class Hasher {
+ public:
+  Hasher& Mix(uint64_t value) {
+    a_ = HashCombine(a_, value);
+    b_ = HashCombine(b_, ~value);
+    return *this;
+  }
+  Hasher& Mix(int64_t value) { return Mix(static_cast<uint64_t>(value)); }
+  Hasher& Mix(int value) {
+    return Mix(static_cast<uint64_t>(static_cast<int64_t>(value)));
+  }
+  Hasher& Mix(bool value) { return Mix(static_cast<uint64_t>(value)); }
+  Hasher& Mix(double value) { return Mix(std::bit_cast<uint64_t>(value)); }
+  Hasher& Mix(std::string_view value) {
+    Mix(static_cast<uint64_t>(value.size()));
+    size_t i = 0;
+    for (; i + 8 <= value.size(); i += 8) {
+      uint64_t chunk = 0;
+      std::memcpy(&chunk, value.data() + i, 8);
+      Mix(chunk);
+    }
+    if (i < value.size()) {
+      uint64_t tail = 0;
+      std::memcpy(&tail, value.data() + i, value.size() - i);
+      Mix(tail);
+    }
+    return *this;
+  }
+
+  Hash128 Digest() const {
+    // Cross the lanes so each output half depends on the whole stream.
+    return Hash128{HashCombine(a_, b_), HashCombine(b_, a_)};
+  }
+
+ private:
+  // Arbitrary distinct non-zero lane seeds (binary digits of pi).
+  uint64_t a_ = 0x243f6a8885a308d3ull;
+  uint64_t b_ = 0x13198a2e03707344ull;
+};
+
+inline std::string Hash128::ToHex() const {
+  static constexpr char kDigits[] = "0123456789abcdef";
+  std::string out(32, '0');
+  for (int i = 0; i < 16; ++i) {
+    out[15 - i] = kDigits[(hi >> (4 * i)) & 0xf];
+    out[31 - i] = kDigits[(lo >> (4 * i)) & 0xf];
+  }
+  return out;
+}
+
+}  // namespace rdbsc::util
+
+#endif  // RDBSC_UTIL_HASH_H_

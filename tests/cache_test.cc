@@ -1,0 +1,542 @@
+// Correctness of the content-addressed caching layer: util::Hash128 /
+// Hasher primitives, core::InstanceFingerprint sensitivity, SolveCache LRU
+// mechanics, the staged-pipeline cache seams (result and plan/graph tiers,
+// every CacheMode), and the engine::Server wiring (hit/miss counters,
+// deterministic single-flight collapse, and the acceptance criterion that
+// a cache hit is bit-identical to a cold solve at 1, 2, and 8 dispatch
+// workers).
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/fingerprint.h"
+#include "engine/engine.h"
+#include "engine/fingerprint.h"
+#include "engine/server.h"
+#include "engine/solve_cache.h"
+#include "gtest/gtest.h"
+#include "stress_util.h"
+#include "test_util.h"
+#include "util/hash.h"
+
+namespace rdbsc {
+namespace {
+
+using engine::CacheMode;
+using engine::CacheStats;
+using engine::ServerConfig;
+using engine::SolveCache;
+using engine::SolveCacheConfig;
+using test::SmallInstance;
+
+// --- Hash primitives -----------------------------------------------------
+
+TEST(Hash128Test, ToHexIsFixedWidthHiFirst) {
+  util::Hash128 h{0x1, 0xab};
+  EXPECT_EQ(h.ToHex(), "000000000000000100000000000000ab");
+  EXPECT_EQ((util::Hash128{}.ToHex()),
+            "00000000000000000000000000000000");
+}
+
+TEST(HashCombineTest, OrderSensitive) {
+  uint64_t ab = util::HashCombine(util::HashCombine(0, 1), 2);
+  uint64_t ba = util::HashCombine(util::HashCombine(0, 2), 1);
+  EXPECT_NE(ab, ba);
+}
+
+TEST(HasherTest, DeterministicAndFieldBoundarySensitive) {
+  auto digest = [](auto&& fill) {
+    util::Hasher hasher;
+    fill(hasher);
+    return hasher.Digest();
+  };
+  // Same stream -> same digest (machine-independent by construction).
+  EXPECT_EQ(digest([](util::Hasher& h) { h.Mix(std::string_view("abc")); }),
+            digest([](util::Hasher& h) { h.Mix(std::string_view("abc")); }));
+  // The length prefix keeps adjacent string fields from sliding into each
+  // other ("ab" + "c" must not collide with "abc").
+  EXPECT_NE(digest([](util::Hasher& h) {
+              h.Mix(std::string_view("ab")).Mix(std::string_view("c"));
+            }),
+            digest([](util::Hasher& h) { h.Mix(std::string_view("abc")); }));
+  // Doubles hash by bit pattern: -0.0 and 0.0 are distinct identities.
+  EXPECT_NE(digest([](util::Hasher& h) { h.Mix(0.0); }),
+            digest([](util::Hasher& h) { h.Mix(-0.0); }));
+}
+
+// --- Instance fingerprints -----------------------------------------------
+
+TEST(InstanceFingerprintTest, EqualContentHashesEqual) {
+  EXPECT_EQ(core::InstanceFingerprint(SmallInstance(7)),
+            core::InstanceFingerprint(SmallInstance(7)));
+  EXPECT_NE(core::InstanceFingerprint(SmallInstance(7)),
+            core::InstanceFingerprint(SmallInstance(8)));
+}
+
+TEST(InstanceFingerprintTest, SensitiveToEveryInstanceField) {
+  core::Instance base = SmallInstance(7);
+  const util::Hash128 fp = core::InstanceFingerprint(base);
+
+  auto tasks = base.tasks();
+  tasks[0].beta += 1e-9;
+  EXPECT_NE(core::InstanceFingerprint(core::Instance(
+                tasks, base.workers(), base.now(), base.policy())),
+            fp);
+
+  auto workers = base.workers();
+  workers[0].confidence -= 1e-9;
+  EXPECT_NE(core::InstanceFingerprint(core::Instance(
+                base.tasks(), workers, base.now(), base.policy())),
+            fp);
+
+  EXPECT_NE(core::InstanceFingerprint(core::Instance(
+                base.tasks(), base.workers(), base.now() + 1e-9,
+                base.policy())),
+            fp);
+  EXPECT_NE(core::InstanceFingerprint(core::Instance(
+                base.tasks(), base.workers(), base.now(),
+                core::ArrivalPolicy::kAllowWait)),
+            fp);
+}
+
+// --- SolveCache LRU mechanics --------------------------------------------
+
+EngineResult ResultWithEdges(int64_t edges) {
+  EngineResult result;
+  result.plan.edges = edges;
+  return result;
+}
+
+TEST(SolveCacheTest, ResultTierIsStrictLru) {
+  SolveCacheConfig config;
+  config.result_capacity = 2;
+  config.num_shards = 1;  // one shard so the eviction order is total
+  SolveCache cache(config);
+  const util::Hash128 k1{0, 1}, k2{0, 2}, k3{0, 3}, k4{0, 4};
+
+  cache.InsertResult(k1, ResultWithEdges(1));
+  cache.InsertResult(k2, ResultWithEdges(2));
+  cache.InsertResult(k3, ResultWithEdges(3));  // evicts k1 (oldest)
+  EXPECT_EQ(cache.LookupResult(k1), nullptr);
+
+  // Touch k2, then insert k4: the untouched k3 is now the LRU victim.
+  ASSERT_NE(cache.LookupResult(k2), nullptr);
+  cache.InsertResult(k4, ResultWithEdges(4));
+  EXPECT_EQ(cache.LookupResult(k3), nullptr);
+  ASSERT_NE(cache.LookupResult(k2), nullptr);
+  EXPECT_EQ(cache.LookupResult(k2)->plan.edges, 2);
+
+  CacheStats stats = cache.Stats();
+  EXPECT_EQ(stats.result_insertions, 4);
+  EXPECT_EQ(stats.result_evictions, 2);
+  EXPECT_EQ(stats.result_entries, 2);
+}
+
+TEST(SolveCacheTest, InsertClearsProvenanceAndRefreshKeepsOneEntry) {
+  SolveCache cache;
+  const util::Hash128 key{1, 1};
+  EngineResult stale = ResultWithEdges(9);
+  stale.from_cache = true;
+  stale.plan.from_cache = true;
+  cache.InsertResult(key, stale);
+  auto hit = cache.LookupResult(key);
+  ASSERT_NE(hit, nullptr);
+  EXPECT_FALSE(hit->from_cache);
+  EXPECT_FALSE(hit->plan.from_cache);
+
+  cache.InsertResult(key, ResultWithEdges(11));  // refresh, not a new entry
+  EXPECT_EQ(cache.Stats().result_entries, 1);
+  EXPECT_EQ(cache.LookupResult(key)->plan.edges, 11);
+}
+
+TEST(SolveCacheTest, ZeroCapacityDisablesOneTierOnly) {
+  SolveCacheConfig config;
+  config.graph_capacity = 0;  // results only -- never pin a heavy graph
+  config.num_shards = 4;
+  SolveCache cache(config);
+  const util::Hash128 key{3, 9};
+
+  core::Instance instance = SmallInstance(3, 4, 7);
+  auto graph = std::make_shared<const core::CandidateGraph>(
+      core::CandidateGraph::Build(instance));
+  cache.InsertGraph(key, graph, GraphPlan{});
+  EXPECT_EQ(cache.LookupGraph(key, nullptr), nullptr);
+  EXPECT_EQ(cache.Stats().graph_entries, 0);
+  EXPECT_EQ(cache.Stats().graph_insertions, 0);  // dropped, not evicted
+
+  cache.InsertResult(key, ResultWithEdges(5));  // the other tier still works
+  ASSERT_NE(cache.LookupResult(key), nullptr);
+  EXPECT_EQ(cache.Stats().result_entries, 1);
+}
+
+TEST(SolveCacheTest, GraphTierRoundTripsPlanAndClearKeepsCounters) {
+  SolveCache cache;
+  const util::Hash128 key{2, 7};
+  core::Instance instance = SmallInstance(3, 4, 7);
+  auto graph = std::make_shared<const core::CandidateGraph>(
+      core::CandidateGraph::Build(instance));
+  GraphPlan plan;
+  plan.used_grid_index = false;
+  plan.edges = graph->NumEdges();
+  cache.InsertGraph(key, graph, plan);
+
+  GraphPlan got;
+  auto hit = cache.LookupGraph(key, &got);
+  ASSERT_EQ(hit, graph);  // the exact shared object, not a copy
+  EXPECT_EQ(got.edges, graph->NumEdges());
+  EXPECT_FALSE(got.from_cache);
+
+  cache.Clear();
+  EXPECT_EQ(cache.LookupGraph(key, nullptr), nullptr);
+  CacheStats stats = cache.Stats();
+  EXPECT_EQ(stats.graph_entries, 0);
+  EXPECT_EQ(stats.graph_hits, 1);      // counters survive Clear
+  EXPECT_EQ(stats.graph_misses, 1);
+  EXPECT_EQ(stats.graph_insertions, 1);
+}
+
+// --- Pipeline cache seams ------------------------------------------------
+
+EngineConfig SolverEngineConfig(const std::string& name) {
+  EngineConfig config;
+  config.solver_name = name;
+  config.solver_options.seed = 5;
+  return config;
+}
+
+// The acceptance criterion at the Engine layer, per registered solver: a
+// result-tier hit replays the cold solve bit for bit.
+TEST(CachePipelineTest, HitIsBitIdenticalToColdSolvePerSolver) {
+  const core::Instance instance = SmallInstance(3, 4, 7);  // EXACT-sized
+  for (const char* name : {"dc", "exact", "greedy", "gtruth", "sampling",
+                           "worker-greedy"}) {
+    SCOPED_TRACE(name);
+    Engine cold = Engine::Create(SolverEngineConfig(name)).value();
+    const std::string cold_print = engine::ResultFingerprint(
+        cold.Run(instance));
+
+    SolveCache cache;
+    Engine cached = Engine::Create(SolverEngineConfig(name)).value();
+    RunControls controls;
+    controls.cache = &cache;
+    util::StatusOr<EngineResult> first = cached.Run(instance, controls);
+    ASSERT_TRUE(first.ok());
+    EXPECT_FALSE(first.value().from_cache);
+    util::StatusOr<EngineResult> second = cached.Run(instance, controls);
+    ASSERT_TRUE(second.ok());
+    EXPECT_TRUE(second.value().from_cache);
+    EXPECT_EQ(engine::ResultFingerprint(second), cold_print);
+    EXPECT_EQ(engine::ResultFingerprint(first), cold_print);
+  }
+}
+
+TEST(CachePipelineTest, CacheModesReadAndWriteIndependently) {
+  const core::Instance instance = SmallInstance(9);
+  Engine engine = Engine::Create(SolverEngineConfig("greedy")).value();
+  SolveCache cache;
+  RunControls controls;
+  controls.cache = &cache;
+
+  controls.cache_mode = CacheMode::kOff;
+  ASSERT_TRUE(engine.Run(instance, controls).ok());
+  EXPECT_EQ(cache.Stats().result_entries, 0);
+  EXPECT_EQ(cache.Stats().result_misses, 0);  // kOff never even looks
+
+  controls.cache_mode = CacheMode::kReadOnly;
+  ASSERT_TRUE(engine.Run(instance, controls).ok());
+  EXPECT_EQ(cache.Stats().result_entries, 0);  // probe must not populate
+  EXPECT_EQ(cache.Stats().result_misses, 1);
+
+  controls.cache_mode = CacheMode::kWriteOnly;
+  util::StatusOr<EngineResult> warm = engine.Run(instance, controls);
+  EXPECT_FALSE(warm.value().from_cache);  // warming always solves cold
+  warm = engine.Run(instance, controls);
+  EXPECT_FALSE(warm.value().from_cache);
+  EXPECT_EQ(cache.Stats().result_entries, 1);
+
+  controls.cache_mode = CacheMode::kReadOnly;  // now the probe hits
+  util::StatusOr<EngineResult> hit = engine.Run(instance, controls);
+  EXPECT_TRUE(hit.value().from_cache);
+
+  // kDefault with a cache attached means kReadWrite.
+  controls.cache_mode = CacheMode::kDefault;
+  EXPECT_TRUE(engine.Run(instance, controls).value().from_cache);
+}
+
+TEST(CachePipelineTest, GraphTierIsSharedAcrossSolvers) {
+  const core::Instance instance = SmallInstance(4);
+  EngineConfig greedy_config = SolverEngineConfig("greedy");
+  greedy_config.graph_strategy = GraphStrategy::kBruteForce;
+  EngineConfig sampling_config = SolverEngineConfig("sampling");
+  sampling_config.graph_strategy = GraphStrategy::kBruteForce;
+
+  Engine cold = Engine::Create(sampling_config).value();
+  const std::string cold_print =
+      engine::ResultFingerprint(cold.Run(instance));
+
+  SolveCache cache;
+  RunControls controls;
+  controls.cache = &cache;
+  Engine greedy = Engine::Create(greedy_config).value();
+  util::StatusOr<EngineResult> first = greedy.Run(instance, controls);
+  ASSERT_TRUE(first.ok());
+  EXPECT_FALSE(first.value().plan.from_cache);
+
+  // Different solver -> result-tier miss, but the graph (same instance,
+  // same resolved build decision) is reused -- and the solve on the
+  // reused graph is still bit-identical to a cold one.
+  Engine sampling = Engine::Create(sampling_config).value();
+  util::StatusOr<EngineResult> second = sampling.Run(instance, controls);
+  ASSERT_TRUE(second.ok());
+  EXPECT_FALSE(second.value().from_cache);
+  EXPECT_TRUE(second.value().plan.from_cache);
+  EXPECT_EQ(engine::ResultFingerprint(second), cold_print);
+
+  CacheStats stats = cache.Stats();
+  EXPECT_EQ(stats.graph_misses, 1);
+  EXPECT_EQ(stats.graph_hits, 1);
+  EXPECT_EQ(stats.result_hits, 0);
+  EXPECT_EQ(stats.result_misses, 2);
+}
+
+TEST(CachePipelineTest, FailedSolvesAreNeverCached) {
+  // A budget that trips mid-build must not poison the cache for the next,
+  // unbudgeted run.
+  const core::Instance instance = SmallInstance(1, 220, 220);
+  Engine engine = Engine::Create(SolverEngineConfig("dc")).value();
+  SolveCache cache;
+  RunControls controls;
+  controls.cache = &cache;
+  controls.budget_seconds = 1e-9;
+  util::StatusOr<EngineResult> starved = engine.Run(instance, controls);
+  ASSERT_FALSE(starved.ok());
+  EXPECT_EQ(starved.status().code(), util::StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(cache.Stats().result_entries, 0);
+  EXPECT_EQ(cache.Stats().graph_entries, 0);
+
+  controls.budget_seconds = -1.0;
+  util::StatusOr<EngineResult> healthy = engine.Run(instance, controls);
+  ASSERT_TRUE(healthy.ok());
+  EXPECT_FALSE(healthy.value().from_cache);
+}
+
+// --- Server wiring -------------------------------------------------------
+
+ServerConfig CachingServerConfig(int num_workers) {
+  ServerConfig config;
+  config.engine.solver_name = "dc";
+  config.engine.solver_options.seed = 7;
+  config.engine.validate_instances = false;
+  config.num_workers = num_workers;
+  config.max_queue_depth = 64;
+  config.cache_mode = CacheMode::kReadWrite;
+  return config;
+}
+
+TEST(ServerCacheTest, RepeatedSubmissionHitsAndCountersTrack) {
+  auto server =
+      std::move(engine::Server::Create(CachingServerConfig(1)).value());
+  const core::Instance instance = SmallInstance(21);
+
+  engine::Ticket first = server->Submit(instance).value();
+  const util::StatusOr<EngineResult>& cold = first.Wait();
+  ASSERT_TRUE(cold.ok());
+  EXPECT_FALSE(cold.value().from_cache);
+
+  engine::Ticket second = server->Submit(instance).value();
+  const util::StatusOr<EngineResult>& warm = second.Wait();
+  ASSERT_TRUE(warm.ok());
+  EXPECT_TRUE(warm.value().from_cache);
+  EXPECT_EQ(engine::ResultFingerprint(warm), engine::ResultFingerprint(cold));
+
+  // Per-request opt-out: kOff solves cold and stays invisible to counters.
+  engine::SubmitControls opt_out;
+  opt_out.cache = CacheMode::kOff;
+  engine::Ticket third = server->Submit(instance, opt_out).value();
+  ASSERT_TRUE(third.Wait().ok());
+  EXPECT_FALSE(third.Wait().value().from_cache);
+
+  server->Shutdown(engine::ShutdownMode::kDrain);
+  engine::ServerStats stats = server->Stats();
+  EXPECT_EQ(stats.cache_hits, 1);
+  EXPECT_EQ(stats.cache_misses, 1);
+  EXPECT_EQ(stats.collapsed, 0);
+  CacheStats cache_stats = server->GetCacheStats();
+  EXPECT_EQ(cache_stats.result_hits, 1);
+  EXPECT_EQ(cache_stats.result_insertions, 1);
+}
+
+TEST(ServerCacheTest, SingleFlightCollapsesQueuedDuplicates) {
+  // One dispatch worker, gated by a deliberately heavy request: the two
+  // identical requests behind it are both queued when the second arrives,
+  // so the collapse is deterministic, not a race.
+  auto server =
+      std::move(engine::Server::Create(CachingServerConfig(1)).value());
+  engine::SubmitControls gate_controls;
+  gate_controls.priority = 10;
+  engine::Ticket gate =
+      server->Submit(SmallInstance(1, 220, 220), gate_controls).value();
+
+  const core::Instance dup = SmallInstance(33);
+  engine::Ticket leader = server->Submit(dup).value();
+  engine::Ticket follower = server->Submit(dup).value();
+
+  ASSERT_TRUE(gate.Wait().ok());
+  const util::StatusOr<EngineResult>& led = leader.Wait();
+  const util::StatusOr<EngineResult>& followed = follower.Wait();
+  ASSERT_TRUE(led.ok());
+  ASSERT_TRUE(followed.ok());
+  EXPECT_EQ(engine::ResultFingerprint(led),
+            engine::ResultFingerprint(followed));
+
+  server->Shutdown(engine::ShutdownMode::kDrain);
+  engine::ServerStats stats = server->Stats();
+  EXPECT_EQ(stats.admitted, 3);
+  EXPECT_EQ(stats.collapsed, 1);
+  // The follower never dispatched: the gate and the leader solved cold.
+  EXPECT_EQ(stats.cache_misses, 2);
+  EXPECT_EQ(stats.cache_hits, 0);
+  EXPECT_EQ(stats.completed, 3);
+}
+
+TEST(ServerCacheTest, UrgentFollowerPromotesQueuedLeader) {
+  // No priority inversion through single-flight: a follower more urgent
+  // than its queued leader promotes the leader. Sequence (one worker):
+  //   gate(p10) runs | queued: leader L(p0, instance X), M(p5, heavy)
+  //   follower D(p9, X) collapses onto L and promotes it to p9
+  // so after the gate the worker must pop L (now p9) before M -- without
+  // the promotion M(p5) would dispatch first and L/D would wait behind
+  // the heavy request they outrank.
+  auto server =
+      std::move(engine::Server::Create(CachingServerConfig(1)).value());
+  engine::SubmitControls gate_controls;
+  gate_controls.priority = 10;
+  engine::Ticket gate =
+      server->Submit(SmallInstance(1, 220, 220), gate_controls).value();
+
+  const core::Instance dup = SmallInstance(55);
+  engine::SubmitControls low;
+  low.priority = 0;
+  engine::Ticket leader = server->Submit(dup, low).value();
+
+  engine::SubmitControls mid;
+  mid.priority = 5;
+  engine::Ticket heavy = server->Submit(SmallInstance(2, 220, 220), mid)
+                             .value();
+
+  engine::SubmitControls urgent;
+  urgent.priority = 9;
+  engine::Ticket follower = server->Submit(dup, urgent).value();
+
+  ASSERT_TRUE(leader.Wait().ok());
+  ASSERT_TRUE(follower.Wait().ok());
+  // The promoted leader (and its follower) finished while the mid-
+  // priority heavy request is still on the worker.
+  EXPECT_EQ(heavy.TryGet(), nullptr);
+  EXPECT_EQ(engine::ResultFingerprint(leader.Wait()),
+            engine::ResultFingerprint(follower.Wait()));
+
+  server->Shutdown(engine::ShutdownMode::kDrain);
+  EXPECT_EQ(server->Stats().collapsed, 1);
+}
+
+TEST(ServerCacheTest, WriteOnlyDuplicateDoesNotClobberSingleFlightRegistry) {
+  // Regression: write-only submissions skip the collapse check but are
+  // still single-flight eligible, so a duplicate's registration attempt
+  // no-ops -- it must NOT mark itself as the registry owner, or its
+  // completion erases the real leader's entry and later duplicates stop
+  // collapsing. Sequence (one worker, pops strictly by priority):
+  //   gate1(p10) runs | queued: W2(p5, wo dup) -> gate2(p1) -> W1(p0, wo dup)
+  // W2 completes while W1 is still queued (gate2 holds the worker); a
+  // read-write duplicate submitted then must still find W1 registered
+  // and collapse onto it.
+  auto server =
+      std::move(engine::Server::Create(CachingServerConfig(1)).value());
+  // Two *distinct* heavy instances: were they identical, gate2 would
+  // collapse onto gate1 instead of occupying the worker.
+  const core::Instance heavy1 = SmallInstance(1, 220, 220);
+  const core::Instance heavy2 = SmallInstance(2, 220, 220);
+  const core::Instance dup = SmallInstance(44);
+
+  engine::SubmitControls gate1_controls;
+  gate1_controls.priority = 10;
+  engine::Ticket gate1 = server->Submit(heavy1, gate1_controls).value();
+
+  engine::SubmitControls wo_low;
+  wo_low.cache = CacheMode::kWriteOnly;
+  wo_low.priority = 0;
+  engine::Ticket w1 = server->Submit(dup, wo_low).value();  // registers
+  engine::SubmitControls wo_high = wo_low;
+  wo_high.priority = 5;
+  engine::Ticket w2 = server->Submit(dup, wo_high).value();  // duplicate
+
+  engine::SubmitControls gate2_controls;
+  gate2_controls.priority = 1;
+  engine::Ticket gate2 = server->Submit(heavy2, gate2_controls).value();
+
+  ASSERT_TRUE(w2.Wait().ok());  // W1 still queued behind gate2
+  engine::Ticket rider = server->Submit(dup).value();  // kReadWrite default
+  ASSERT_TRUE(rider.Wait().ok());
+  ASSERT_TRUE(w1.Wait().ok());
+  ASSERT_TRUE(gate1.Wait().ok());
+  ASSERT_TRUE(gate2.Wait().ok());
+  EXPECT_EQ(engine::ResultFingerprint(rider.Wait()),
+            engine::ResultFingerprint(w1.Wait()));
+
+  server->Shutdown(engine::ShutdownMode::kDrain);
+  EXPECT_EQ(server->Stats().collapsed, 1);  // the rider rode W1
+}
+
+TEST(ServerCacheTest, EvictionCounterSurfacesCapacityPressure) {
+  ServerConfig config = CachingServerConfig(1);
+  config.cache_result_entries = 2;
+  config.cache_graph_entries = 1;
+  auto server = std::move(engine::Server::Create(std::move(config)).value());
+  // 12 distinct instances through a cache of (at most) 4 shards x 1 entry
+  // per tier: the pigeonhole guarantees evictions on both tiers.
+  for (uint64_t seed = 0; seed < 12; ++seed) {
+    engine::Ticket ticket = server->Submit(SmallInstance(seed)).value();
+    ASSERT_TRUE(ticket.Wait().ok());
+  }
+  server->Shutdown(engine::ShutdownMode::kDrain);
+  EXPECT_GT(server->Stats().cache_evictions, 0);
+  EXPECT_GT(server->GetCacheStats().result_evictions, 0);
+  EXPECT_GT(server->GetCacheStats().graph_evictions, 0);
+}
+
+// The acceptance criterion at the server layer: with a repetitive schedule
+// (3 distinct instances, 24 submissions from 3 real submitter threads),
+// per-ticket results under caching are bit-identical to the cache-off
+// baseline at 1, 2, and 8 dispatch workers.
+TEST(ServerCacheTest, CacheHitsBitIdenticalAcross1_2_8Workers) {
+  test::StressScript script;
+  script.arrivals.resize(3);
+  for (int s = 0; s < 3; ++s) {
+    for (int a = 0; a < 8; ++a) {
+      test::StressArrival arrival;
+      arrival.instance_seed = 100 + static_cast<uint64_t>(a % 3);
+      arrival.num_tasks = 10;
+      arrival.num_workers = 20;
+      arrival.priority = a % 2;
+      script.arrivals[s].push_back(arrival);
+    }
+  }
+
+  ServerConfig cold_config = CachingServerConfig(1);
+  cold_config.cache_mode = CacheMode::kOff;
+  cold_config.cache_result_entries = 0;  // fully disable, incl. collapse
+  cold_config.cache_graph_entries = 0;
+  const std::vector<std::string> baseline =
+      test::ReplayScript(script, cold_config, 1);
+
+  for (int workers : {1, 2, 8}) {
+    SCOPED_TRACE(workers);
+    EXPECT_EQ(test::ReplayScript(script, CachingServerConfig(workers),
+                                 workers),
+              baseline);
+  }
+}
+
+}  // namespace
+}  // namespace rdbsc

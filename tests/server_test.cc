@@ -75,7 +75,8 @@ TEST(ServerTest, SubmitMatchesDirectEngineRun) {
   auto server = MakeServer(std::move(config));
   Ticket ticket = server->Submit(instance).value();
   const util::StatusOr<EngineResult>& got = ticket.Wait();
-  EXPECT_EQ(test::Fingerprint(got), test::Fingerprint(expected));
+  EXPECT_EQ(engine::ResultFingerprint(got),
+            engine::ResultFingerprint(expected));
   server->Shutdown(ShutdownMode::kDrain);
 
   ServerStats stats = server->Stats();

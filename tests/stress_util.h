@@ -11,13 +11,12 @@
 // of scheduling -- so two replays can be compared with a single EXPECT_EQ.
 
 #include <cstdint>
-#include <cstdio>
-#include <cstring>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "core/instance.h"
+#include "engine/fingerprint.h"
 #include "engine/server.h"
 #include "gen/workload.h"
 #include "test_util.h"
@@ -67,37 +66,10 @@ inline core::Instance StressInstance(const StressArrival& arrival) {
                        arrival.num_workers);
 }
 
-/// Hex bit-pattern of a double: bit-identical results produce identical
-/// strings, and nothing is lost to decimal formatting.
-inline std::string HexBits(double value) {
-  uint64_t bits = 0;
-  std::memcpy(&bits, &value, sizeof(bits));
-  char buffer[20];
-  std::snprintf(buffer, sizeof(buffer), "%016llx",
-                static_cast<unsigned long long>(bits));
-  return buffer;
-}
-
-/// Canonical encoding of one ticket outcome: status code, then (on
-/// success) the full assignment, the objective bit patterns, and the graph
-/// plan. Timing fields are deliberately excluded -- they are the only part
-/// of a result allowed to vary between runs.
-inline std::string Fingerprint(const util::StatusOr<EngineResult>& result) {
-  std::string out =
-      "code=" + std::to_string(static_cast<int>(result.status().code()));
-  if (!result.ok()) return out;
-  const EngineResult& r = result.value();
-  out += ";assign=";
-  for (core::WorkerId j = 0; j < r.solve.assignment.num_workers(); ++j) {
-    out += std::to_string(r.solve.assignment.TaskOf(j));
-    out += ',';
-  }
-  out += ";std=" + HexBits(r.solve.objectives.total_std);
-  out += ";rel=" + HexBits(r.solve.objectives.min_reliability);
-  out += ";edges=" + std::to_string(r.plan.edges);
-  out += ";grid=" + std::to_string(r.plan.used_grid_index ? 1 : 0);
-  return out;
-}
+// The harness's historical test-only Fingerprint/HexBits helpers were
+// promoted to engine::ResultFingerprint (engine/fingerprint.h) with a
+// byte-for-byte identical format; call that directly so the tests and the
+// library agree on what result identity means.
 
 /// Plays `script` against a fresh server built from `config` (its
 /// num_workers overridden to `num_workers`): one real thread per scripted
@@ -128,7 +100,7 @@ inline std::vector<std::string> ReplayScript(const StressScript& script,
       }
       prints[s].reserve(tickets.size());
       for (const engine::Ticket& ticket : tickets) {
-        prints[s].push_back(Fingerprint(ticket.Wait()));
+        prints[s].push_back(engine::ResultFingerprint(ticket.Wait()));
       }
     });
   }
