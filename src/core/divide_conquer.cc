@@ -253,6 +253,7 @@ class DcRunner {
     for (const Pair& p : s2) task2[p.second] = p.first;
 
     std::vector<WorkerId> conflicts;
+    // LINT-ALLOW(unordered-iter): membership scan; conflicts sorted below
     for (const auto& [w, t] : task1) {
       if (task2.contains(w)) conflicts.push_back(w);
     }

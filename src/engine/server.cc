@@ -1,8 +1,11 @@
 #include "engine/server.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
+#include <memory>
 #include <utility>
+#include <vector>
 
 #include "engine/fingerprint.h"
 
@@ -23,20 +26,26 @@ double Percentile(const std::vector<double>& sorted, double q) {
 }  // namespace
 
 const util::StatusOr<EngineResult>& Ticket::Wait() const {
-  std::unique_lock<std::mutex> lock(state_->mu);
-  state_->cv.wait(lock, [this] { return state_->done; });
+  util::MutexLock lock(state_->mu);
+  while (!state_->done) state_->cv.Wait(lock);
   return state_->result;
 }
 
 const util::StatusOr<EngineResult>* Ticket::TryGet() const {
-  std::lock_guard<std::mutex> lock(state_->mu);
+  util::MutexLock lock(state_->mu);
   return state_->done ? &state_->result : nullptr;
 }
 
 bool Ticket::WaitFor(double seconds) const {
-  std::unique_lock<std::mutex> lock(state_->mu);
-  return state_->cv.wait_for(lock, std::chrono::duration<double>(seconds),
-                             [this] { return state_->done; });
+  const auto deadline =
+      std::chrono::steady_clock::now() +
+      std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+          std::chrono::duration<double>(seconds));
+  util::MutexLock lock(state_->mu);
+  while (!state_->done) {
+    if (!state_->cv.WaitUntil(lock, deadline)) return state_->done;
+  }
+  return true;
 }
 
 util::StatusOr<std::unique_ptr<Server>> Server::Create(ServerConfig config) {
@@ -83,11 +92,11 @@ Server::~Server() { Shutdown(ShutdownMode::kCancel); }
 void Server::Complete(const std::shared_ptr<internal::TicketState>& state,
                       util::StatusOr<EngineResult> result) {
   {
-    std::lock_guard<std::mutex> lock(state->mu);
+    util::MutexLock lock(state->mu);
     state->result = std::move(result);
     state->done = true;
   }
-  state->cv.notify_all();
+  state->cv.NotifyAll();
 }
 
 void Server::RecordFinishLocked(const internal::TicketState& state,
@@ -168,7 +177,7 @@ util::StatusOr<Ticket> Server::Submit(core::Instance instance,
   std::vector<std::shared_ptr<internal::TicketState>> aborted;
   Ticket ticket;
   {
-    std::unique_lock<std::mutex> lock(mu_);
+    util::MutexLock lock(mu_);
     ++counters_.submitted;
     if (closed_) {
       ++counters_.rejected;
@@ -225,10 +234,10 @@ util::StatusOr<Ticket> Server::Submit(core::Instance instance,
           return util::Status::ResourceExhausted(
               "admission queue full (kReject)");
         case OverloadPolicy::kBlock:
-          space_cv_.wait(lock, [this] {
-            return closed_ ||
-                   static_cast<int>(queue_.size()) < config_.max_queue_depth;
-          });
+          while (!closed_ &&
+                 static_cast<int>(queue_.size()) >= config_.max_queue_depth) {
+            space_cv_.Wait(lock);
+          }
           if (closed_) {
             ++counters_.rejected;
             return util::Status::FailedPrecondition("server is shut down");
@@ -268,7 +277,7 @@ util::StatusOr<Ticket> Server::Submit(core::Instance instance,
         // its way here (kBlock); pass the baton so the next blocked
         // submitter wakes up to claim the slot -- or to be rejected like
         // this one -- instead of hanging forever.
-        space_cv_.notify_one();
+        space_cv_.NotifyOne();
         return util::Status::ResourceExhausted(
             "server budget pool exhausted");
       }
@@ -322,9 +331,9 @@ void Server::RunNext() {
   std::shared_ptr<internal::TicketState> state;
   bool is_leader = false;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    util::MutexLock lock(mu_);
     if (queue_.empty()) {
-      if (--pending_pool_tasks_ == 0) idle_cv_.notify_all();
+      if (--pending_pool_tasks_ == 0) idle_cv_.NotifyAll();
       return;
     }
     auto it = queue_.begin();
@@ -334,7 +343,7 @@ void Server::RunNext() {
     ++in_flight_;
   }
   // A queue slot freed; wake one kBlock submitter.
-  space_cv_.notify_one();
+  space_cv_.NotifyOne();
 
   // A single-flight leader's fingerprint was already computed at
   // admission; reuse it so dispatch does not hash the instance again.
@@ -348,7 +357,7 @@ void Server::RunNext() {
 
   std::vector<std::shared_ptr<internal::TicketState>> followers;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    util::MutexLock lock(mu_);
     --in_flight_;
     // Retire the single-flight registration before the completion below:
     // once the entry is gone, a racing Submit starts a fresh leader (and
@@ -372,7 +381,7 @@ void Server::RunNext() {
         ++counters_.cache_misses;
       }
     }
-    if (--pending_pool_tasks_ == 0) idle_cv_.notify_all();
+    if (--pending_pool_tasks_ == 0) idle_cv_.NotifyAll();
   }
   // Every collapsed duplicate receives a copy of the leader's outcome --
   // the single-flight contract: one solve, N identical answers.
@@ -385,7 +394,7 @@ void Server::RunNext() {
 void Server::Shutdown(ShutdownMode mode) {
   std::vector<std::shared_ptr<internal::TicketState>> cancelled;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    util::MutexLock lock(mu_);
     // The first call wins and its mode sticks: a Shutdown(kCancel)
     // racing (or following) an in-progress Shutdown(kDrain) must not
     // cancel the queued work the drain promised to complete -- later
@@ -402,15 +411,15 @@ void Server::Shutdown(ShutdownMode mode) {
       queue_.clear();
     }
   }
-  space_cv_.notify_all();
+  space_cv_.NotifyAll();
   for (const auto& state : cancelled) {
     Complete(state, util::Status::Cancelled("server shutdown"));
   }
 
   bool join_here = false;
   {
-    std::unique_lock<std::mutex> lock(mu_);
-    idle_cv_.wait(lock, [this] { return pending_pool_tasks_ == 0; });
+    util::MutexLock lock(mu_);
+    while (pending_pool_tasks_ != 0) idle_cv_.Wait(lock);
     if (!joining_) {
       joining_ = true;
       join_here = true;
@@ -419,13 +428,13 @@ void Server::Shutdown(ShutdownMode mode) {
   if (join_here) {
     pool_.reset();  // joins the dispatch threads
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      util::MutexLock lock(mu_);
       wound_down_ = true;
     }
-    idle_cv_.notify_all();
+    idle_cv_.NotifyAll();
   } else {
-    std::unique_lock<std::mutex> lock(mu_);
-    idle_cv_.wait(lock, [this] { return wound_down_; });
+    util::MutexLock lock(mu_);
+    while (!wound_down_) idle_cv_.Wait(lock);
   }
 }
 
@@ -433,7 +442,7 @@ ServerStats Server::Stats() const {
   std::vector<double> latencies;
   ServerStats stats;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    util::MutexLock lock(mu_);
     stats = counters_;
     stats.queue_depth = static_cast<int>(queue_.size());
     stats.in_flight = in_flight_;

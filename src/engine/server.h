@@ -2,11 +2,9 @@
 #define RDBSC_ENGINE_SERVER_H_
 
 #include <chrono>
-#include <condition_variable>
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <unordered_map>
 #include <vector>
 
@@ -15,7 +13,9 @@
 #include "engine/solve_cache.h"
 #include "util/deadline.h"
 #include "util/hash.h"
+#include "util/mutex.h"
 #include "util/status.h"
+#include "util/thread_annotations.h"
 #include "util/thread_pool.h"
 
 namespace rdbsc::engine {
@@ -137,6 +137,17 @@ namespace internal {
 /// Shared completion slot of one admitted request. Submitters hold it
 /// through Ticket; the server fills it exactly once (solve result, shed,
 /// or shutdown-cancel) and notifies.
+///
+/// Ownership discipline (not expressible as GUARDED_BY, because the
+/// guard is the *server's* mutex, an object this struct cannot name):
+/// `id`..`followers` are written only while the server holds its mu_ --
+/// id/submit_time/instance/budget_seconds/cache_mode once at admission,
+/// priority/fingerprint/single_flight/followers only by Submit /
+/// AbortTicketLocked / RunNext under mu_. Once RunNext pops the ticket
+/// off the queue it is the only dispatcher, so its unlocked reads of
+/// instance/budget_seconds/cache_mode/fingerprint are exclusive
+/// (publication ordered by the mu_ handoff). Only the completion slot
+/// below has a local guard.
 struct TicketState {
   uint64_t id = 0;
   int priority = 0;
@@ -156,10 +167,10 @@ struct TicketState {
   /// copy of the leader's outcome, never dispatched themselves.
   std::vector<std::shared_ptr<TicketState>> followers;
 
-  mutable std::mutex mu;
-  mutable std::condition_variable cv;
-  bool done = false;
-  util::StatusOr<EngineResult> result{
+  mutable util::Mutex mu;
+  mutable util::CondVar cv;
+  bool done GUARDED_BY(mu) = false;
+  util::StatusOr<EngineResult> result GUARDED_BY(mu){
       util::Status::Internal("ticket still pending")};
 };
 }  // namespace internal
@@ -232,7 +243,8 @@ class Server {
   /// full under kReject or the budget pool is spent, and with
   /// kFailedPrecondition after Shutdown.
   util::StatusOr<Ticket> Submit(core::Instance instance,
-                                const SubmitControls& controls = {});
+                                const SubmitControls& controls = {})
+      EXCLUDES(mu_);
 
   /// Stops admissions and winds down per `mode`; blocks until every
   /// queued/in-flight request completed and the dispatch threads joined.
@@ -240,9 +252,9 @@ class Server {
   /// first) ignore their own `mode` -- a kCancel arriving during a drain
   /// does not cancel the work the drain promised to run -- and simply
   /// wait for the wind-down to finish.
-  void Shutdown(ShutdownMode mode);
+  void Shutdown(ShutdownMode mode) EXCLUDES(mu_);
 
-  ServerStats Stats() const;
+  ServerStats Stats() const EXCLUDES(mu_);
 
   /// Detailed per-tier counters of the server-owned cache (all zeros when
   /// the cache is disabled).
@@ -264,55 +276,62 @@ class Server {
   Server() = default;
 
   /// Body of one queued pool task: pop the best ticket, solve, complete.
-  void RunNext();
+  void RunNext() EXCLUDES(mu_);
   /// Fills a ticket's result slot and wakes its waiters.
   static void Complete(const std::shared_ptr<internal::TicketState>& state,
                        util::StatusOr<EngineResult> result);
   /// Accounts one finished request (counters + latency) under mu_.
   void RecordFinishLocked(const internal::TicketState& state,
-                          const util::Status& status);
+                          const util::Status& status) REQUIRES(mu_);
   /// Drops `state` from the single-flight map (if registered), accounts
   /// it and its followers as finished with `status`, and appends every
   /// ticket to complete to `out`. Requires mu_; used by shed and cancel.
   void AbortTicketLocked(
       const std::shared_ptr<internal::TicketState>& state,
       const util::Status& status,
-      std::vector<std::shared_ptr<internal::TicketState>>& out);
+      std::vector<std::shared_ptr<internal::TicketState>>& out)
+      REQUIRES(mu_);
 
+  // --- Immutable after Create (no guard): configuration and the solving
+  // machinery. `pool_` is additionally reset by exactly one Shutdown
+  // call, strictly after closed_ blocked new Submits and the idle wait
+  // saw pending_pool_tasks_ == 0, so no dispatch or submit path can
+  // still reach it.
   ServerConfig config_;
   Engine engine_;
   std::unique_ptr<util::ThreadPool> pool_;
   std::unique_ptr<SolveCache> cache_;
   util::CancelToken cancel_;
+  bool budget_limited_ = false;
 
-  mutable std::mutex mu_;
-  std::condition_variable space_cv_;  ///< kBlock submitters wait here
-  std::condition_variable idle_cv_;   ///< Shutdown waits here
-  bool closed_ = false;               ///< no further admissions
-  bool joining_ = false;              ///< one Shutdown call owns the join
-  bool wound_down_ = false;           ///< dispatch threads joined
-  uint64_t next_seq_ = 1;
-  std::map<QueueKey, std::shared_ptr<internal::TicketState>> queue_;
+  mutable util::Mutex mu_;
+  util::CondVar space_cv_;  ///< kBlock submitters wait here
+  util::CondVar idle_cv_;   ///< Shutdown waits here
+  bool closed_ GUARDED_BY(mu_) = false;      ///< no further admissions
+  bool joining_ GUARDED_BY(mu_) = false;     ///< one Shutdown owns the join
+  bool wound_down_ GUARDED_BY(mu_) = false;  ///< dispatch threads joined
+  uint64_t next_seq_ GUARDED_BY(mu_) = 1;
+  std::map<QueueKey, std::shared_ptr<internal::TicketState>> queue_
+      GUARDED_BY(mu_);
   /// Single-flight registry: result fingerprint -> queued/in-flight
   /// leader. Entries are erased when their leader completes, is shed, or
   /// is cancelled, so the map never outgrows queue depth + workers.
   std::unordered_map<util::Hash128, std::shared_ptr<internal::TicketState>,
                      util::Hash128Hasher>
-      inflight_;
-  int in_flight_ = 0;
+      inflight_ GUARDED_BY(mu_);
+  int in_flight_ GUARDED_BY(mu_) = 0;
   /// Queued-but-unfinished pool tasks; every admission enqueues exactly
   /// one, so 0 here means queue_ is empty and nothing is in flight.
-  int pending_pool_tasks_ = 0;
-  bool budget_limited_ = false;
-  double budget_remaining_ = 0.0;
+  int pending_pool_tasks_ GUARDED_BY(mu_) = 0;
+  double budget_remaining_ GUARDED_BY(mu_) = 0.0;
 
-  ServerStats counters_;              ///< counter part only
+  ServerStats counters_ GUARDED_BY(mu_);  ///< counter part only
   /// Sliding window over the most recent finished requests, so a
   /// long-running server's memory and Stats() sort cost stay bounded.
   /// Percentiles therefore describe recent traffic, not all-time history.
   static constexpr size_t kLatencyWindow = 8192;
-  std::vector<double> latencies_;     ///< ring buffer, capacity above
-  size_t latency_next_ = 0;           ///< next ring slot to overwrite
+  std::vector<double> latencies_ GUARDED_BY(mu_);  ///< ring buffer
+  size_t latency_next_ GUARDED_BY(mu_) = 0;  ///< next slot to overwrite
 };
 
 }  // namespace rdbsc::engine

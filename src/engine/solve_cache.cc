@@ -1,6 +1,8 @@
 #include "engine/solve_cache.h"
 
 #include <algorithm>
+#include <memory>
+#include <utility>
 
 namespace rdbsc::engine {
 
@@ -33,7 +35,7 @@ SolveCache::SolveCache(SolveCacheConfig config) {
 std::shared_ptr<const EngineResult> SolveCache::LookupResult(
     const util::Hash128& key) {
   Shard<ResultEntry>& shard = result_shards_[ShardOf(key)];
-  std::lock_guard<std::mutex> lock(shard.mu);
+  util::MutexLock lock(shard.mu);
   ResultEntry* entry = LookupIn(shard, key);
   return entry == nullptr ? nullptr : entry->result;
 }
@@ -46,14 +48,14 @@ void SolveCache::InsertResult(const util::Hash128& key, EngineResult result) {
   result.plan.from_cache = false;
   Shard<ResultEntry>& shard = result_shards_[ShardOf(key)];
   ResultEntry entry{std::make_shared<const EngineResult>(std::move(result))};
-  std::lock_guard<std::mutex> lock(shard.mu);
+  util::MutexLock lock(shard.mu);
   InsertIn(shard, result_capacity_per_shard_, key, std::move(entry));
 }
 
 std::shared_ptr<const core::CandidateGraph> SolveCache::LookupGraph(
     const util::Hash128& key, GraphPlan* plan) {
   Shard<GraphEntry>& shard = graph_shards_[ShardOf(key)];
-  std::lock_guard<std::mutex> lock(shard.mu);
+  util::MutexLock lock(shard.mu);
   GraphEntry* entry = LookupIn(shard, key);
   if (entry == nullptr) return nullptr;
   if (plan != nullptr) *plan = entry->plan;
@@ -67,14 +69,14 @@ void SolveCache::InsertGraph(const util::Hash128& key,
   GraphEntry entry{std::move(graph), plan};
   entry.plan.from_cache = false;
   Shard<GraphEntry>& shard = graph_shards_[ShardOf(key)];
-  std::lock_guard<std::mutex> lock(shard.mu);
+  util::MutexLock lock(shard.mu);
   InsertIn(shard, graph_capacity_per_shard_, key, std::move(entry));
 }
 
 CacheStats SolveCache::Stats() const {
   CacheStats stats;
   for (const Shard<ResultEntry>& shard : result_shards_) {
-    std::lock_guard<std::mutex> lock(shard.mu);
+    util::MutexLock lock(shard.mu);
     stats.result_hits += shard.hits;
     stats.result_misses += shard.misses;
     stats.result_insertions += shard.insertions;
@@ -82,7 +84,7 @@ CacheStats SolveCache::Stats() const {
     stats.result_entries += static_cast<int64_t>(shard.lru.size());
   }
   for (const Shard<GraphEntry>& shard : graph_shards_) {
-    std::lock_guard<std::mutex> lock(shard.mu);
+    util::MutexLock lock(shard.mu);
     stats.graph_hits += shard.hits;
     stats.graph_misses += shard.misses;
     stats.graph_insertions += shard.insertions;
@@ -94,12 +96,12 @@ CacheStats SolveCache::Stats() const {
 
 void SolveCache::Clear() {
   for (Shard<ResultEntry>& shard : result_shards_) {
-    std::lock_guard<std::mutex> lock(shard.mu);
+    util::MutexLock lock(shard.mu);
     shard.lru.clear();
     shard.index.clear();
   }
   for (Shard<GraphEntry>& shard : graph_shards_) {
-    std::lock_guard<std::mutex> lock(shard.mu);
+    util::MutexLock lock(shard.mu);
     shard.lru.clear();
     shard.index.clear();
   }

@@ -4,7 +4,6 @@
 #include <cstdint>
 #include <list>
 #include <memory>
-#include <mutex>
 #include <unordered_map>
 #include <utility>
 #include <vector>
@@ -12,6 +11,8 @@
 #include "core/instance.h"
 #include "engine/engine.h"
 #include "util/hash.h"
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace rdbsc::engine {
 
@@ -103,23 +104,24 @@ class SolveCache {
   };
 
   /// One LRU shard: list front = most recently used; the map points into
-  /// the list. Guarded by `mu`.
+  /// the list. All state is guarded by `mu`.
   template <typename Value>
   struct Shard {
     using Entry = std::pair<util::Hash128, Value>;
-    mutable std::mutex mu;
-    std::list<Entry> lru;
+    mutable util::Mutex mu;
+    std::list<Entry> lru GUARDED_BY(mu);
     std::unordered_map<util::Hash128, typename std::list<Entry>::iterator,
                        util::Hash128Hasher>
-        index;
-    int64_t hits = 0;
-    int64_t misses = 0;
-    int64_t insertions = 0;
-    int64_t evictions = 0;
+        index GUARDED_BY(mu);
+    int64_t hits GUARDED_BY(mu) = 0;
+    int64_t misses GUARDED_BY(mu) = 0;
+    int64_t insertions GUARDED_BY(mu) = 0;
+    int64_t evictions GUARDED_BY(mu) = 0;
   };
 
   template <typename Value>
-  static Value* LookupIn(Shard<Value>& shard, const util::Hash128& key) {
+  static Value* LookupIn(Shard<Value>& shard, const util::Hash128& key)
+      REQUIRES(shard.mu) {
     auto it = shard.index.find(key);
     if (it == shard.index.end()) {
       ++shard.misses;
@@ -132,7 +134,8 @@ class SolveCache {
 
   template <typename Value>
   static void InsertIn(Shard<Value>& shard, size_t capacity,
-                       const util::Hash128& key, Value value) {
+                       const util::Hash128& key, Value value)
+      REQUIRES(shard.mu) {
     ++shard.insertions;
     if (auto it = shard.index.find(key); it != shard.index.end()) {
       it->second->second = std::move(value);

@@ -20,8 +20,9 @@ GridIndex::GridIndex(double eta, double now, core::ArrivalPolicy policy)
   cells_per_axis_ = std::min(cells_per_axis_, kMaxCellsPerAxis);
   eta_ = 1.0 / cells_per_axis_;
   cells_.resize(static_cast<size_t>(cells_per_axis_) * cells_per_axis_);
-  tcell_cache_.resize(cells_.size());
-  tcell_valid_.assign(cells_.size(), 0);
+  util::MutexLock lock(tcells_->mu);
+  tcells_->lists.resize(cells_.size());
+  tcells_->valid.assign(cells_.size(), 0);
 }
 
 GridIndex GridIndex::Build(const core::Instance& instance, double eta) {
@@ -195,19 +196,21 @@ bool GridIndex::CanPrune(const Cell& from, int from_id, const Cell& to,
 }
 
 void GridIndex::InvalidateReachability(int cell) {
-  tcell_valid_[cell] = 0;
+  util::MutexLock lock(tcells_->mu);
+  tcells_->valid[cell] = 0;
 }
 
 void GridIndex::PatchReachability(int target) {
   // Task churn in `target`: re-evaluate that single target cell in every
   // valid cached list (Section 7.2's task insertion/removal maintenance).
   const Cell& to = cells_[target];
+  util::MutexLock lock(tcells_->mu);
   for (int from_id = 0; from_id < num_cells(); ++from_id) {
-    if (!tcell_valid_[from_id]) continue;
+    if (!tcells_->valid[from_id]) continue;
     const Cell& from = cells_[from_id];
     bool reachable = !to.tasks.empty() && !from.workers.empty() &&
                      !CanPrune(from, from_id, to, target);
-    auto& list = tcell_cache_[from_id];
+    auto& list = tcells_->lists[from_id];
     auto pos = std::lower_bound(list.begin(), list.end(), target);
     bool present = pos != list.end() && *pos == target;
     if (reachable && !present) {
@@ -220,9 +223,9 @@ void GridIndex::PatchReachability(int target) {
 }
 
 const std::vector<int>& GridIndex::CachedReachableLocked(int cell) const {
-  if (!tcell_valid_[cell]) {
+  if (!tcells_->valid[cell]) {
     const Cell& from = cells_[cell];
-    std::vector<int>& list = tcell_cache_[cell];
+    std::vector<int>& list = tcells_->lists[cell];
     list.clear();
     if (!from.workers.empty()) {
       for (int to_id = 0; to_id < num_cells(); ++to_id) {
@@ -231,25 +234,25 @@ const std::vector<int>& GridIndex::CachedReachableLocked(int cell) const {
         if (!CanPrune(from, cell, to, to_id)) list.push_back(to_id);
       }
     }
-    tcell_valid_[cell] = 1;
-    ++reachability_rebuilds_;
+    tcells_->valid[cell] = 1;
+    ++tcells_->rebuilds;
   }
-  return tcell_cache_[cell];
+  return tcells_->lists[cell];
 }
 
 const std::vector<int>& GridIndex::CachedReachable(int cell) const {
-  std::lock_guard<std::mutex> lock(*cache_mu_);
+  util::MutexLock lock(tcells_->mu);
   return CachedReachableLocked(cell);
 }
 
-bool GridIndex::WarmReachability(bool count_prune_scan,
-                                 RetrievalStats* stats,
-                                 const util::Deadline& deadline) const {
-  std::lock_guard<std::mutex> lock(*cache_mu_);
+const std::vector<std::vector<int>>* GridIndex::WarmReachability(
+    bool count_prune_scan, RetrievalStats* stats,
+    const util::Deadline& deadline) const {
+  util::MutexLock lock(tcells_->mu);
   for (int from_id = 0; from_id < num_cells(); ++from_id) {
     if (cells_[from_id].workers.empty()) continue;
-    if (deadline.Exhausted()) return false;
-    bool was_cached = tcell_valid_[from_id] != 0;
+    if (deadline.Exhausted()) return nullptr;
+    bool was_cached = tcells_->valid[from_id] != 0;
     const std::vector<int>& targets = CachedReachableLocked(from_id);
     if (stats != nullptr) {
       if (was_cached || !count_prune_scan) {
@@ -261,7 +264,10 @@ bool GridIndex::WarmReachability(bool count_prune_scan,
       }
     }
   }
-  return true;
+  // Escape under a documented contract: every list a subsequent const
+  // retrieval scan dereferences was built above, and nothing mutates the
+  // cache again until a (exclusive-access) mutator runs.
+  return &tcells_->lists;
 }
 
 util::StatusOr<std::vector<std::vector<core::TaskId>>>
@@ -272,7 +278,9 @@ GridIndex::RetrieveEdges(int num_workers, RetrievalStats* stats,
   // cell-pair counters. After this, the cache entries read below are
   // immutable for the duration of the scan, so shards need no locking.
   RetrievalStats totals;
-  if (!WarmReachability(/*count_prune_scan=*/true, &totals, deadline)) {
+  const std::vector<std::vector<int>>* tcell_lists =
+      WarmReachability(/*count_prune_scan=*/true, &totals, deadline);
+  if (tcell_lists == nullptr) {
     return util::InterruptedStatus(deadline, "retrieval interrupted");
   }
 
@@ -294,7 +302,7 @@ GridIndex::RetrieveEdges(int num_workers, RetrievalStats* stats,
         interrupted.store(true, std::memory_order_relaxed);
         break;
       }
-      for (int to_id : tcell_cache_[from_id]) {
+      for (int to_id : (*tcell_lists)[from_id]) {
         const Cell& to = cells_[to_id];
         for (const auto& [wid, worker] : from.workers) {
           assert(wid < num_workers);
@@ -325,7 +333,9 @@ util::StatusOr<std::vector<std::pair<core::WorkerId, core::TaskId>>>
 GridIndex::RetrievePairs(RetrievalStats* stats, util::Executor* executor,
                          const util::Deadline& deadline) const {
   RetrievalStats totals;
-  if (!WarmReachability(/*count_prune_scan=*/false, &totals, deadline)) {
+  const std::vector<std::vector<int>>* tcell_lists =
+      WarmReachability(/*count_prune_scan=*/false, &totals, deadline);
+  if (tcell_lists == nullptr) {
     return util::InterruptedStatus(deadline, "retrieval interrupted");
   }
 
@@ -345,7 +355,7 @@ GridIndex::RetrievePairs(RetrievalStats* stats, util::Executor* executor,
         interrupted.store(true, std::memory_order_relaxed);
         break;
       }
-      for (int to_id : tcell_cache_[from_id]) {
+      for (int to_id : (*tcell_lists)[from_id]) {
         const Cell& to = cells_[to_id];
         for (const auto& [wid, worker] : from.workers) {
           for (const auto& [tid, task] : to.tasks) {

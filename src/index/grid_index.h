@@ -3,7 +3,6 @@
 
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <unordered_map>
 #include <utility>
 #include <vector>
@@ -13,7 +12,9 @@
 #include "geo/box.h"
 #include "util/deadline.h"
 #include "util/executor.h"
+#include "util/mutex.h"
 #include "util/status.h"
+#include "util/thread_annotations.h"
 
 namespace rdbsc::index {
 
@@ -45,7 +46,9 @@ struct RetrievalStats {
 /// Thread safety: mutators (Insert*/Remove*/set_now) require exclusive
 /// access, but any number of threads may run the const retrieval methods
 /// concurrently -- the lazily built reachability cache is the only mutable
-/// state they touch and it is guarded internally.
+/// state they touch and it is guarded internally (TCellCache, with the
+/// lock discipline proven by -Wthread-safety; mutators take the same
+/// mutex so every cache access is annotated).
 class GridIndex {
  public:
   /// Creates an empty grid with cell side `eta` (clamped so the grid has
@@ -115,8 +118,8 @@ class GridIndex {
   /// Number of tcell_list rebuilds / membership patches performed so far
   /// (the cost the Appendix I model estimates).
   int64_t reachability_rebuilds() const {
-    std::lock_guard<std::mutex> lock(*cache_mu_);
-    return reachability_rebuilds_;
+    util::MutexLock lock(tcells_->mu);
+    return tcells_->rebuilds;
   }
   int64_t reachability_patches() const { return reachability_patches_; }
 
@@ -148,26 +151,44 @@ class GridIndex {
   void RebuildSummaries(int cell_id);
 
   /// Invalidates the cached tcell_list of `cell` (worker churn there).
-  void InvalidateReachability(int cell);
+  void InvalidateReachability(int cell) EXCLUDES(tcells_->mu);
   /// Re-evaluates target cell `target` in every valid cached list (task
   /// churn in `target`).
-  void PatchReachability(int target);
+  void PatchReachability(int target) EXCLUDES(tcells_->mu);
 
-  /// Cache lookup/rebuild; requires cache_mu_ held.
-  const std::vector<int>& CachedReachableLocked(int cell) const;
+  /// Cache lookup/rebuild; the caller holds the cache mutex.
+  const std::vector<int>& CachedReachableLocked(int cell) const
+      REQUIRES(tcells_->mu);
 
   /// Builds every missing tcell_list touched by a retrieval pass and
   /// accumulates the cell-pair counters exactly as the serial scan did
-  /// (one cache_mu_ critical section; `count_prune_scan` reproduces
-  /// RetrieveEdges' uncached-scan accounting, RetrievePairs passes false).
-  /// Returns false when `deadline` tripped mid-warm.
-  bool WarmReachability(bool count_prune_scan, RetrievalStats* stats,
-                        const util::Deadline& deadline) const;
+  /// (one critical section; `count_prune_scan` reproduces RetrieveEdges'
+  /// uncached-scan accounting, RetrievePairs passes false). Returns the
+  /// warmed per-source-cell lists -- stable until the next mutation, so
+  /// the retrieval scan may read them lock-free through the returned
+  /// pointer while the index is only used const -- or nullptr when
+  /// `deadline` tripped mid-warm.
+  const std::vector<std::vector<int>>* WarmReachability(
+      bool count_prune_scan, RetrievalStats* stats,
+      const util::Deadline& deadline) const EXCLUDES(tcells_->mu);
 
   /// True when no worker of `from` can reach any task of `to` before its
   /// deadline or within its direction cover (the pruning rule).
   bool CanPrune(const Cell& from, int from_id, const Cell& to,
                 int to_id) const;
+
+  /// Per-source-cell cached tcell_lists (sorted), built on demand, plus
+  /// their validity bits and rebuild counter -- everything the const
+  /// retrieval paths may touch concurrently, guarded by one mutex.
+  /// Mutators take the (then-uncontended) mutex too, so the lock
+  /// discipline is uniform and provable. Heap-allocated so the index
+  /// stays movable (GridIndex::Build returns by value).
+  struct TCellCache {
+    mutable util::Mutex mu;
+    std::vector<std::vector<int>> lists GUARDED_BY(mu);
+    std::vector<uint8_t> valid GUARDED_BY(mu);
+    int64_t rebuilds GUARDED_BY(mu) = 0;
+  };
 
   double eta_;
   int cells_per_axis_;
@@ -176,15 +197,7 @@ class GridIndex {
   std::vector<Cell> cells_;
   std::unordered_map<core::WorkerId, int> worker_cell_;
   std::unordered_map<core::TaskId, int> task_cell_;
-  // Per-source-cell cached tcell_lists (sorted), built on demand. Guarded
-  // by cache_mu_ against concurrent read-only retrievals; mutators run
-  // with exclusive access and touch it lock-free. Heap-allocated so the
-  // index stays movable (GridIndex::Build returns by value).
-  mutable std::unique_ptr<std::mutex> cache_mu_ =
-      std::make_unique<std::mutex>();
-  mutable std::vector<std::vector<int>> tcell_cache_;
-  mutable std::vector<uint8_t> tcell_valid_;
-  mutable int64_t reachability_rebuilds_ = 0;
+  std::unique_ptr<TCellCache> tcells_ = std::make_unique<TCellCache>();
   int64_t reachability_patches_ = 0;
 };
 

@@ -38,16 +38,22 @@ util::Status IncrementalAssigner::RemoveTask(core::TaskId id) {
   tasks_.erase(it);
   // Pending commitments to the vanished task are voided: the workers
   // become available again and their provisional contributions disappear.
-  for (auto& [wid, record] : workers_) {
-    if (record.committed == id && record.busy) {
-      record.committed = core::kNoTask;
-      record.busy = false;
-      index_.InsertWorker(wid, record.worker).ok();
-      auto& contributions = ledger_.at(id).contributions;
-      std::erase_if(contributions, [wid = wid](const auto& entry) {
-        return entry.first == wid;
-      });
-    }
+  // Sorted so the grid index sees the re-inserts in a reproducible order.
+  std::vector<core::WorkerId> voided;
+  // LINT-ALLOW(unordered-iter): key collection only; sorted below
+  for (const auto& [wid, record] : workers_) {
+    if (record.committed == id && record.busy) voided.push_back(wid);
+  }
+  std::sort(voided.begin(), voided.end());
+  for (core::WorkerId wid : voided) {
+    WorkerRecord& record = workers_.at(wid);
+    record.committed = core::kNoTask;
+    record.busy = false;
+    index_.InsertWorker(wid, record.worker).ok();
+    auto& contributions = ledger_.at(id).contributions;
+    std::erase_if(contributions, [wid](const auto& entry) {
+      return entry.first == wid;
+    });
   }
   return util::Status::OK();
 }
@@ -102,17 +108,21 @@ util::StatusOr<std::vector<std::pair<core::TaskId, core::WorkerId>>>
 IncrementalAssigner::Update(double now) {
   index_.set_now(std::max(now, index_.now()));
 
-  // Drop expired tasks (Figure 10 keeps only the opening ones).
+  // Drop expired tasks (Figure 10 keeps only the opening ones). Removal
+  // order is observable through the index's patch counters, so sort.
   std::vector<core::TaskId> expired;
+  // LINT-ALLOW(unordered-iter): key collection only; sorted below
   for (const auto& [tid, task] : tasks_) {
     if (task.end < now) expired.push_back(tid);
   }
+  std::sort(expired.begin(), expired.end());
   for (core::TaskId tid : expired) RemoveTask(tid).ok();
 
   // Compact snapshot for the solver.
   std::vector<core::TaskId> task_ids;
   std::unordered_map<core::TaskId, core::TaskId> task_local;
   std::vector<core::Task> snapshot_tasks;
+  // LINT-ALLOW(unordered-iter): key collection only; sorted below
   for (const auto& [tid, task] : tasks_) task_ids.push_back(tid);
   std::sort(task_ids.begin(), task_ids.end());
   for (core::TaskId tid : task_ids) {
@@ -122,6 +132,7 @@ IncrementalAssigner::Update(double now) {
   std::vector<core::WorkerId> worker_ids;
   std::unordered_map<core::WorkerId, core::WorkerId> worker_local;
   std::vector<core::Worker> snapshot_workers;
+  // LINT-ALLOW(unordered-iter): key collection only; sorted below
   for (const auto& [wid, record] : workers_) {
     if (!record.busy) worker_ids.push_back(wid);
   }
@@ -200,7 +211,17 @@ core::ObjectiveValue IncrementalAssigner::Objectives() const {
   core::ObjectiveValue value;
   double min_r = std::numeric_limits<double>::infinity();
   bool any = false;
-  for (const auto& [tid, entry] : ledger_) {
+  // Float addition is non-associative, so accumulating total_std in the
+  // hash map's bucket order would make the objective depend on insertion
+  // history. Walk the ledger in sorted task-id order instead: the sum is
+  // bit-identical for equal ledger contents however they were built.
+  std::vector<core::TaskId> tids;
+  tids.reserve(ledger_.size());
+  // LINT-ALLOW(unordered-iter): key collection only; sorted below
+  for (const auto& [tid, entry] : ledger_) tids.push_back(tid);
+  std::sort(tids.begin(), tids.end());
+  for (core::TaskId tid : tids) {
+    const LedgerEntry& entry = ledger_.at(tid);
     if (entry.contributions.empty()) continue;
     any = true;
     double r = 0.0;

@@ -32,6 +32,14 @@ struct RoundCacheStats {
 ///
 /// External ids are caller-chosen and stable; internally each round builds
 /// a compact snapshot instance for the solver.
+///
+/// Thread safety: single-threaded by design -- one owner drives the
+/// AddTask/AddWorker/Update/Complete lifecycle (parallelism lives inside
+/// the solver/index, behind this facade). The unordered registries below
+/// are therefore unguarded; what *is* enforced (tools/lint_invariants.py)
+/// is that no result-feeding path iterates them in hash order --
+/// Update/Objectives walk sorted id vectors so every outcome is
+/// bit-identical however the registries were populated.
 class IncrementalAssigner {
  public:
   /// `solver` must outlive the assigner. `eta` sizes the grid index (use

@@ -1,0 +1,99 @@
+#ifndef RDBSC_UTIL_THREAD_ANNOTATIONS_H_
+#define RDBSC_UTIL_THREAD_ANNOTATIONS_H_
+
+/// Clang thread-safety-analysis annotations (Abseil-style macro names).
+///
+/// These macros attach compile-time lock-discipline contracts to mutexes,
+/// the data they protect, and the functions that acquire/release them.
+/// Under `clang++ -Wthread-safety` every violation -- reading a
+/// GUARDED_BY member without its mutex, returning with a lock held,
+/// double-locking -- is a compiler warning (an error in the CI
+/// static-analysis job, which builds with -Werror). On compilers without
+/// the attribute (GCC, MSVC) every macro expands to nothing, so the
+/// annotations are zero-cost documentation there.
+///
+/// Conventions in this codebase (see README "Static analysis"):
+///   - mutex-protected members are declared with GUARDED_BY(mu_) and the
+///     mutex is a util::Mutex (util/mutex.h), never a naked std::mutex
+///     (enforced by tools/lint_invariants.py rule `unguarded-mutex`);
+///   - private helpers that expect the caller to hold a lock are named
+///     `...Locked` and annotated REQUIRES(mu_);
+///   - condition waits are written as explicit `while (!pred) cv.Wait(..)`
+///     loops so the predicate is evaluated in a scope the analysis can
+///     see the capability in.
+
+#if defined(__clang__) && (!defined(SWIG))
+#define RDBSC_THREAD_ANNOTATION_ATTRIBUTE__(x) __attribute__((x))
+#else
+#define RDBSC_THREAD_ANNOTATION_ATTRIBUTE__(x)  // no-op
+#endif
+
+/// Declares a class to be a lockable capability ("mutex", "role", ...).
+#define CAPABILITY(x) RDBSC_THREAD_ANNOTATION_ATTRIBUTE__(capability(x))
+
+/// Declares an RAII class whose lifetime equals a critical section.
+#define SCOPED_CAPABILITY RDBSC_THREAD_ANNOTATION_ATTRIBUTE__(scoped_lockable)
+
+/// The annotated member may only be accessed while holding capability `x`.
+#define GUARDED_BY(x) RDBSC_THREAD_ANNOTATION_ATTRIBUTE__(guarded_by(x))
+
+/// The data *pointed to* by the annotated pointer is guarded by `x`.
+#define PT_GUARDED_BY(x) RDBSC_THREAD_ANNOTATION_ATTRIBUTE__(pt_guarded_by(x))
+
+/// Capability `a` must be acquired before capability `b` (deadlock order).
+#define ACQUIRED_BEFORE(...) \
+  RDBSC_THREAD_ANNOTATION_ATTRIBUTE__(acquired_before(__VA_ARGS__))
+#define ACQUIRED_AFTER(...) \
+  RDBSC_THREAD_ANNOTATION_ATTRIBUTE__(acquired_after(__VA_ARGS__))
+
+/// The function may only be called while holding the listed capabilities
+/// exclusively (REQUIRES) or at least shared (REQUIRES_SHARED).
+#define REQUIRES(...) \
+  RDBSC_THREAD_ANNOTATION_ATTRIBUTE__(requires_capability(__VA_ARGS__))
+#define REQUIRES_SHARED(...) \
+  RDBSC_THREAD_ANNOTATION_ATTRIBUTE__(requires_shared_capability(__VA_ARGS__))
+
+/// The function acquires the listed capabilities and does not release them.
+#define ACQUIRE(...) \
+  RDBSC_THREAD_ANNOTATION_ATTRIBUTE__(acquire_capability(__VA_ARGS__))
+#define ACQUIRE_SHARED(...) \
+  RDBSC_THREAD_ANNOTATION_ATTRIBUTE__(acquire_shared_capability(__VA_ARGS__))
+
+/// The function releases the listed capabilities (held on entry).
+#define RELEASE(...) \
+  RDBSC_THREAD_ANNOTATION_ATTRIBUTE__(release_capability(__VA_ARGS__))
+#define RELEASE_SHARED(...) \
+  RDBSC_THREAD_ANNOTATION_ATTRIBUTE__(release_shared_capability(__VA_ARGS__))
+#define RELEASE_GENERIC(...) \
+  RDBSC_THREAD_ANNOTATION_ATTRIBUTE__(release_generic_capability(__VA_ARGS__))
+
+/// The function tries to acquire the capability; the first argument is the
+/// return value that means success.
+#define TRY_ACQUIRE(...) \
+  RDBSC_THREAD_ANNOTATION_ATTRIBUTE__(try_acquire_capability(__VA_ARGS__))
+#define TRY_ACQUIRE_SHARED(...)                   \
+  RDBSC_THREAD_ANNOTATION_ATTRIBUTE__(            \
+      try_acquire_shared_capability(__VA_ARGS__))
+
+/// The function must NOT be called while holding the listed capabilities
+/// (it acquires them itself; calling with them held would deadlock).
+#define EXCLUDES(...) \
+  RDBSC_THREAD_ANNOTATION_ATTRIBUTE__(locks_excluded(__VA_ARGS__))
+
+/// Asserts at runtime that the calling thread holds the capability, and
+/// tells the analysis to assume it from here on.
+#define ASSERT_CAPABILITY(x) \
+  RDBSC_THREAD_ANNOTATION_ATTRIBUTE__(assert_capability(x))
+#define ASSERT_SHARED_CAPABILITY(x) \
+  RDBSC_THREAD_ANNOTATION_ATTRIBUTE__(assert_shared_capability(x))
+
+/// The function returns a reference to the capability named by its body.
+#define RETURN_CAPABILITY(x) \
+  RDBSC_THREAD_ANNOTATION_ATTRIBUTE__(lock_returned(x))
+
+/// Escape hatch: disables the analysis for one function. Every use must
+/// carry a comment explaining why the flow is correct but inexpressible.
+#define NO_THREAD_SAFETY_ANALYSIS \
+  RDBSC_THREAD_ANNOTATION_ATTRIBUTE__(no_thread_safety_analysis)
+
+#endif  // RDBSC_UTIL_THREAD_ANNOTATIONS_H_

@@ -1,19 +1,19 @@
 #ifndef RDBSC_UTIL_THREAD_POOL_H_
 #define RDBSC_UTIL_THREAD_POOL_H_
 
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <functional>
 #include <future>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <type_traits>
 #include <utility>
 #include <vector>
 
 #include "util/executor.h"
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace rdbsc::util {
 
@@ -60,14 +60,17 @@ class ThreadPool final : public Executor {
   void ShardedFor(int64_t n, const ShardBody& body) override;
 
  private:
-  void Enqueue(std::function<void()> task);
-  void WorkerLoop();
+  void Enqueue(std::function<void()> task) EXCLUDES(mu_);
+  void WorkerLoop() EXCLUDES(mu_);
 
+  /// Workers are started in the constructor and joined in the destructor;
+  /// the vector itself is never touched in between, so it needs no guard.
   std::vector<std::thread> workers_;
-  std::mutex mu_;
-  std::condition_variable cv_;
-  std::deque<std::function<void()>> queue_;
-  bool stopping_ = false;
+
+  Mutex mu_;
+  CondVar cv_;  ///< signalled on enqueue and on stop
+  std::deque<std::function<void()>> queue_ GUARDED_BY(mu_);
+  bool stopping_ GUARDED_BY(mu_) = false;
 };
 
 }  // namespace rdbsc::util

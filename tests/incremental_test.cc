@@ -1,5 +1,9 @@
 #include "sim/incremental.h"
 
+#include <algorithm>
+#include <utility>
+#include <vector>
+
 #include "core/registry.h"
 #include "gtest/gtest.h"
 #include "test_util.h"
@@ -196,6 +200,53 @@ TEST(IncrementalAssignerTest, MemoedAssignerCommitsIdenticallyToFresh) {
   }
   EXPECT_EQ(seasoned.Update(0.0).value(), fresh.Update(0.0).value());
   EXPECT_EQ(seasoned.Objectives().total_std, fresh.Objectives().total_std);
+}
+
+TEST(IncrementalAssignerTest, ObjectivesIndependentOfInsertionOrder) {
+  // Regression test: Objectives() once accumulated total_std in the
+  // ledger's hash-map iteration order, which depends on insertion
+  // history; float addition is non-associative, so two assigners with
+  // identical contents could disagree in the last bits. The sum now runs
+  // in sorted task-id order and must be bit-identical either way.
+  util::Rng rng(11);
+  std::vector<std::pair<core::TaskId, core::Task>> tasks;
+  std::vector<std::pair<core::WorkerId, core::Worker>> workers;
+  for (int t = 0; t < 40; ++t) {
+    tasks.emplace_back(t, OpenTask({rng.Uniform(0.2, 0.8),
+                                    rng.Uniform(0.2, 0.8)},
+                                   0, 5, rng.Uniform(0.3, 0.9)));
+  }
+  for (int w = 0; w < 40; ++w) {
+    workers.emplace_back(w, FreeWorker({rng.Uniform(0.2, 0.8),
+                                        rng.Uniform(0.2, 0.8)},
+                                       0.5, rng.Uniform(0.7, 0.95)));
+  }
+
+  auto run = [&](bool reversed) {
+    auto solver = core::SolverRegistry::Global().Create("greedy").value();
+    IncrementalAssigner assigner(solver.get(), 0.1);
+    auto ordered_tasks = tasks;
+    auto ordered_workers = workers;
+    if (reversed) {
+      std::reverse(ordered_tasks.begin(), ordered_tasks.end());
+      std::reverse(ordered_workers.begin(), ordered_workers.end());
+    }
+    for (const auto& [id, task] : ordered_tasks) {
+      EXPECT_TRUE(assigner.AddTask(id, task).ok());
+    }
+    for (const auto& [id, worker] : ordered_workers) {
+      EXPECT_TRUE(assigner.AddWorker(id, worker).ok());
+    }
+    EXPECT_FALSE(assigner.Update(0.0).value().empty());
+    return assigner.Objectives();
+  };
+
+  core::ObjectiveValue forward = run(false);
+  core::ObjectiveValue backward = run(true);
+  EXPECT_GT(forward.total_std, 0.0);
+  // Bit-identical, not just approximately equal.
+  EXPECT_EQ(forward.total_std, backward.total_std);
+  EXPECT_EQ(forward.min_reliability, backward.min_reliability);
 }
 
 TEST(IncrementalAssignerTest, WorkerLeavingMidRouteVoidsContribution) {

@@ -1,0 +1,17 @@
+// Fixture: ambient randomness in solve paths must be flagged.
+// Never compiled -- parsed by tools/lint_invariants.py --self-test.
+#include <cstdlib>
+#include <random>
+
+int AmbientDraws() {
+  srand(42);  // EXPECT-LINT(ambient-rng)
+  int first = rand();  // EXPECT-LINT(ambient-rng)
+  std::random_device entropy;  // EXPECT-LINT(ambient-rng)
+  return first + static_cast<int>(entropy());
+}
+
+// Explicitly seeded engines replay and are allowed.
+int SeededDrawOk(unsigned seed) {
+  std::mt19937_64 rng(seed);
+  return static_cast<int>(rng());
+}

@@ -1,0 +1,18 @@
+// Fixture: wall-clock reads in solve paths must be flagged.
+// Never compiled -- parsed by tools/lint_invariants.py --self-test.
+#include <chrono>
+#include <ctime>
+
+double StampWithWallClock() {
+  std::time_t stamp = time(nullptr);  // EXPECT-LINT(ambient-time)
+  auto now = std::chrono::system_clock::now();  // EXPECT-LINT(ambient-time)
+  return static_cast<double>(stamp) +
+         std::chrono::duration<double>(now.time_since_epoch()).count();
+}
+
+// steady_clock durations are reproducible and allowed.
+double ElapsedOk() {
+  auto t0 = std::chrono::steady_clock::now();
+  auto t1 = std::chrono::steady_clock::now();
+  return std::chrono::duration<double>(t1 - t0).count();
+}

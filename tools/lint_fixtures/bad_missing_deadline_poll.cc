@@ -1,0 +1,34 @@
+// Fixture: a SolveImpl that ignores its Deadline must be flagged.
+// Never compiled -- parsed by tools/lint_invariants.py --self-test.
+namespace util {
+class Deadline;
+class Executor;
+template <typename T>
+class StatusOr;
+}  // namespace util
+
+struct Instance;
+struct CandidateGraph;
+struct SolveResult;
+struct SolveStats;
+
+struct RunawaySolver {
+  // Body never mentions the deadline: cannot be cancelled or budgeted.
+  util::StatusOr<SolveResult> SolveImpl(  // EXPECT-LINT(missing-deadline-poll)
+      const Instance& instance, const CandidateGraph& graph,
+      const util::Deadline& deadline, util::Executor& executor,
+      SolveStats* partial_stats) {
+    SolveResult* result = nullptr;
+    for (int iteration = 0; iteration < 1000000; ++iteration) {
+      (void)instance;
+      (void)graph;
+      (void)executor;
+      (void)partial_stats;
+    }
+    return *result;
+  }
+
+  // Declarations (no body) are fine.
+  util::StatusOr<SolveResult> SolveImpl(const Instance& instance,
+                                        const util::Deadline& deadline);
+};

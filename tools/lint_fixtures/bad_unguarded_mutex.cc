@@ -1,0 +1,19 @@
+// Fixture: naked std::mutex members and util::Mutex members without a
+// GUARDED_BY companion must be flagged.
+// Never compiled -- parsed by tools/lint_invariants.py --self-test.
+#include <mutex>
+#include <vector>
+
+namespace util {
+class Mutex {};
+}  // namespace util
+
+struct LegacyQueue {
+  std::mutex mu_;  // EXPECT-LINT(unguarded-mutex)
+  std::vector<int> items_;
+};
+
+struct HalfAnnotated {
+  mutable util::Mutex mu_;  // EXPECT-LINT(unguarded-mutex)
+  std::vector<int> items_;  // protected by mu_, but nothing says so
+};

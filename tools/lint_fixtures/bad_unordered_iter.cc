@@ -1,0 +1,37 @@
+// Fixture: range-for over unordered containers must be flagged.
+// Never compiled -- parsed by tools/lint_invariants.py --self-test.
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+struct Ledger {
+  std::unordered_map<int, double> entries;
+  std::unordered_set<std::string> names;
+
+  double Total() const {
+    double total = 0.0;
+    for (const auto& [id, value] : entries) {  // EXPECT-LINT(unordered-iter)
+      total += value;
+    }
+    return total;
+  }
+
+  std::vector<std::string> Names() const {
+    std::vector<std::string> out;
+    for (const std::string& name : names) {  // EXPECT-LINT(unordered-iter)
+      out.push_back(name);
+    }
+    return out;
+  }
+
+  // Multi-line range-for headers must be caught too.
+  double TotalAgain() const {
+    double total = 0.0;
+    for (const auto& [id, value] :  // EXPECT-LINT(unordered-iter)
+         entries) {
+      total += value;
+    }
+    return total;
+  }
+};

@@ -1,0 +1,35 @@
+// Fixture: justified LINT-ALLOW comments must suppress each rule.
+// Never compiled -- parsed by tools/lint_invariants.py --self-test.
+#include <chrono>
+#include <cstdlib>
+#include <mutex>
+#include <unordered_map>
+
+namespace util {
+class Mutex {};
+}  // namespace util
+
+struct AllowedEverywhere {
+  std::unordered_map<int, double> entries_;
+
+  // Same-line allow.
+  double Count() const {
+    double n = 0.0;
+    // LINT-ALLOW(unordered-iter): order-insensitive count of exact 1.0s
+    for (const auto& [id, value] : entries_) n += 1.0;
+    return n;
+  }
+
+  // LINT-ALLOW(unguarded-mutex): cv rendezvous only; no guarded state
+  util::Mutex mu_;
+};
+
+double WallClockForLogsOnly() {
+  // LINT-ALLOW(ambient-time): operator-facing log stamp, never fingerprinted
+  auto now = std::chrono::system_clock::now();
+  return std::chrono::duration<double>(now.time_since_epoch()).count();
+}
+
+int JitterForBackoffOnly() {
+  return rand();  // LINT-ALLOW(ambient-rng): retry jitter, not in results
+}

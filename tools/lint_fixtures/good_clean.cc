@@ -1,0 +1,68 @@
+// Fixture: idiomatic code every rule must stay silent on.
+// Never compiled -- parsed by tools/lint_invariants.py --self-test.
+#include <algorithm>
+#include <chrono>
+#include <map>
+#include <unordered_map>
+#include <vector>
+
+#define GUARDED_BY(x)
+
+namespace util {
+class Deadline {
+ public:
+  bool Exhausted() const { return false; }
+};
+class Executor;
+class Mutex {};
+template <typename T>
+class StatusOr;
+}  // namespace util
+
+struct Instance;
+struct CandidateGraph;
+struct SolveResult;
+struct SolveStats;
+
+struct CleanState {
+  // Annotated mutex: GUARDED_BY companion present.
+  mutable util::Mutex mu_;
+  std::vector<int> items_ GUARDED_BY(mu_);
+
+  // Unordered storage is fine; only *iterating* it is order-sensitive.
+  std::unordered_map<int, double> entries_;
+
+  // The deterministic idiom: collect keys, sort, then walk.
+  double Total() const {
+    std::vector<int> ids;
+    ids.reserve(entries_.size());
+    for (std::size_t i = 0; i < entries_.size(); ++i) ids.push_back(0);
+    std::sort(ids.begin(), ids.end());
+    double total = 0.0;
+    for (int id : ids) total += entries_.count(id);
+    return total;
+  }
+
+  // Ordered maps iterate deterministically.
+  double Sum(const std::map<int, double>& ordered) const {
+    double total = 0.0;
+    for (const auto& [id, value] : ordered) total += value;
+    return total;
+  }
+};
+
+struct CleanSolver {
+  // Polls the deadline: passes missing-deadline-poll.
+  util::StatusOr<SolveResult> SolveImpl(const Instance& instance,
+                                        const CandidateGraph& graph,
+                                        const util::Deadline& deadline,
+                                        util::Executor& executor,
+                                        SolveStats* partial_stats);
+};
+
+// steady_clock durations are reproducible.
+double Elapsed() {
+  auto t0 = std::chrono::steady_clock::now();
+  auto t1 = std::chrono::steady_clock::now();
+  return std::chrono::duration<double>(t1 - t0).count();
+}
