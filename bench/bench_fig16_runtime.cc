@@ -13,7 +13,7 @@ namespace rdbsc::bench {
 namespace {
 
 void RunAxis(const char* axis, const std::vector<SweepPoint>& points,
-             const BenchOptions& options) {
+             const BenchOptions& options, BenchReport& report) {
   std::vector<std::string> solver_names;
   for (const Engine& engine : MakeEngines(0)) {
     solver_names.emplace_back(engine.solver_display_name());
@@ -26,7 +26,10 @@ void RunAxis(const char* axis, const std::vector<SweepPoint>& points,
     for (int seed_index = 0; seed_index < options.num_seeds; ++seed_index) {
       uint64_t seed = options.seed0 + 17 * seed_index;
       core::Instance instance = point.make(seed);
-      std::vector<Engine> engines = MakeEngines(seed, options.num_threads);
+      // Engines report into the shared bench registry, so the JSON
+      // document carries per-solver stage histograms next to the table.
+      std::vector<Engine> engines =
+          MakeEngines(seed, options.num_threads, &report.metrics());
       core::CandidateGraph graph =
           engines.front().BuildGraph(instance).value();
       for (size_t s = 0; s < engines.size(); ++s) {
@@ -40,20 +43,23 @@ void RunAxis(const char* axis, const std::vector<SweepPoint>& points,
     for (double& v : row) v /= options.num_seeds;
     cells.push_back(row);
   }
-  PrintTable(std::string("CPU time (s) vs ") + axis, axis, row_labels,
-             solver_names, cells, 4);
+  const std::string title = std::string("CPU time (s) vs ") + axis;
+  PrintTable(title, axis, row_labels, solver_names, cells, 4);
+  report.AddTable(title, axis, row_labels, solver_names, cells);
 }
 
 int Run(int argc, char** argv) {
   BenchOptions options = ParseOptions(argc, argv);
+  BenchReport report("fig16_runtime", options);
   std::printf("== Figure 16: Running Time Comparisons (UNIFORM) ==\n");
   std::printf("scale: base=%d (paper 10K), seeds=%d\n", options.base,
               options.num_seeds);
   RunAxis("m", TaskCountSweep(options, gen::SpatialDistribution::kUniform),
-          options);
+          options, report);
   RunAxis("n", WorkerCountSweep(options, gen::SpatialDistribution::kUniform),
-          options);
+          options, report);
   std::printf("\n");
+  report.Write();
   return 0;
 }
 

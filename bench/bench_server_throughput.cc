@@ -41,7 +41,8 @@ struct CellResult {
 };
 
 CellResult RunCell(const std::vector<core::Instance>& instances,
-                   int num_submitters, int num_workers, int tickets_each) {
+                   int num_submitters, int num_workers, int tickets_each,
+                   bench::BenchReport& report) {
   engine::ServerConfig config;
   config.engine.solver_name = "dc";
   config.engine.solver_options.seed = 1;
@@ -73,6 +74,12 @@ CellResult RunCell(const std::vector<core::Instance>& instances,
           .count();
   engine::ServerStats stats = server->Stats();
   server->Shutdown(engine::ShutdownMode::kDrain);
+  // Import the cell's full server registry -- queue/run/total latency
+  // split, finished-outcome counters, engine stage timings -- labeled
+  // with the cell coordinates so the sweep's cells stay distinguishable.
+  report.AddMetrics(server->metrics().Snapshot(),
+                    {{"workers", std::to_string(num_workers)},
+                     {"submitters", std::to_string(num_submitters)}});
 
   CellResult cell;
   cell.throughput =
@@ -85,6 +92,7 @@ CellResult RunCell(const std::vector<core::Instance>& instances,
 
 int main(int argc, char** argv) {
   bench::BenchOptions options = bench::ParseOptions(argc, argv);
+  bench::BenchReport report("server_throughput", options);
   int tickets_each = 6;
   for (int a = 1; a < argc; ++a) {
     if (std::strncmp(argv[a], "--tickets=", 10) == 0) {
@@ -126,7 +134,7 @@ int main(int argc, char** argv) {
   for (size_t w = 0; w < worker_counts.size(); ++w) {
     for (int submitters : submitter_counts) {
       CellResult cell = RunCell(instances, submitters, worker_counts[w],
-                                tickets_each);
+                                tickets_each, report);
       throughput[w].push_back(cell.throughput);
       p95[w].push_back(cell.p95);
     }
@@ -137,5 +145,10 @@ int main(int argc, char** argv) {
   bench::PrintTable("p95 latency (s)", "pool size", row_labels,
                     column_labels, p95);
   std::printf("\n");
+  report.AddTable("Throughput (tickets/s)", "pool size", row_labels,
+                  column_labels, throughput);
+  report.AddTable("p95 latency (s)", "pool size", row_labels,
+                  column_labels, p95);
+  report.Write();
   return 0;
 }

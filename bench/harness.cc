@@ -1,12 +1,15 @@
 #include "bench/harness.h"
 
 #include <algorithm>
+#include <cerrno>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <string>
 #include <utility>
+
+#include "obs/json.h"
 
 namespace rdbsc::bench {
 namespace {
@@ -39,6 +42,13 @@ BenchOptions ParseOptions(int argc, char** argv) {
         threads = 0;
       }
       options.num_threads = static_cast<int>(threads);
+    } else if (std::strncmp(arg, "--out=", 6) == 0) {
+      options.out_path = arg + 6;
+      if (options.out_path.empty()) {
+        std::fprintf(stderr,
+                     "warning: empty --out= path; no JSON will be "
+                     "written\n");
+      }
     }
   }
   if (options.base < 10) options.base = 10;
@@ -66,7 +76,8 @@ const std::vector<std::string>& ApproachNames() {
   return names;
 }
 
-std::vector<Engine> MakeEngines(uint64_t seed, int num_threads) {
+std::vector<Engine> MakeEngines(uint64_t seed, int num_threads,
+                                obs::Registry* metrics) {
   std::vector<Engine> engines;
   engines.reserve(ApproachNames().size());
   for (const std::string& name : ApproachNames()) {
@@ -74,6 +85,7 @@ std::vector<Engine> MakeEngines(uint64_t seed, int num_threads) {
     config.solver_name = name;
     config.solver_options.seed = seed;
     config.num_threads = num_threads;
+    config.metrics = metrics;
     // Benches time SolveOn tightly; generated instances are valid by
     // construction, so skip the O(m+n) re-validation per approach.
     config.validate_instances = false;
@@ -102,9 +114,116 @@ void PrintTable(const std::string& metric, const std::string& x_label,
   }
 }
 
+BenchReport::BenchReport(std::string bench_name, BenchOptions options)
+    : name_(std::move(bench_name)), options_(std::move(options)) {}
+
+void BenchReport::AddTable(std::string metric, std::string x_label,
+                           std::vector<std::string> row_labels,
+                           std::vector<std::string> column_labels,
+                           std::vector<std::vector<double>> cells) {
+  tables_.push_back(Table{std::move(metric), std::move(x_label),
+                          std::move(row_labels), std::move(column_labels),
+                          std::move(cells)});
+}
+
+void BenchReport::AddMetrics(const obs::RegistrySnapshot& snapshot,
+                             const obs::Labels& extra_labels) {
+  for (const obs::MetricSnapshot& metric : snapshot.metrics) {
+    obs::MetricSnapshot copy = metric;
+    copy.labels.insert(copy.labels.end(), extra_labels.begin(),
+                       extra_labels.end());
+    imported_.push_back(std::move(copy));
+  }
+}
+
+std::string BenchReport::Json() const {
+  std::string out;
+  obs::JsonWriter w(out);
+  w.BeginObject();
+  w.Key("schema");
+  w.String(obs::kResultsSchemaName);
+  w.Key("schema_version");
+  w.Int(obs::kResultsSchemaVersion);
+  w.Key("bench");
+  w.String(name_);
+  w.Key("options");
+  w.BeginObject();
+  w.Key("base");
+  w.Int(options_.base);
+  w.Key("seeds");
+  w.Int(options_.num_seeds);
+  w.Key("paper_scale");
+  w.Bool(options_.paper_scale);
+  w.Key("threads");
+  w.Int(options_.num_threads);
+  w.EndObject();
+  w.Key("tables");
+  w.BeginArray();
+  for (const Table& table : tables_) {
+    w.BeginObject();
+    w.Key("metric");
+    w.String(table.metric);
+    w.Key("x_label");
+    w.String(table.x_label);
+    w.Key("rows");
+    w.BeginArray();
+    for (const std::string& row : table.rows) w.String(row);
+    w.EndArray();
+    w.Key("columns");
+    w.BeginArray();
+    for (const std::string& column : table.columns) w.String(column);
+    w.EndArray();
+    w.Key("cells");
+    w.BeginArray();
+    for (const std::vector<double>& row : table.cells) {
+      w.BeginArray();
+      for (double value : row) w.Double(value);
+      w.EndArray();
+    }
+    w.EndArray();
+    w.EndObject();
+  }
+  w.EndArray();
+  // The report-owned registry first (deterministically sorted), then the
+  // imports in AddMetrics call order.
+  w.Key("metrics");
+  w.BeginArray();
+  const obs::RegistrySnapshot own = registry_.Snapshot();
+  for (const obs::MetricSnapshot& metric : own.metrics) {
+    obs::AppendMetric(w, metric);
+  }
+  for (const obs::MetricSnapshot& metric : imported_) {
+    obs::AppendMetric(w, metric);
+  }
+  w.EndArray();
+  w.EndObject();
+  return out;
+}
+
+void BenchReport::Write() const {
+  if (options_.out_path.empty()) return;
+  const std::string doc = Json();
+  std::FILE* file = std::fopen(options_.out_path.c_str(), "w");
+  if (file == nullptr) {
+    std::fprintf(stderr, "warning: cannot write --out=%s: %s\n",
+                 options_.out_path.c_str(), std::strerror(errno));
+    return;
+  }
+  const size_t written = std::fwrite(doc.data(), 1, doc.size(), file);
+  const bool closed = std::fclose(file) == 0;
+  if (written != doc.size() || !closed) {
+    std::fprintf(stderr, "warning: short write to --out=%s\n",
+                 options_.out_path.c_str());
+    return;
+  }
+  std::printf("wrote %s (%zu bytes)\n", options_.out_path.c_str(),
+              doc.size());
+}
+
 std::vector<std::vector<PointResult>> RunQualitySweep(
     const std::string& figure_title, const std::string& x_label,
-    const std::vector<SweepPoint>& points, const BenchOptions& options) {
+    const std::vector<SweepPoint>& points, const BenchOptions& options,
+    BenchReport* report) {
   std::printf("== %s ==\n", figure_title.c_str());
   const int threads = EffectiveThreads(options);
   std::printf("scale: base=%d (paper 10K)%s, seeds=%d, threads=%d%s\n",
@@ -126,7 +245,9 @@ std::vector<std::vector<PointResult>> RunQualitySweep(
     for (int seed_index = 0; seed_index < options.num_seeds; ++seed_index) {
       uint64_t seed = options.seed0 + 17 * seed_index;
       core::Instance instance = points[p].make(seed);
-      std::vector<Engine> engines = MakeEngines(seed, options.num_threads);
+      std::vector<Engine> engines =
+          MakeEngines(seed, options.num_threads,
+                      report != nullptr ? &report->metrics() : nullptr);
       // One graph per instance, shared by all four approaches.
       core::CandidateGraph graph =
           engines.front().BuildGraph(instance).value();
@@ -163,13 +284,25 @@ std::vector<std::vector<PointResult>> RunQualitySweep(
     return cells;
   };
 
+  const auto reliability_cells =
+      cells_of([](const PointResult& r) { return r.min_reliability; });
+  const auto std_cells =
+      cells_of([](const PointResult& r) { return r.total_std; });
+  const auto time_cells =
+      cells_of([](const PointResult& r) { return r.wall_seconds; });
   PrintTable("Minimum Reliability", x_label, row_labels, solver_names,
-             cells_of([](const PointResult& r) { return r.min_reliability; }));
-  PrintTable("total_STD", x_label, row_labels, solver_names,
-             cells_of([](const PointResult& r) { return r.total_std; }), 2);
-  PrintTable("CPU time (s)", x_label, row_labels, solver_names,
-             cells_of([](const PointResult& r) { return r.wall_seconds; }));
+             reliability_cells);
+  PrintTable("total_STD", x_label, row_labels, solver_names, std_cells, 2);
+  PrintTable("CPU time (s)", x_label, row_labels, solver_names, time_cells);
   std::printf("\n");
+  if (report != nullptr) {
+    report->AddTable("Minimum Reliability", x_label, row_labels,
+                     solver_names, reliability_cells);
+    report->AddTable("total_STD", x_label, row_labels, solver_names,
+                     std_cells);
+    report->AddTable("CPU time (s)", x_label, row_labels, solver_names,
+                     time_cells);
+  }
   return results;
 }
 

@@ -30,8 +30,13 @@
 // seed+K-1), --threads sets the server's dispatch workers (min 1), and
 // --budget becomes the per-request default budget. Prints one line per
 // ticket plus the ServerStats snapshot (including cache hit/miss/collapse
-// counters when caching is on).
+// counters when caching is on). --stats-window=N additionally starts a
+// live reporter that rotates the server's latency window every N seconds
+// and prints one "window" line per rotation (count + p50/p95/p99/max of
+// the requests finished in that window); the final partial window is
+// always printed, so at least one line appears even on short runs.
 
+#include <atomic>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
@@ -48,6 +53,7 @@
 #include "gen/trajectory.h"
 #include "gen/workload.h"
 #include "io/csv.h"
+#include "obs/histogram.h"
 
 using namespace rdbsc;
 
@@ -178,6 +184,9 @@ int main(int argc, char** argv) {
     int submitters =
         (flag = FlagValue(argc, argv, "--submitters")) ? std::atoi(flag) : 4;
     if (submitters < 1) submitters = 1;
+    const double stats_window =
+        (flag = FlagValue(argc, argv, "--stats-window")) ? std::atof(flag)
+                                                         : 0.0;
 
     engine::ServerConfig server_config;
     server_config.engine = config;
@@ -199,6 +208,33 @@ int main(int argc, char** argv) {
     std::printf("server   : solver %s, %d workers, %d submitters x %d\n",
                 solver_name.c_str(), server_config.num_workers, submitters,
                 repeat);
+
+    // Live windowed latency reporting: rotate the server's latency
+    // window every --stats-window seconds and print one line per
+    // rotation. The final (partial) window is printed after shutdown
+    // below, from the main thread once the reporter joined -- so the
+    // window counter and stdout are never raced.
+    int window_index = 0;
+    auto print_window = [&window_index](const obs::HistogramSnapshot& w) {
+      ++window_index;
+      std::printf(
+          "window %2d: %lld finished, p50 %.4f s, p95 %.4f s, "
+          "p99 %.4f s, max %.4f s\n",
+          window_index, static_cast<long long>(w.count()), w.p50(),
+          w.p95(), w.p99(), w.max());
+    };
+    std::atomic<bool> reporter_stop{false};
+    std::thread reporter;
+    if (stats_window > 0.0) {
+      reporter = std::thread([&] {
+        while (!reporter_stop.load(std::memory_order_relaxed)) {
+          std::this_thread::sleep_for(
+              std::chrono::duration<double>(stats_window));
+          print_window(server->RotateLatencyWindow());
+        }
+      });
+    }
+
     const int total = submitters * repeat;
     std::vector<engine::Ticket> tickets(total);
     std::vector<util::Status> submit_status(total);
@@ -257,6 +293,12 @@ int main(int argc, char** argv) {
           run.value().from_cache ? " [cache hit]" : "");
     }
     server->Shutdown(engine::ShutdownMode::kDrain);
+    if (stats_window > 0.0) {
+      reporter_stop.store(true, std::memory_order_relaxed);
+      reporter.join();
+      // Flush the last partial window so short runs still get a line.
+      print_window(server->RotateLatencyWindow());
+    }
     engine::ServerStats stats = server->Stats();
     std::printf(
         "stats    : %lld submitted, %lld admitted, %lld completed, "

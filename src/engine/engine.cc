@@ -49,6 +49,26 @@ using engine::CacheModeReads;
 using engine::CacheModeWrites;
 using util::SecondsSince;
 
+// Scope timer recording into an optional stage histogram on destruction.
+// A null histogram (no registry attached) costs one branch and skips the
+// clock reads entirely, keeping the unobserved hot path unchanged.
+class StageTimer {
+ public:
+  explicit StageTimer(obs::Histogram* hist)
+      : hist_(hist), t0_(hist == nullptr
+                             ? std::chrono::steady_clock::time_point{}
+                             : std::chrono::steady_clock::now()) {}
+  StageTimer(const StageTimer&) = delete;
+  StageTimer& operator=(const StageTimer&) = delete;
+  ~StageTimer() {
+    if (hist_ != nullptr) hist_->Observe(SecondsSince(t0_));
+  }
+
+ private:
+  obs::Histogram* hist_;
+  std::chrono::steady_clock::time_point t0_;
+};
+
 }  // namespace
 
 util::StatusOr<Engine> Engine::Create(std::string solver_name) {
@@ -69,6 +89,25 @@ util::StatusOr<Engine> Engine::Create(EngineConfig config) {
     engine.pool_ =
         std::make_unique<util::ThreadPool>(engine.config_.num_threads);
   }
+  if (engine.config_.metrics != nullptr) {
+    // Resolve the metric handles once here; the stages then record
+    // through plain pointers without ever touching the registry lock.
+    obs::Registry& registry = *engine.config_.metrics;
+    const std::string& solver_name = engine.config_.solver_name;
+    auto stage_hist = [&](const char* stage) {
+      return &registry.GetHistogram(
+          "engine.stage_seconds",
+          {{"solver", solver_name}, {"stage", stage}}, 1e-9);
+    };
+    engine.stage_metrics_.validate_seconds = stage_hist("validate");
+    engine.stage_metrics_.plan_seconds = stage_hist("plan");
+    engine.stage_metrics_.build_seconds = stage_hist("build");
+    engine.stage_metrics_.solve_seconds = stage_hist("solve");
+    engine.stage_metrics_.cache_hits = &registry.GetCounter(
+        "engine.cache", {{"solver", solver_name}, {"outcome", "hit"}});
+    engine.stage_metrics_.cache_misses = &registry.GetCounter(
+        "engine.cache", {{"solver", solver_name}, {"outcome", "miss"}});
+  }
   return engine;
 }
 
@@ -83,6 +122,7 @@ util::Hash128 Engine::ResultCacheKey(const core::Instance& instance) const {
 // --- Stages --------------------------------------------------------------
 
 util::Status Engine::StageValidate(engine::ExecutionContext& ctx) const {
+  StageTimer timer(stage_metrics_.validate_seconds);
   if (config_.validate_instances) {
     if (util::Status status = ctx.instance->Validate(); !status.ok()) {
       return status;
@@ -93,6 +133,7 @@ util::Status Engine::StageValidate(engine::ExecutionContext& ctx) const {
 }
 
 util::Status Engine::StagePlan(engine::ExecutionContext& ctx) const {
+  StageTimer timer(stage_metrics_.plan_seconds);
   const core::Instance& instance = *ctx.instance;
   bool use_grid = config_.graph_strategy == GraphStrategy::kGridIndex;
   double eta = config_.eta;
@@ -154,6 +195,9 @@ util::Status Engine::StageBuildGraph(engine::ExecutionContext& ctx) const {
   if (!ctx.planned) {
     if (util::Status status = StagePlan(ctx); !status.ok()) return status;
   }
+  // Timer starts after the implicit plan so stage histograms stay
+  // disjoint: plan time lands in "plan" even when triggered from here.
+  StageTimer timer(stage_metrics_.build_seconds);
   const engine::CacheMode mode = ResolveCacheMode(ctx.cache, ctx.cache_mode);
   util::Hash128 key{};
   if (CacheModeReads(mode) || CacheModeWrites(mode)) {
@@ -188,6 +232,7 @@ util::Status Engine::StageBuildGraph(engine::ExecutionContext& ctx) const {
 
 util::Status Engine::StageSolve(engine::ExecutionContext& ctx,
                                 core::Solver& solver) const {
+  StageTimer timer(stage_metrics_.solve_seconds);
   core::SolveRequest request;
   request.instance = ctx.instance;
   request.graph = ctx.graph.get();
@@ -221,12 +266,18 @@ util::StatusOr<EngineResult> Engine::RunPipeline(
       // Bit-identical replay of the cold run that produced the entry
       // (values are immutable and shared); only the provenance flag and
       // -- implicitly -- wall-clock differ.
+      if (stage_metrics_.cache_hits != nullptr) {
+        stage_metrics_.cache_hits->Increment();
+      }
       EngineResult result = *hit;
       result.from_cache = true;
       ctx.plan = result.plan;
       ctx.solve = result.solve;
       ctx.result_from_cache = true;
       return result;
+    }
+    if (stage_metrics_.cache_misses != nullptr) {
+      stage_metrics_.cache_misses->Increment();
     }
   }
 
@@ -279,6 +330,10 @@ util::StatusOr<core::CandidateGraph> Engine::BuildGraph(
   engine::ExecutionContext ctx;
   ctx.instance = &instance;
   if (util::Status status = StagePlan(ctx); !status.ok()) return status;
+  // Record into the build-stage histogram here too, so SolveOn-style
+  // callers (the benches share one graph across approaches) still get a
+  // full per-stage breakdown.
+  StageTimer timer(stage_metrics_.build_seconds);
   util::StatusOr<core::CandidateGraph> built = ExecutePlannedBuild(
       instance, ctx.plan.used_grid_index, ctx.resolved_eta, &ctx.plan,
       deadline, pool_.get());

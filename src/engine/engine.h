@@ -11,6 +11,7 @@
 #include "core/instance.h"
 #include "core/registry.h"
 #include "core/solver.h"
+#include "obs/registry.h"
 #include "util/deadline.h"
 #include "util/hash.h"
 #include "util/status.h"
@@ -20,6 +21,19 @@ namespace rdbsc {
 
 namespace engine {
 class SolveCache;
+
+/// Resolved metric handles of one engine (see EngineConfig::metrics).
+/// All-null when no registry is attached; plain pointers so the stage
+/// hot path is a single branch. The pointees live in the registry and
+/// are internally synchronized -- recording takes no lock.
+struct StageMetrics {
+  obs::Histogram* validate_seconds = nullptr;
+  obs::Histogram* plan_seconds = nullptr;
+  obs::Histogram* build_seconds = nullptr;
+  obs::Histogram* solve_seconds = nullptr;
+  obs::Counter* cache_hits = nullptr;
+  obs::Counter* cache_misses = nullptr;
+};
 
 /// Per-run cache policy. The cache itself (engine::SolveCache) is owned by
 /// whoever serves repeated traffic (engine::Server, a bench, an example);
@@ -91,6 +105,17 @@ struct EngineConfig {
   /// instances in RunBatch. Results are bit-identical to serial for a
   /// fixed solver seed at every thread count.
   int num_threads = 0;
+
+  /// Optional metrics sink (unowned; must outlive the engine). When set,
+  /// every run records per-stage wall time into the histograms
+  /// engine.stage_seconds{solver, stage=validate|plan|build|solve} and
+  /// cache-read outcomes into the counters
+  /// engine.cache{solver, outcome=hit|miss}. The histogram/counter
+  /// handles are resolved once in Engine::Create, so the per-stage cost
+  /// is two clock reads plus a few relaxed atomic adds; nullptr (the
+  /// default) reduces it to one branch per stage. Purely observational:
+  /// results are bit-identical with or without a registry attached.
+  obs::Registry* metrics = nullptr;
 };
 
 /// Per-run admission overrides.
@@ -328,6 +353,8 @@ class Engine {
   EngineConfig config_;
   std::unique_ptr<core::Solver> solver_;
   std::unique_ptr<util::ThreadPool> pool_;
+  /// Resolved once in Create from config_.metrics (all-null otherwise).
+  engine::StageMetrics stage_metrics_;
 };
 
 }  // namespace rdbsc

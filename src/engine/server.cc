@@ -2,7 +2,6 @@
 
 #include <algorithm>
 #include <chrono>
-#include <cmath>
 #include <memory>
 #include <utility>
 #include <vector>
@@ -14,13 +13,10 @@ namespace {
 
 using util::SecondsSince;
 
-// Nearest-rank percentile of an already-sorted sample.
-double Percentile(const std::vector<double>& sorted, double q) {
-  if (sorted.empty()) return 0.0;
-  size_t rank = static_cast<size_t>(
-      std::ceil(q * static_cast<double>(sorted.size())));
-  rank = std::clamp<size_t>(rank, 1, sorted.size());
-  return sorted[rank - 1];
+// Elapsed seconds between two steady_clock points.
+double SecondsBetween(std::chrono::steady_clock::time_point from,
+                      std::chrono::steady_clock::time_point to) {
+  return std::chrono::duration<double>(to - from).count();
 }
 
 }  // namespace
@@ -61,12 +57,46 @@ util::StatusOr<std::unique_ptr<Server>> Server::Create(ServerConfig config) {
     config.cache_mode = CacheMode::kOff;
   }
 
-  util::StatusOr<Engine> engine = Engine::Create(config.engine);
-  if (!engine.ok()) return engine.status();
-
   std::unique_ptr<Server> server(new Server());
   server->config_ = std::move(config);
+  // Engine stage metrics default into the server-owned registry so one
+  // snapshot shows the whole request path; an explicit external registry
+  // in the config wins.
+  if (server->config_.engine.metrics == nullptr) {
+    server->config_.engine.metrics = &server->metrics_;
+  }
+  util::StatusOr<Engine> engine = Engine::Create(server->config_.engine);
+  if (!engine.ok()) return engine.status();
   server->engine_ = std::move(engine).value();
+
+  // Resolve the server.* metric handles once; the serving paths record
+  // through plain pointers (see the member comment in server.h for the
+  // under-mu_ counter discipline).
+  obs::Registry& registry = server->metrics_;
+  server->c_submitted_ = &registry.GetCounter("server.submitted");
+  server->c_admitted_ = &registry.GetCounter("server.admitted");
+  server->c_rejected_ = &registry.GetCounter("server.rejected");
+  server->c_collapsed_ = &registry.GetCounter("server.collapsed");
+  auto finished = [&registry](const char* outcome) {
+    return &registry.GetCounter("server.finished", {{"outcome", outcome}});
+  };
+  server->c_finished_ok_ = finished("ok");
+  server->c_finished_deadline_ = finished("deadline");
+  server->c_finished_cancelled_ = finished("cancelled");
+  server->c_finished_shed_ = finished("shed");
+  server->c_finished_failed_ = finished("failed");
+  server->c_cache_hits_ =
+      &registry.GetCounter("server.cache", {{"outcome", "hit"}});
+  server->c_cache_misses_ =
+      &registry.GetCounter("server.cache", {{"outcome", "miss"}});
+  auto latency = [&registry](const char* phase) {
+    return &registry.GetHistogram("server.latency_seconds",
+                                  {{"phase", phase}}, 1e-9);
+  };
+  server->lat_queue_ = latency("queue");
+  server->lat_run_ = latency("run");
+  server->lat_total_ = latency("total");
+
   server->budget_limited_ = server->config_.total_budget_seconds > 0.0;
   server->budget_remaining_ = server->config_.total_budget_seconds;
   if (server->config_.cache_result_entries > 0 ||
@@ -101,28 +131,32 @@ void Server::Complete(const std::shared_ptr<internal::TicketState>& state,
 
 void Server::RecordFinishLocked(const internal::TicketState& state,
                                 const util::Status& status) {
-  const double latency = SecondsSince(state.submit_time);
-  if (latencies_.size() < kLatencyWindow) {
-    latencies_.push_back(latency);
-  } else {
-    latencies_[latency_next_] = latency;
-    latency_next_ = (latency_next_ + 1) % kLatencyWindow;
+  const double total = SecondsSince(state.submit_time);
+  lat_total_->Observe(total);
+  latency_window_.Observe(total);
+  if (state.dispatched) {
+    // Only tickets that actually ran have a queue/run split; shed,
+    // shutdown-cancelled, and collapsed-follower tickets spent their
+    // whole life queued and appear in phase=total alone.
+    lat_queue_->Observe(
+        SecondsBetween(state.submit_time, state.dispatch_time));
+    lat_run_->Observe(SecondsSince(state.dispatch_time));
   }
   switch (status.code()) {
     case util::StatusCode::kOk:
-      ++counters_.completed;
+      c_finished_ok_->Increment();
       break;
     case util::StatusCode::kDeadlineExceeded:
-      ++counters_.deadline_exceeded;
+      c_finished_deadline_->Increment();
       break;
     case util::StatusCode::kCancelled:
-      ++counters_.cancelled;
+      c_finished_cancelled_->Increment();
       break;
     case util::StatusCode::kResourceExhausted:
-      ++counters_.shed;
+      c_finished_shed_->Increment();
       break;
     default:
-      ++counters_.failed;
+      c_finished_failed_->Increment();
       break;
   }
 }
@@ -178,9 +212,9 @@ util::StatusOr<Ticket> Server::Submit(core::Instance instance,
   Ticket ticket;
   {
     util::MutexLock lock(mu_);
-    ++counters_.submitted;
+    c_submitted_->Increment();
     if (closed_) {
-      ++counters_.rejected;
+      c_rejected_->Increment();
       return util::Status::FailedPrecondition("server is shut down");
     }
 
@@ -211,8 +245,8 @@ util::StatusOr<Ticket> Server::Submit(core::Instance instance,
         state->submit_time = std::chrono::steady_clock::now();
         state->cache_mode = mode;
         leader->followers.push_back(state);
-        ++counters_.admitted;
-        ++counters_.collapsed;
+        c_admitted_->Increment();
+        c_collapsed_->Increment();
         return Ticket(std::move(state));
       }
     }
@@ -222,7 +256,7 @@ util::StatusOr<Ticket> Server::Submit(core::Instance instance,
     // not shed an already-admitted (and already-funded) victim only to be
     // rejected itself a few lines later.
     if (budget_limited_ && budget_remaining_ <= 0.0) {
-      ++counters_.rejected;
+      c_rejected_->Increment();
       return util::Status::ResourceExhausted("server budget pool exhausted");
     }
 
@@ -230,7 +264,7 @@ util::StatusOr<Ticket> Server::Submit(core::Instance instance,
     while (static_cast<int>(queue_.size()) >= config_.max_queue_depth) {
       switch (config_.overload_policy) {
         case OverloadPolicy::kReject:
-          ++counters_.rejected;
+          c_rejected_->Increment();
           return util::Status::ResourceExhausted(
               "admission queue full (kReject)");
         case OverloadPolicy::kBlock:
@@ -239,7 +273,7 @@ util::StatusOr<Ticket> Server::Submit(core::Instance instance,
             space_cv_.Wait(lock);
           }
           if (closed_) {
-            ++counters_.rejected;
+            c_rejected_->Increment();
             return util::Status::FailedPrecondition("server is shut down");
           }
           continue;
@@ -272,7 +306,7 @@ util::StatusOr<Ticket> Server::Submit(core::Instance instance,
     double budget = requested_budget;
     if (budget_limited_) {
       if (budget_remaining_ <= 0.0) {
-        ++counters_.rejected;
+        c_rejected_->Increment();
         // This submitter may have consumed a queue-pop notification on
         // its way here (kBlock); pass the baton so the next blocked
         // submitter wakes up to claim the slot -- or to be rejected like
@@ -308,7 +342,7 @@ util::StatusOr<Ticket> Server::Submit(core::Instance instance,
       }
     }
     queue_.emplace(QueueKey{controls.priority, state->id}, state);
-    ++counters_.admitted;
+    c_admitted_->Increment();
     ++pending_pool_tasks_;
     ticket = Ticket(state);
     // One generic drain task per admission: each pool task pops whatever
@@ -340,6 +374,8 @@ void Server::RunNext() {
     state = it->second;
     queue_.erase(it);
     is_leader = state->single_flight;
+    state->dispatched = true;
+    state->dispatch_time = std::chrono::steady_clock::now();
     ++in_flight_;
   }
   // A queue slot freed; wake one kBlock submitter.
@@ -376,9 +412,9 @@ void Server::RunNext() {
     }
     if (CacheModeReads(state->cache_mode)) {
       if (result.ok() && result.value().from_cache) {
-        ++counters_.cache_hits;
+        c_cache_hits_->Increment();
       } else {
-        ++counters_.cache_misses;
+        c_cache_misses_->Increment();
       }
     }
     if (--pending_pool_tasks_ == 0) idle_cv_.NotifyAll();
@@ -439,28 +475,44 @@ void Server::Shutdown(ShutdownMode mode) {
 }
 
 ServerStats Server::Stats() const {
-  std::vector<double> latencies;
   ServerStats stats;
+  obs::HistogramSnapshot latency;
   {
+    // Counters only move under mu_, so one locked pass reads a mutually
+    // consistent snapshot: the partition invariants hold exactly even
+    // while requests are in flight.
     util::MutexLock lock(mu_);
-    stats = counters_;
+    stats.submitted = c_submitted_->value();
+    stats.admitted = c_admitted_->value();
+    stats.rejected = c_rejected_->value();
+    stats.collapsed = c_collapsed_->value();
+    stats.completed = c_finished_ok_->value();
+    stats.deadline_exceeded = c_finished_deadline_->value();
+    stats.cancelled = c_finished_cancelled_->value();
+    stats.shed = c_finished_shed_->value();
+    stats.failed = c_finished_failed_->value();
+    stats.cache_hits = c_cache_hits_->value();
+    stats.cache_misses = c_cache_misses_->value();
     stats.queue_depth = static_cast<int>(queue_.size());
     stats.in_flight = in_flight_;
     stats.budget_remaining_seconds =
         budget_limited_ ? std::max(budget_remaining_, 0.0) : -1.0;
-    latencies = latencies_;
+    latency = lat_total_->Snapshot();
   }
   if (cache_ != nullptr) {
     CacheStats cache_stats = cache_->Stats();
     stats.cache_evictions =
         cache_stats.result_evictions + cache_stats.graph_evictions;
   }
-  std::sort(latencies.begin(), latencies.end());
-  stats.latency_p50_seconds = Percentile(latencies, 0.50);
-  stats.latency_p95_seconds = Percentile(latencies, 0.95);
-  stats.latency_p99_seconds = Percentile(latencies, 0.99);
-  stats.latency_max_seconds = latencies.empty() ? 0.0 : latencies.back();
+  stats.latency_p50_seconds = latency.p50();
+  stats.latency_p95_seconds = latency.p95();
+  stats.latency_p99_seconds = latency.p99();
+  stats.latency_max_seconds = latency.max();
   return stats;
+}
+
+obs::HistogramSnapshot Server::RotateLatencyWindow() {
+  return latency_window_.Rotate();
 }
 
 CacheStats Server::GetCacheStats() const {

@@ -11,6 +11,8 @@
 #include "core/instance.h"
 #include "engine/engine.h"
 #include "engine/solve_cache.h"
+#include "obs/histogram.h"
+#include "obs/registry.h"
 #include "util/deadline.h"
 #include "util/hash.h"
 #include "util/mutex.h"
@@ -52,7 +54,9 @@ struct ServerConfig {
   /// contract), and concurrency comes from `num_workers` requests in
   /// flight at once. `engine.budget_seconds` is also ignored -- request
   /// budgets come from `default_budget_seconds` / SubmitControls and the
-  /// `total_budget_seconds` pool below.
+  /// `total_budget_seconds` pool below. `engine.metrics`, when left
+  /// null, is pointed at the server-owned registry so per-stage timings
+  /// land next to the server.* metrics (Server::metrics()).
   EngineConfig engine;
 
   /// Dispatch threads, i.e. requests solved concurrently (clamped to 1).
@@ -103,8 +107,11 @@ struct SubmitControls {
 };
 
 /// Counter snapshot returned by Server::Stats. Latency percentiles are
-/// measured submit -> completion over a sliding window of the most
-/// recently finished requests (including shed / cancelled ones).
+/// measured submit -> completion over every finished request (including
+/// shed / cancelled ones), read from the server's cumulative
+/// server.latency_seconds{phase=total} histogram -- exact count/min/max,
+/// percentiles within the histogram's ~3.2% bucket resolution. Use
+/// Server::RotateLatencyWindow for recent-traffic (windowed) latency.
 struct ServerStats {
   int64_t submitted = 0;   ///< Submit calls, including rejected ones.
   int64_t admitted = 0;    ///< entered the queue (collapsed ones included)
@@ -142,6 +149,7 @@ namespace internal {
 /// guard is the *server's* mutex, an object this struct cannot name):
 /// `id`..`followers` are written only while the server holds its mu_ --
 /// id/submit_time/instance/budget_seconds/cache_mode once at admission,
+/// dispatch_time/dispatched once by RunNext at pop,
 /// priority/fingerprint/single_flight/followers only by Submit /
 /// AbortTicketLocked / RunNext under mu_. Once RunNext pops the ticket
 /// off the queue it is the only dispatcher, so its unlocked reads of
@@ -152,6 +160,12 @@ struct TicketState {
   uint64_t id = 0;
   int priority = 0;
   std::chrono::steady_clock::time_point submit_time;
+  /// Set (with `dispatched`) by RunNext under the server's mu_ when the
+  /// ticket is popped for solving; splits the submit->finish latency into
+  /// the queue and run phases. Never set for tickets that never run
+  /// (shed, shutdown-cancelled, collapsed followers).
+  std::chrono::steady_clock::time_point dispatch_time;
+  bool dispatched = false;
   core::Instance instance;
   double budget_seconds = 0.0;  ///< effective per-request budget; 0 = none
 
@@ -260,6 +274,24 @@ class Server {
   /// the cache is disabled).
   CacheStats GetCacheStats() const;
 
+  /// The server-owned metrics registry. Always populated with the
+  /// server.* metrics (counters server.submitted/admitted/rejected/
+  /// collapsed, server.finished{outcome=ok|deadline|cancelled|shed|
+  /// failed}, server.cache{outcome=hit|miss}; histograms
+  /// server.latency_seconds{phase=queue|run|total}); additionally holds
+  /// the engine.* stage metrics unless ServerConfig::engine.metrics
+  /// pointed them at an external registry. Snapshot() is safe at any
+  /// time, including while the server is serving.
+  const obs::Registry& metrics() const { return metrics_; }
+  obs::Registry& metrics() { return metrics_; }
+
+  /// Closes the current latency window and returns its snapshot
+  /// (submit -> completion seconds of the requests that finished since
+  /// the previous rotation); the cumulative distribution is unaffected.
+  /// Drives `run_workload --server --stats-window=N` style live
+  /// reporting. Thread-safe.
+  obs::HistogramSnapshot RotateLatencyWindow();
+
   const ServerConfig& config() const { return config_; }
 
  private:
@@ -304,6 +336,33 @@ class Server {
   util::CancelToken cancel_;
   bool budget_limited_ = false;
 
+  /// Server-owned metrics (see metrics()). Declared before the resolved
+  /// handles below, which point into it. The registry and its metrics are
+  /// internally synchronized; the counter/histogram *handles* are set
+  /// once in Create. Counter increments nevertheless happen only while
+  /// holding mu_, so a Stats() snapshot (also under mu_) always observes
+  /// the partition invariants (submitted == admitted + rejected;
+  /// admitted == finished + queued + in flight) exactly -- lock-free
+  /// recording is reserved for the latency histograms' internals.
+  obs::Registry metrics_;
+  obs::Counter* c_submitted_ = nullptr;
+  obs::Counter* c_admitted_ = nullptr;
+  obs::Counter* c_rejected_ = nullptr;
+  obs::Counter* c_collapsed_ = nullptr;
+  obs::Counter* c_finished_ok_ = nullptr;
+  obs::Counter* c_finished_deadline_ = nullptr;
+  obs::Counter* c_finished_cancelled_ = nullptr;
+  obs::Counter* c_finished_shed_ = nullptr;
+  obs::Counter* c_finished_failed_ = nullptr;
+  obs::Counter* c_cache_hits_ = nullptr;
+  obs::Counter* c_cache_misses_ = nullptr;
+  obs::Histogram* lat_queue_ = nullptr;
+  obs::Histogram* lat_run_ = nullptr;
+  obs::Histogram* lat_total_ = nullptr;
+  /// Rotating window over submit->completion latency (the phase=total
+  /// stream), feeding RotateLatencyWindow.
+  obs::WindowedRecorder latency_window_{1e-9};
+
   mutable util::Mutex mu_;
   util::CondVar space_cv_;  ///< kBlock submitters wait here
   util::CondVar idle_cv_;   ///< Shutdown waits here
@@ -324,14 +383,6 @@ class Server {
   /// one, so 0 here means queue_ is empty and nothing is in flight.
   int pending_pool_tasks_ GUARDED_BY(mu_) = 0;
   double budget_remaining_ GUARDED_BY(mu_) = 0.0;
-
-  ServerStats counters_ GUARDED_BY(mu_);  ///< counter part only
-  /// Sliding window over the most recent finished requests, so a
-  /// long-running server's memory and Stats() sort cost stay bounded.
-  /// Percentiles therefore describe recent traffic, not all-time history.
-  static constexpr size_t kLatencyWindow = 8192;
-  std::vector<double> latencies_ GUARDED_BY(mu_);  ///< ring buffer
-  size_t latency_next_ GUARDED_BY(mu_) = 0;  ///< next slot to overwrite
 };
 
 }  // namespace rdbsc::engine

@@ -1,0 +1,203 @@
+#ifndef RDBSC_OBS_HISTOGRAM_H_
+#define RDBSC_OBS_HISTOGRAM_H_
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
+
+namespace rdbsc::obs {
+
+/// Fixed-footprint log-bucketed (HDR-style) histogram.
+///
+/// Values are recorded as non-negative 64-bit integer "units"; a
+/// configurable `resolution` maps units back to caller values (e.g. a
+/// latency histogram uses resolution = 1e-9 so one unit is a nanosecond
+/// and Observe() takes seconds). The bucket layout is log-linear:
+///
+///   units 0..31            one bucket per value (exact)
+///   units >= 32            32 log2 sub-buckets per octave -- the bucket
+///                          containing u has width u/16 at most, so any
+///                          recorded value is reproduced by its bucket
+///                          midpoint within a relative error of 1/32
+///                          (~3.2%), at every magnitude up to 2^62
+///
+/// The footprint is a fixed 960 buckets (~7.5 KB of counters) regardless
+/// of the value range, so histograms can be embedded per metric without
+/// memory planning.
+///
+/// Concurrency: Record/Observe are lock-free (relaxed atomic adds and
+/// CAS min/max) and safe from any number of threads. All internal state
+/// is integral, so concurrent recording is order-insensitive: the final
+/// counters are identical for every interleaving. Snapshot() taken while
+/// recorders are active is a consistent-enough view (each counter is read
+/// atomically, but the set of counters is not read at one instant);
+/// quiesce recorders for exact totals.
+///
+/// Determinism: HistogramSnapshot::Merge adds integer state only, so
+/// merging N snapshots is bit-identical under every merge order, and all
+/// derived statistics (percentiles, mean, stddev) are pure functions of
+/// that integer state (tests/obs_test.cc asserts both).
+class Histogram;
+
+/// Plain (non-atomic, copyable) capture of a Histogram's state, with the
+/// derived-statistic queries. Also the unit of deterministic merging.
+class HistogramSnapshot {
+ public:
+  HistogramSnapshot() = default;
+
+  /// Number of recorded samples.
+  int64_t count() const { return count_; }
+  /// Exact sum of the recorded samples (integer-accumulated, scaled).
+  double sum() const;
+  /// Exact mean (sum / count); 0 when empty.
+  double avg() const;
+  /// Exact smallest / largest recorded sample; 0 when empty.
+  double min() const;
+  double max() const;
+  /// Population standard deviation, computed from bucket midpoints (each
+  /// sample is off by at most its bucket's half-width, so the error is
+  /// bounded by the ~3.2% bucket resolution); 0 when empty.
+  double stddev() const;
+
+  /// Nearest-rank percentile, q in [0, 1]: the bucket midpoint of the
+  /// sample at rank ceil(q * count), clamped into [min, max] (so
+  /// ValueAtPercentile(1.0) == max exactly). 0 when empty. The result is
+  /// within 1/32 relative error (plus one unit) of the true sample.
+  double ValueAtPercentile(double q) const;
+  double p50() const { return ValueAtPercentile(0.50); }
+  double p90() const { return ValueAtPercentile(0.90); }
+  double p95() const { return ValueAtPercentile(0.95); }
+  double p99() const { return ValueAtPercentile(0.99); }
+  double p999() const { return ValueAtPercentile(0.999); }
+
+  /// Value of one unit (see Histogram).
+  double resolution() const { return resolution_; }
+
+  /// Folds `other` into this snapshot: counts, sums and min/max combine
+  /// as integers, so any merge order yields bit-identical state. The two
+  /// snapshots must share a resolution.
+  void Merge(const HistogramSnapshot& other);
+
+ private:
+  friend class Histogram;
+
+  double resolution_ = 1.0;
+  int64_t count_ = 0;
+  int64_t sum_units_ = 0;
+  int64_t min_units_ = 0;  ///< meaningful only when count_ > 0
+  int64_t max_units_ = 0;
+  std::vector<uint64_t> buckets_;  ///< kNumBuckets counters (empty == all 0)
+};
+
+class Histogram {
+ public:
+  /// Log2 of the sub-buckets per octave; 32 sub-buckets bound the bucket
+  /// relative width by 1/16 and the midpoint error by 1/32.
+  static constexpr int kSubBucketBits = 5;
+  static constexpr int64_t kSubBuckets = int64_t{1} << kSubBucketBits;
+  /// Largest recordable unit value; Record clamps above (and below 0).
+  static constexpr int64_t kMaxValue = int64_t{1} << 62;
+  static constexpr int kNumBuckets = 960;
+
+  /// `resolution` is the caller-value of one recorded unit (> 0);
+  /// latency histograms use 1e-9 (nanosecond units, values in seconds).
+  explicit Histogram(double resolution = 1.0) : resolution_(resolution) {}
+
+  Histogram(const Histogram&) = delete;
+  Histogram& operator=(const Histogram&) = delete;
+
+  /// Records one sample of `units` (clamped into [0, kMaxValue]).
+  /// Lock-free; safe from any number of threads.
+  void Record(int64_t units);
+
+  /// Records a caller-value sample: Record(round(value / resolution)).
+  void Observe(double value);
+
+  /// Point-in-time copy of the counters (see class comment for the
+  /// concurrent-snapshot caveat).
+  HistogramSnapshot Snapshot() const;
+
+  /// Resets every counter to the empty state. Not atomic with respect to
+  /// concurrent recorders: their samples land in either the old or the
+  /// new state. Callers that need exact windows serialize Reset against
+  /// recording (WindowedRecorder documents its policy).
+  void Reset();
+
+  double resolution() const { return resolution_; }
+
+  /// Recorded samples so far (relaxed read).
+  int64_t count() const {
+    return count_.load(std::memory_order_relaxed);
+  }
+
+  // --- Bucket geometry, exposed for tests and the JSON writer ---
+  /// Index of the bucket containing `units` (pre-clamped to valid range).
+  static int BucketIndex(int64_t units);
+  /// Smallest / largest unit value mapping to bucket `index`.
+  static int64_t BucketLow(int index);
+  static int64_t BucketHigh(int index);
+  /// The representative (midpoint) unit value reported for bucket `index`.
+  static int64_t BucketMid(int index);
+
+ private:
+  const double resolution_;
+  std::atomic<int64_t> count_{0};
+  std::atomic<int64_t> sum_units_{0};
+  std::atomic<int64_t> min_units_{kMaxValue};
+  std::atomic<int64_t> max_units_{0};
+  std::array<std::atomic<uint64_t>, kNumBuckets> buckets_{};
+};
+
+/// A rotating per-window histogram plus a cumulative total (the ydb
+/// workload-command reporting shape): every sample lands in both; Rotate
+/// closes the current window, returns its snapshot, and opens a fresh
+/// one, so a periodic reporter prints one line per window while the total
+/// keeps the whole-run distribution.
+///
+/// Concurrency: Observe is lock-free. Rotate is serialized by an internal
+/// mutex. A sample racing a rotation lands in either the closing or the
+/// fresh window (never both, never lost from the total); single-threaded
+/// use is exact.
+class WindowedRecorder {
+ public:
+  explicit WindowedRecorder(double resolution = 1.0)
+      : total_(resolution), windows_{Histogram(resolution),
+                                     Histogram(resolution)} {}
+
+  WindowedRecorder(const WindowedRecorder&) = delete;
+  WindowedRecorder& operator=(const WindowedRecorder&) = delete;
+
+  /// Records into the cumulative total and the active window.
+  void Observe(double value);
+
+  /// Closes the active window and returns its snapshot; subsequent
+  /// samples land in a fresh window.
+  HistogramSnapshot Rotate();
+
+  /// Snapshot of the whole-run distribution.
+  HistogramSnapshot Total() const { return total_.Snapshot(); }
+
+  /// Snapshot of the in-progress (not yet rotated) window.
+  HistogramSnapshot Window() const;
+
+  /// Completed rotations so far.
+  int64_t rotations() const;
+
+ private:
+  Histogram total_;
+  /// Double-buffered windows; `active_ & 1` picks the recording one and
+  /// Rotate flips it, drains the retiring buffer, and resets it for the
+  /// rotation after next.
+  Histogram windows_[2];
+  std::atomic<uint64_t> active_{0};
+  mutable util::Mutex mu_;
+  int64_t rotations_ GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace rdbsc::obs
+
+#endif  // RDBSC_OBS_HISTOGRAM_H_

@@ -1,0 +1,186 @@
+#include "obs/json.h"
+
+#include <cmath>
+#include <cstdio>
+
+namespace rdbsc::obs {
+
+void JsonWriter::BeforeValue() {
+  if (after_key_) {
+    after_key_ = false;
+    return;
+  }
+  if (!first_.empty()) {
+    if (first_.back()) {
+      first_.back() = false;
+    } else {
+      out_.push_back(',');
+    }
+  }
+}
+
+void JsonWriter::AppendEscaped(std::string_view text) {
+  for (char c : text) {
+    switch (c) {
+      case '"':
+        out_ += "\\\"";
+        break;
+      case '\\':
+        out_ += "\\\\";
+        break;
+      case '\n':
+        out_ += "\\n";
+        break;
+      case '\r':
+        out_ += "\\r";
+        break;
+      case '\t':
+        out_ += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out_ += buf;
+        } else {
+          out_.push_back(c);
+        }
+    }
+  }
+}
+
+void JsonWriter::BeginObject() {
+  BeforeValue();
+  out_.push_back('{');
+  first_.push_back(true);
+}
+
+void JsonWriter::EndObject() {
+  out_.push_back('}');
+  if (!first_.empty()) first_.pop_back();
+}
+
+void JsonWriter::BeginArray() {
+  BeforeValue();
+  out_.push_back('[');
+  first_.push_back(true);
+}
+
+void JsonWriter::EndArray() {
+  out_.push_back(']');
+  if (!first_.empty()) first_.pop_back();
+}
+
+void JsonWriter::Key(std::string_view key) {
+  if (!first_.empty()) {
+    if (first_.back()) {
+      first_.back() = false;
+    } else {
+      out_.push_back(',');
+    }
+  }
+  out_.push_back('"');
+  AppendEscaped(key);
+  out_ += "\":";
+  after_key_ = true;
+}
+
+void JsonWriter::String(std::string_view value) {
+  BeforeValue();
+  out_.push_back('"');
+  AppendEscaped(value);
+  out_.push_back('"');
+}
+
+void JsonWriter::Int(int64_t value) {
+  BeforeValue();
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(value));
+  out_ += buf;
+}
+
+void JsonWriter::Double(double value) {
+  BeforeValue();
+  if (!std::isfinite(value)) {
+    out_ += "null";
+    return;
+  }
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.17g", value);
+  out_ += buf;
+}
+
+void JsonWriter::Bool(bool value) {
+  BeforeValue();
+  out_ += value ? "true" : "false";
+}
+
+void JsonWriter::Null() {
+  BeforeValue();
+  out_ += "null";
+}
+
+void AppendMetric(JsonWriter& writer, const MetricSnapshot& metric) {
+  writer.BeginObject();
+  writer.Key("name");
+  writer.String(metric.name);
+  writer.Key("labels");
+  writer.BeginObject();
+  for (const auto& [key, value] : metric.labels) {
+    writer.Key(key);
+    writer.String(value);
+  }
+  writer.EndObject();
+  writer.Key("kind");
+  switch (metric.kind) {
+    case MetricSnapshot::Kind::kCounter:
+      writer.String("counter");
+      writer.Key("value");
+      writer.Int(metric.counter_value);
+      break;
+    case MetricSnapshot::Kind::kGauge:
+      writer.String("gauge");
+      writer.Key("value");
+      writer.Double(metric.gauge_value);
+      break;
+    case MetricSnapshot::Kind::kHistogram: {
+      writer.String("histogram");
+      const HistogramSnapshot& h = metric.histogram;
+      writer.Key("count");
+      writer.Int(h.count());
+      writer.Key("avg");
+      writer.Double(h.avg());
+      writer.Key("min");
+      writer.Double(h.min());
+      writer.Key("max");
+      writer.Double(h.max());
+      writer.Key("stddev");
+      writer.Double(h.stddev());
+      writer.Key("p50");
+      writer.Double(h.p50());
+      writer.Key("p90");
+      writer.Double(h.p90());
+      writer.Key("p95");
+      writer.Double(h.p95());
+      writer.Key("p99");
+      writer.Double(h.p99());
+      writer.Key("p999");
+      writer.Double(h.p999());
+      break;
+    }
+  }
+  writer.EndObject();
+}
+
+std::string MetricsJson(const RegistrySnapshot& snapshot) {
+  std::string out;
+  JsonWriter writer(out);
+  writer.BeginArray();
+  for (const MetricSnapshot& metric : snapshot.metrics) {
+    AppendMetric(writer, metric);
+  }
+  writer.EndArray();
+  return out;
+}
+
+}  // namespace rdbsc::obs

@@ -1,0 +1,80 @@
+#ifndef RDBSC_OBS_JSON_H_
+#define RDBSC_OBS_JSON_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/registry.h"
+
+namespace rdbsc::obs {
+
+/// Identity of the structured results documents this library emits (the
+/// BENCH_*.json convention). tools/check_bench_json.py validates it; bump
+/// the version when a field changes meaning, never in place.
+inline constexpr std::string_view kResultsSchemaName = "rdbsc-bench-results";
+inline constexpr int kResultsSchemaVersion = 1;
+
+/// Minimal streaming JSON writer: appends well-formed JSON to a caller-
+/// owned string. No dependencies, deterministic output (stable double
+/// formatting via %.17g; non-finite doubles serialize as null).
+///
+///   std::string out;
+///   obs::JsonWriter w(out);
+///   w.BeginObject();
+///   w.Key("schema"); w.String(obs::kResultsSchemaName);
+///   w.Key("points"); w.BeginArray(); w.Int(1); w.Int(2); w.EndArray();
+///   w.EndObject();
+///
+/// The writer tracks separators itself; callers never emit commas. It
+/// does not validate call order beyond separator placement -- emitting a
+/// syntactically sensible sequence is the caller's job.
+class JsonWriter {
+ public:
+  explicit JsonWriter(std::string& out) : out_(out) {}
+
+  JsonWriter(const JsonWriter&) = delete;
+  JsonWriter& operator=(const JsonWriter&) = delete;
+
+  void BeginObject();
+  void EndObject();
+  void BeginArray();
+  void EndArray();
+
+  /// Object member key (escaped); the next value call is its value.
+  void Key(std::string_view key);
+
+  void String(std::string_view value);
+  void Int(int64_t value);
+  void Double(double value);
+  void Bool(bool value);
+  void Null();
+
+ private:
+  void BeforeValue();
+  void AppendEscaped(std::string_view text);
+
+  std::string& out_;
+  /// One entry per open container: true until its first element is
+  /// written (no separator needed yet).
+  std::vector<bool> first_;
+  bool after_key_ = false;
+};
+
+/// Appends one metric as a JSON object:
+///   {"name": ..., "labels": {...}, "kind": "counter", "value": N}
+///   {"name": ..., "labels": {...}, "kind": "gauge", "value": X}
+///   {"name": ..., "labels": {...}, "kind": "histogram", "count": N,
+///    "avg": ..., "min": ..., "max": ..., "stddev": ...,
+///    "p50": ..., "p90": ..., "p95": ..., "p99": ..., "p999": ...}
+void AppendMetric(JsonWriter& writer, const MetricSnapshot& metric);
+
+/// The full snapshot as a JSON array of metric objects, in the snapshot's
+/// deterministic order. This is the "metrics" section of a results
+/// document (and the golden-test surface).
+std::string MetricsJson(const RegistrySnapshot& snapshot);
+
+}  // namespace rdbsc::obs
+
+#endif  // RDBSC_OBS_JSON_H_

@@ -1,0 +1,76 @@
+#include "obs/registry.h"
+
+#include <algorithm>
+
+namespace rdbsc::obs {
+
+Registry::MetricId Registry::MakeId(std::string_view name, Labels labels) {
+  std::sort(labels.begin(), labels.end());
+  return MetricId{std::string(name), std::move(labels)};
+}
+
+Counter& Registry::GetCounter(std::string_view name, Labels labels) {
+  MetricId id = MakeId(name, std::move(labels));
+  util::MutexLock lock(mu_);
+  std::unique_ptr<Counter>& slot = counters_[std::move(id)];
+  if (slot == nullptr) slot.reset(new Counter());
+  return *slot;
+}
+
+Gauge& Registry::GetGauge(std::string_view name, Labels labels) {
+  MetricId id = MakeId(name, std::move(labels));
+  util::MutexLock lock(mu_);
+  std::unique_ptr<Gauge>& slot = gauges_[std::move(id)];
+  if (slot == nullptr) slot.reset(new Gauge());
+  return *slot;
+}
+
+Histogram& Registry::GetHistogram(std::string_view name, Labels labels,
+                                  double resolution) {
+  MetricId id = MakeId(name, std::move(labels));
+  util::MutexLock lock(mu_);
+  std::unique_ptr<Histogram>& slot = histograms_[std::move(id)];
+  if (slot == nullptr) slot = std::make_unique<Histogram>(resolution);
+  return *slot;
+}
+
+RegistrySnapshot Registry::Snapshot() const {
+  RegistrySnapshot snap;
+  util::MutexLock lock(mu_);
+  snap.metrics.reserve(counters_.size() + gauges_.size() +
+                       histograms_.size());
+  for (const auto& [id, counter] : counters_) {
+    MetricSnapshot m;
+    m.name = id.name;
+    m.labels = id.labels;
+    m.kind = MetricSnapshot::Kind::kCounter;
+    m.counter_value = counter->value();
+    snap.metrics.push_back(std::move(m));
+  }
+  for (const auto& [id, gauge] : gauges_) {
+    MetricSnapshot m;
+    m.name = id.name;
+    m.labels = id.labels;
+    m.kind = MetricSnapshot::Kind::kGauge;
+    m.gauge_value = gauge->value();
+    snap.metrics.push_back(std::move(m));
+  }
+  for (const auto& [id, histogram] : histograms_) {
+    MetricSnapshot m;
+    m.name = id.name;
+    m.labels = id.labels;
+    m.kind = MetricSnapshot::Kind::kHistogram;
+    m.histogram = histogram->Snapshot();
+    snap.metrics.push_back(std::move(m));
+  }
+  // Each source map is already (name, labels)-ordered; interleave the
+  // three kinds into one deterministic (name, labels, kind) order.
+  std::stable_sort(snap.metrics.begin(), snap.metrics.end(),
+                   [](const MetricSnapshot& a, const MetricSnapshot& b) {
+                     if (a.name != b.name) return a.name < b.name;
+                     return a.labels < b.labels;
+                   });
+  return snap;
+}
+
+}  // namespace rdbsc::obs

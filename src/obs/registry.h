@@ -1,0 +1,128 @@
+#ifndef RDBSC_OBS_REGISTRY_H_
+#define RDBSC_OBS_REGISTRY_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "obs/histogram.h"
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
+
+namespace rdbsc::obs {
+
+/// Hierarchical metric labels: sorted (key, value) pairs. The registry
+/// sorts on registration, so {"stage","solve"},{"solver","dc"} and the
+/// reverse order name the same metric.
+using Labels = std::vector<std::pair<std::string, std::string>>;
+
+/// Monotonic counter. Lock-free; safe from any number of threads.
+class Counter {
+ public:
+  void Increment(int64_t delta = 1) {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  int64_t value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  friend class Registry;
+  Counter() = default;
+  std::atomic<int64_t> value_{0};
+};
+
+/// Last-write-wins instantaneous value. Lock-free.
+class Gauge {
+ public:
+  void Set(double value) {
+    value_.store(value, std::memory_order_relaxed);
+  }
+  double value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  friend class Registry;
+  Gauge() = default;
+  std::atomic<double> value_{0.0};
+};
+
+/// One metric captured by Registry::Snapshot.
+struct MetricSnapshot {
+  enum class Kind { kCounter, kGauge, kHistogram };
+
+  std::string name;
+  Labels labels;
+  Kind kind = Kind::kCounter;
+  int64_t counter_value = 0;   ///< kCounter only
+  double gauge_value = 0.0;    ///< kGauge only
+  HistogramSnapshot histogram; ///< kHistogram only
+};
+
+/// Deterministically ordered (name, then labels, counters before gauges
+/// before histograms on a full tie) capture of a registry.
+struct RegistrySnapshot {
+  std::vector<MetricSnapshot> metrics;
+};
+
+/// Named counters / gauges / histograms with hierarchical labels -- the
+/// sink the engine pipeline, the admission server, the simulator, and the
+/// bench harness all report into.
+///
+/// Usage pattern: resolve each metric once (registration takes the
+/// registry mutex) and record through the returned reference (lock-free):
+///
+///   obs::Histogram& solve = registry.GetHistogram(
+///       "engine.stage_seconds",
+///       {{"solver", "dc"}, {"stage", "solve"}}, 1e-9);
+///   ...
+///   solve.Observe(elapsed_seconds);
+///
+/// Returned references are stable for the registry's lifetime. Get* with
+/// the same (name, labels) returns the same object, so independent
+/// components aggregate into shared metrics by construction. A
+/// histogram's resolution is fixed by its first registration.
+///
+/// Snapshot() may run concurrently with recording; it sees each counter
+/// atomically (see Histogram::Snapshot for the per-histogram caveat).
+class Registry {
+ public:
+  Registry() = default;
+  Registry(const Registry&) = delete;
+  Registry& operator=(const Registry&) = delete;
+
+  Counter& GetCounter(std::string_view name, Labels labels = {})
+      EXCLUDES(mu_);
+  Gauge& GetGauge(std::string_view name, Labels labels = {}) EXCLUDES(mu_);
+  /// `resolution` is the caller-value of one histogram unit (duration
+  /// histograms pass 1e-9: nanosecond units, seconds in/out).
+  Histogram& GetHistogram(std::string_view name, Labels labels = {},
+                          double resolution = 1.0) EXCLUDES(mu_);
+
+  RegistrySnapshot Snapshot() const EXCLUDES(mu_);
+
+ private:
+  struct MetricId {
+    std::string name;
+    Labels labels;
+    bool operator<(const MetricId& other) const {
+      if (name != other.name) return name < other.name;
+      return labels < other.labels;
+    }
+  };
+
+  static MetricId MakeId(std::string_view name, Labels labels);
+
+  mutable util::Mutex mu_;
+  /// std::map (ordered) so snapshots serialize deterministically.
+  std::map<MetricId, std::unique_ptr<Counter>> counters_ GUARDED_BY(mu_);
+  std::map<MetricId, std::unique_ptr<Gauge>> gauges_ GUARDED_BY(mu_);
+  std::map<MetricId, std::unique_ptr<Histogram>> histograms_
+      GUARDED_BY(mu_);
+};
+
+}  // namespace rdbsc::obs
+
+#endif  // RDBSC_OBS_REGISTRY_H_

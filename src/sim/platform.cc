@@ -1,6 +1,7 @@
 #include "sim/platform.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <limits>
 #include <numbers>
@@ -11,6 +12,7 @@
 #include "core/registry.h"
 #include "engine/server.h"
 #include "util/config.h"
+#include "util/deadline.h"
 #include "geo/angle.h"
 #include "util/math.h"
 #include "util/rng.h"
@@ -76,6 +78,21 @@ util::StatusOr<PlatformResult> Platform::Run() {
   util::Rng rng(config_.seed);
   PlatformResult result;
 
+  // Optional observability: resolve the handles once, record per round.
+  obs::Counter* m_rounds = nullptr;
+  obs::Counter* m_assignments = nullptr;
+  obs::Counter* m_answers = nullptr;
+  obs::Histogram* m_round_solve = nullptr;
+  if (config_.metrics != nullptr) {
+    const obs::Labels labels = {{"solver", config_.solver_name}};
+    m_rounds = &config_.metrics->GetCounter("sim.rounds", labels);
+    m_assignments =
+        &config_.metrics->GetCounter("sim.assignments", labels);
+    m_answers = &config_.metrics->GetCounter("sim.answers", labels);
+    m_round_solve = &config_.metrics->GetHistogram(
+        "sim.round_solve_seconds", labels, 1e-9);
+  }
+
   // Optional async admission path: ticks submit through an engine::Server
   // instead of solving inline. Brute-force graph construction keeps the
   // candidate graph identical to the inline CandidateGraph::Build below,
@@ -90,6 +107,7 @@ util::StatusOr<PlatformResult> Platform::Run() {
     server_config.engine.validate_instances = false;
     server_config.num_workers = config_.server_workers;
     server_config.cache_mode = config_.cache_mode;
+    server_config.engine.metrics = config_.metrics;
     util::StatusOr<std::unique_ptr<rdbsc::engine::Server>> created =
         rdbsc::engine::Server::Create(std::move(server_config));
     if (!created.ok()) return created.status();
@@ -202,6 +220,7 @@ util::StatusOr<PlatformResult> Platform::Run() {
     core::Instance snapshot(std::move(open_tasks), std::move(free_workers),
                             /*now=*/t, core::ArrivalPolicy::kStrict);
     core::SolveResult solve;
+    const auto solve_start = std::chrono::steady_clock::now();
     if (server != nullptr) {
       // Async admission path: the tick is one server request (priority 0,
       // unlimited budget -- the simulator has no per-tick budget).
@@ -226,6 +245,11 @@ util::StatusOr<PlatformResult> Platform::Run() {
       solve = std::move(solved).value();
     }
 
+    if (m_round_solve != nullptr) {
+      m_round_solve->Observe(util::SecondsSince(solve_start));
+      m_rounds->Increment();
+    }
+
     RoundRecord record;
     record.time = t;
     for (core::WorkerId lj = 0; lj < snapshot.num_workers(); ++lj) {
@@ -241,6 +265,7 @@ util::StatusOr<PlatformResult> Platform::Run() {
       ++site.pending;
       ++record.newly_assigned;
       ++result.assignments_made;
+      if (m_assignments != nullptr) m_assignments->Increment();
 
       // Pending assignments contribute with the worker's confidence
       // (removed again if the answer never materializes -- modeled by
@@ -265,6 +290,7 @@ util::StatusOr<PlatformResult> Platform::Run() {
   }
 
   deliver_arrivals(config_.horizon + 10.0);  // flush everyone still en route
+  if (m_answers != nullptr) m_answers->Increment(result.answers_received);
   result.final_objectives = ComputeObjectives(sites);
   result.mean_accuracy_error =
       result.answers_received > 0

@@ -9,6 +9,7 @@
 #include "core/assignment.h"
 #include "core/solver.h"
 #include "engine/engine.h"
+#include "obs/registry.h"
 #include "util/status.h"
 #include "util/thread_pool.h"
 
@@ -61,6 +62,14 @@ struct PlatformConfig {
   /// mode; only tick latency varies. kDefault keeps the server's own
   /// default (off).
   engine::CacheMode cache_mode = engine::CacheMode::kDefault;
+  /// Optional metrics sink (unowned; must outlive Run()). Records the
+  /// counters sim.rounds / sim.assignments / sim.answers and the
+  /// per-round solve-time histogram sim.round_solve_seconds (all labeled
+  /// {solver}); in server mode the registry is also attached to the
+  /// server's engine, so the engine.stage_seconds breakdown lands next
+  /// to the sim metrics. Purely observational: the simulated trajectory
+  /// is bit-identical with or without it.
+  obs::Registry* metrics = nullptr;
 };
 
 /// One answer produced by a worker reaching a task site.

@@ -1,0 +1,353 @@
+#!/usr/bin/env python3
+"""Schema validator for the BENCH_*.json results documents.
+
+The bench harness (bench/harness.h, BenchReport) writes structured results
+with `--out=FILE`; this script is the consumer-side contract check that CI
+runs on every emitted document before archiving it. It validates:
+
+  document    schema == "rdbsc-bench-results", schema_version == 1,
+              non-empty "bench" name, "options" with base/seeds/
+              paper_scale/threads of the right types
+  tables      each with metric/x_label strings, rows/columns string
+              arrays, and a cells matrix of numbers (or null for
+              non-finite values) whose shape is len(rows) x len(columns)
+  metrics     each a counter/gauge/histogram object in the obs::AppendMetric
+              shape; histograms additionally satisfy the internal-
+              consistency invariants the C++ library guarantees:
+                count >= 0; empty histograms are all-zero
+                min <= p50 <= p90 <= p95 <= p99 <= p999 <= max
+                min <= avg <= max, stddev >= 0
+
+Usage:
+    check_bench_json.py FILE [FILE...]    validate documents
+    check_bench_json.py --self-test       validate embedded good/bad docs
+
+Exit status: 0 when every document is valid, 1 on violations (or
+self-test mismatch), 2 on usage errors / unreadable input.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+SCHEMA_NAME = "rdbsc-bench-results"
+SCHEMA_VERSION = 1
+
+HISTOGRAM_FIELDS = ("count", "avg", "min", "max", "stddev",
+                    "p50", "p90", "p95", "p99", "p999")
+PERCENTILE_ORDER = ("min", "p50", "p90", "p95", "p99", "p999", "max")
+
+
+def _is_number(value) -> bool:
+    # bool is an int subclass in Python; JSON true/false is not a number.
+    return isinstance(value, (int, float)) and not isinstance(value, bool)
+
+
+class Checker:
+    """Accumulates violations with JSON-path context."""
+
+    def __init__(self, label: str):
+        self.label = label
+        self.violations: list[str] = []
+
+    def fail(self, path: str, message: str) -> None:
+        self.violations.append(f"{self.label}: {path}: {message}")
+
+    def expect(self, ok: bool, path: str, message: str) -> bool:
+        if not ok:
+            self.fail(path, message)
+        return ok
+
+    # --- sections ---------------------------------------------------------
+
+    def check_document(self, doc) -> None:
+        if not self.expect(isinstance(doc, dict), "$", "document must be an "
+                           f"object, got {type(doc).__name__}"):
+            return
+        self.expect(doc.get("schema") == SCHEMA_NAME, "$.schema",
+                    f"must be {SCHEMA_NAME!r}, got {doc.get('schema')!r}")
+        self.expect(doc.get("schema_version") == SCHEMA_VERSION,
+                    "$.schema_version",
+                    f"must be {SCHEMA_VERSION}, "
+                    f"got {doc.get('schema_version')!r}")
+        bench = doc.get("bench")
+        self.expect(isinstance(bench, str) and bench != "", "$.bench",
+                    "must be a non-empty string")
+        self.check_options(doc.get("options"))
+        tables = doc.get("tables")
+        if self.expect(isinstance(tables, list), "$.tables",
+                       "must be an array"):
+            for i, table in enumerate(tables):
+                self.check_table(table, f"$.tables[{i}]")
+        metrics = doc.get("metrics")
+        if self.expect(isinstance(metrics, list), "$.metrics",
+                       "must be an array"):
+            for i, metric in enumerate(metrics):
+                self.check_metric(metric, f"$.metrics[{i}]")
+
+    def check_options(self, options) -> None:
+        if not self.expect(isinstance(options, dict), "$.options",
+                           "must be an object"):
+            return
+        for key in ("base", "seeds", "threads"):
+            value = options.get(key)
+            self.expect(isinstance(value, int) and
+                        not isinstance(value, bool),
+                        f"$.options.{key}", "must be an integer")
+        self.expect(isinstance(options.get("paper_scale"), bool),
+                    "$.options.paper_scale", "must be a boolean")
+
+    def check_table(self, table, path: str) -> None:
+        if not self.expect(isinstance(table, dict), path,
+                           "must be an object"):
+            return
+        for key in ("metric", "x_label"):
+            self.expect(isinstance(table.get(key), str), f"{path}.{key}",
+                        "must be a string")
+        shape = {}
+        for key in ("rows", "columns"):
+            value = table.get(key)
+            ok = isinstance(value, list) and all(
+                isinstance(v, str) for v in value)
+            self.expect(ok, f"{path}.{key}", "must be an array of strings")
+            shape[key] = len(value) if ok else None
+        cells = table.get("cells")
+        if not self.expect(isinstance(cells, list), f"{path}.cells",
+                           "must be an array of rows"):
+            return
+        if shape["rows"] is not None:
+            self.expect(len(cells) == shape["rows"], f"{path}.cells",
+                        f"has {len(cells)} rows, labels say "
+                        f"{shape['rows']}")
+        for r, row in enumerate(cells):
+            if not self.expect(isinstance(row, list), f"{path}.cells[{r}]",
+                               "must be an array"):
+                continue
+            if shape["columns"] is not None:
+                self.expect(len(row) == shape["columns"],
+                            f"{path}.cells[{r}]",
+                            f"has {len(row)} cells, labels say "
+                            f"{shape['columns']}")
+            for c, cell in enumerate(row):
+                # null encodes a non-finite double (see obs::JsonWriter).
+                self.expect(cell is None or _is_number(cell),
+                            f"{path}.cells[{r}][{c}]",
+                            "must be a number or null")
+
+    def check_metric(self, metric, path: str) -> None:
+        if not self.expect(isinstance(metric, dict), path,
+                           "must be an object"):
+            return
+        name = metric.get("name")
+        self.expect(isinstance(name, str) and name != "", f"{path}.name",
+                    "must be a non-empty string")
+        labels = metric.get("labels")
+        if self.expect(isinstance(labels, dict), f"{path}.labels",
+                       "must be an object"):
+            for key, value in labels.items():
+                self.expect(isinstance(value, str), f"{path}.labels.{key}",
+                            "must be a string")
+        kind = metric.get("kind")
+        if kind == "counter":
+            value = metric.get("value")
+            if self.expect(isinstance(value, int) and
+                           not isinstance(value, bool),
+                           f"{path}.value", "counter must be an integer"):
+                self.expect(value >= 0, f"{path}.value",
+                            "counter must be non-negative")
+        elif kind == "gauge":
+            self.expect(_is_number(metric.get("value")) or
+                        metric.get("value") is None,
+                        f"{path}.value", "gauge must be a number or null")
+        elif kind == "histogram":
+            self.check_histogram(metric, path)
+        else:
+            self.fail(f"{path}.kind",
+                      f"must be counter/gauge/histogram, got {kind!r}")
+
+    def check_histogram(self, metric, path: str) -> None:
+        values = {}
+        for field in HISTOGRAM_FIELDS:
+            value = metric.get(field)
+            if field == "count":
+                ok = isinstance(value, int) and not isinstance(value, bool)
+                self.expect(ok, f"{path}.count", "must be an integer")
+            else:
+                # null is legal (non-finite double) but voids ordering
+                # checks on that field.
+                ok = _is_number(value)
+                self.expect(ok or value is None, f"{path}.{field}",
+                            "must be a number or null")
+            values[field] = value if ok else None
+        count = values["count"]
+        if count is None:
+            return
+        if not self.expect(count >= 0, f"{path}.count",
+                           "must be non-negative"):
+            return
+        if count == 0:
+            for field in HISTOGRAM_FIELDS[1:]:
+                if values[field] is not None:
+                    self.expect(values[field] == 0, f"{path}.{field}",
+                                "must be 0 for an empty histogram")
+            return
+        if values["stddev"] is not None:
+            self.expect(values["stddev"] >= 0, f"{path}.stddev",
+                        "must be non-negative")
+        chain = [(f, values[f]) for f in PERCENTILE_ORDER
+                 if values[f] is not None]
+        for (lo_name, lo), (hi_name, hi) in zip(chain, chain[1:]):
+            self.expect(lo <= hi, f"{path}.{hi_name}",
+                        f"percentile order violated: {lo_name}={lo} > "
+                        f"{hi_name}={hi}")
+        if (values["avg"] is not None and values["min"] is not None
+                and values["max"] is not None):
+            self.expect(values["min"] <= values["avg"] <= values["max"],
+                        f"{path}.avg",
+                        f"avg={values['avg']} outside "
+                        f"[{values['min']}, {values['max']}]")
+
+
+def check_file(path: Path) -> list[str]:
+    try:
+        doc = json.loads(path.read_text())
+    except OSError as err:
+        return [f"{path}: unreadable: {err}"]
+    except json.JSONDecodeError as err:
+        return [f"{path}: not valid JSON: {err}"]
+    checker = Checker(str(path))
+    checker.check_document(doc)
+    return checker.violations
+
+
+# ---------------------------------------------------------------------------
+# Self-test
+# ---------------------------------------------------------------------------
+
+GOOD_DOC = {
+    "schema": SCHEMA_NAME,
+    "schema_version": SCHEMA_VERSION,
+    "bench": "fig16_runtime",
+    "options": {"base": 100, "seeds": 3, "paper_scale": False, "threads": 0},
+    "tables": [
+        {
+            "metric": "CPU time (s) vs m",
+            "x_label": "m",
+            "rows": ["m=100", "m=200"],
+            "columns": ["g-truth", "sampling"],
+            "cells": [[0.5, 0.1], [1.25, None]],
+        }
+    ],
+    "metrics": [
+        {"name": "engine.cache", "labels": {"outcome": "hit"},
+         "kind": "counter", "value": 7},
+        {"name": "pool.width", "labels": {}, "kind": "gauge", "value": 4.0},
+        {"name": "engine.stage_seconds",
+         "labels": {"solver": "dc", "stage": "solve"},
+         "kind": "histogram", "count": 3, "avg": 2.0, "min": 1.0,
+         "max": 3.0, "stddev": 0.8, "p50": 2.0, "p90": 3.0, "p95": 3.0,
+         "p99": 3.0, "p999": 3.0},
+        {"name": "empty.hist", "labels": {}, "kind": "histogram",
+         "count": 0, "avg": 0, "min": 0, "max": 0, "stddev": 0,
+         "p50": 0, "p90": 0, "p95": 0, "p99": 0, "p999": 0},
+    ],
+}
+
+# (mutation description, patch function) pairs; every one must be caught.
+def _bad_documents():
+    import copy
+
+    def mutate(description, fn):
+        doc = copy.deepcopy(GOOD_DOC)
+        fn(doc)
+        return description, doc
+
+    return [
+        mutate("wrong schema name",
+               lambda d: d.update(schema="other")),
+        mutate("wrong schema version",
+               lambda d: d.update(schema_version=2)),
+        mutate("empty bench name",
+               lambda d: d.update(bench="")),
+        mutate("missing options.seeds",
+               lambda d: d["options"].pop("seeds")),
+        mutate("boolean where integer expected",
+               lambda d: d["options"].update(base=True)),
+        mutate("cells row count mismatch",
+               lambda d: d["tables"][0]["cells"].append([1.0, 2.0])),
+        mutate("cells column count mismatch",
+               lambda d: d["tables"][0]["cells"][0].append(9.9)),
+        mutate("string cell",
+               lambda d: d["tables"][0]["cells"][0].__setitem__(0, "fast")),
+        mutate("negative counter",
+               lambda d: d["metrics"][0].update(value=-1)),
+        mutate("unknown metric kind",
+               lambda d: d["metrics"][0].update(kind="timer")),
+        mutate("non-string label value",
+               lambda d: d["metrics"][0]["labels"].update(outcome=3)),
+        mutate("percentile order violated",
+               lambda d: d["metrics"][2].update(p95=10.0)),
+        mutate("max below p999",
+               lambda d: d["metrics"][2].update(max=0.5)),
+        mutate("avg outside min/max",
+               lambda d: d["metrics"][2].update(avg=99.0)),
+        mutate("negative stddev",
+               lambda d: d["metrics"][2].update(stddev=-0.1)),
+        mutate("non-zero stats on empty histogram",
+               lambda d: d["metrics"][3].update(max=5.0)),
+    ]
+
+
+def self_test() -> int:
+    failures = 0
+    checker = Checker("good")
+    checker.check_document(GOOD_DOC)
+    for violation in checker.violations:
+        print(f"self-test FAIL: good document rejected: {violation}")
+        failures += 1
+    for description, doc in _bad_documents():
+        checker = Checker(description)
+        checker.check_document(doc)
+        if not checker.violations:
+            print(f"self-test FAIL: not caught: {description}")
+            failures += 1
+    if failures:
+        print(f"self-test: {failures} mismatch(es)", file=sys.stderr)
+        return 1
+    print(f"self-test: good document accepted, "
+          f"{len(_bad_documents())} bad document(s) rejected")
+    return 0
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("files", nargs="*", type=Path,
+                        help="BENCH_*.json documents to validate")
+    parser.add_argument("--self-test", action="store_true",
+                        help="validate the embedded good/bad documents")
+    args = parser.parse_args()
+    if args.self_test:
+        return self_test()
+    if not args.files:
+        parser.print_usage(sys.stderr)
+        print("check_bench_json: no files given", file=sys.stderr)
+        return 2
+    violations = []
+    for path in args.files:
+        violations.extend(check_file(path))
+    for violation in violations:
+        print(violation)
+    if violations:
+        print(f"check_bench_json: {len(violations)} violation(s)",
+              file=sys.stderr)
+        return 1
+    names = ", ".join(str(p) for p in args.files)
+    print(f"check_bench_json: {len(args.files)} document(s) valid ({names})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

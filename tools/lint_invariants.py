@@ -17,12 +17,13 @@ the compiler nor clang-tidy can express:
                           ignores the deadline cannot be cancelled or
                           budget-limited.
   ambient-time            No wall-clock reads (time(), system_clock) in
-                          src/core, src/index, or src/engine. Wall time is
-                          non-reproducible; std::chrono::steady_clock is
-                          fine for durations.
+                          src/core, src/index, src/engine, or src/obs.
+                          Wall time is non-reproducible;
+                          std::chrono::steady_clock is fine for durations.
   ambient-rng             No ambient randomness (rand()/srand()/
-                          std::random_device) in src/core, src/index, or
-                          src/engine. All randomized algorithms must draw
+                          std::random_device) in src/core, src/index,
+                          src/engine, or src/obs. All randomized
+                          algorithms must draw
                           from an explicitly seeded engine so runs replay.
   unguarded-mutex         No naked std::mutex members (use util::Mutex from
                           util/mutex.h so -Wthread-safety sees it), and
@@ -371,10 +372,11 @@ def check_unguarded_mutex(src: SourceFile) -> list[Finding]:
 # rule -> directories (relative to root) it applies to. unguarded-mutex
 # skips util/mutex.h itself (it *defines* the annotated wrappers).
 RULE_SCOPES = {
-    "unordered-iter": ("src/core", "src/engine", "src/sim", "src/index"),
+    "unordered-iter": ("src/core", "src/engine", "src/sim", "src/index",
+                       "src/obs"),
     "missing-deadline-poll": ("src/core",),
-    "ambient-time": ("src/core", "src/engine", "src/index"),
-    "ambient-rng": ("src/core", "src/engine", "src/index"),
+    "ambient-time": ("src/core", "src/engine", "src/index", "src/obs"),
+    "ambient-rng": ("src/core", "src/engine", "src/index", "src/obs"),
     "unguarded-mutex": ("src",),
 }
 
