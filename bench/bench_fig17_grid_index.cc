@@ -24,6 +24,7 @@ double Seconds(std::chrono::steady_clock::time_point t0) {
 
 int Run(int argc, char** argv) {
   BenchOptions options = ParseOptions(argc, argv);
+  BenchReport report("fig17_grid_index", options);
   std::printf("== Figure 17: Efficiency of the RDB-SC-Grid Index ==\n");
   std::printf("scale: base=%d (paper 10K), seeds=%d\n", options.base,
               options.num_seeds);
@@ -84,10 +85,12 @@ int Run(int argc, char** argv) {
                      without_s / options.num_seeds,
                      pruned_frac / options.num_seeds});
   }
-  PrintTable("RDB-SC-Grid timings", "n",
-             rows, {"build (s)", "with idx (s)", "no idx (s)", "pruned frac"},
-             cells, 4);
+  const std::vector<std::string> columns = {"build (s)", "with idx (s)",
+                                            "no idx (s)", "pruned frac"};
+  PrintTable("RDB-SC-Grid timings", "n", rows, columns, cells, 4);
+  report.AddTable("RDB-SC-Grid timings", "n", rows, columns, cells);
   std::printf("\n");
+  report.Write();
   return 0;
 }
 

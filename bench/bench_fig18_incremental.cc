@@ -15,6 +15,7 @@ namespace {
 
 int Run(int argc, char** argv) {
   BenchOptions options = ParseOptions(argc, argv);
+  BenchReport report("fig18_incremental", options);
   std::printf(
       "== Figure 18: Effect of the Updating Time Interval t_interval ==\n");
   std::printf("platform: 10 users, 5 sites, 15 min opening; seeds=%d\n",
@@ -53,7 +54,11 @@ int Run(int argc, char** argv) {
   PrintTable("Minimum Reliability", "t_interval", rows, solver_names,
              rel_cells, 4);
   PrintTable("total_STD", "t_interval", rows, solver_names, std_cells, 2);
+  report.AddTable("Minimum Reliability", "t_interval", rows, solver_names,
+                  rel_cells);
+  report.AddTable("total_STD", "t_interval", rows, solver_names, std_cells);
   std::printf("\n");
+  report.Write();
   return 0;
 }
 

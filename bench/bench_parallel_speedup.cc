@@ -79,6 +79,7 @@ Timings Measure(const core::Instance& instance, util::Executor* executor,
 
 int Run(int argc, char** argv) {
   BenchOptions options = ParseOptions(argc, argv);
+  BenchReport report("parallel_speedup", options);
   int max_threads =
       static_cast<int>(std::max(1u, std::thread::hardware_concurrency()));
   for (int a = 1; a < argc; ++a) {
@@ -135,7 +136,11 @@ int Run(int argc, char** argv) {
   PrintTable("wall time (s)", "threads", rows, columns, time_cells, 4);
   PrintTable("speedup vs 1 thread", "threads", rows, columns, speedup_cells,
              2);
+  report.AddTable("wall time (s)", "threads", rows, columns, time_cells);
+  report.AddTable("speedup vs 1 thread", "threads", rows, columns,
+                  speedup_cells);
   std::printf("\n");
+  report.Write();
   return 0;
 }
 

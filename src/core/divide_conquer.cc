@@ -49,7 +49,8 @@ class DcRunner {
     for (WorkerId j = 0; j < instance_.num_workers(); ++j) {
       if (graph.Degree(j) == 0) continue;
       root.workers.push_back(j);
-      root.edges.push_back(graph.TasksOf(j));
+      const auto row = graph.TasksOf(j);
+      root.edges.emplace_back(row.begin(), row.end());
     }
     stats_ = stats;
 

@@ -1,8 +1,13 @@
 #include "core/instance.h"
 
 #include <atomic>
+#include <cassert>
 #include <cmath>
+#include <cstring>
 #include <utility>
+
+#include "core/kernels.h"
+#include "util/arena.h"
 
 namespace rdbsc::core {
 
@@ -26,6 +31,19 @@ util::Status Instance::Validate() const {
   return util::Status::OK();
 }
 
+const InstanceSoA& Instance::soa() const {
+  assert(soa_cache_ != nullptr && "soa() called on a moved-from instance");
+  util::MutexLock lock(soa_cache_->mu);
+  if (soa_cache_->value == nullptr) {
+    soa_cache_->value =
+        std::make_shared<const InstanceSoA>(InstanceSoA::Build(*this));
+  }
+  // The pointee is immutable and the pointer is only ever set once, so the
+  // reference stays valid for the lifetime of the cache (shared by all
+  // copies of the instance).
+  return *soa_cache_->value;
+}
+
 CandidateGraph CandidateGraph::Build(const Instance& instance) {
   // Unlimited deadline: the sharded path cannot fail.
   return Build(instance, nullptr, util::Deadline()).value();
@@ -34,47 +52,69 @@ CandidateGraph CandidateGraph::Build(const Instance& instance) {
 util::StatusOr<CandidateGraph> CandidateGraph::Build(
     const Instance& instance, util::Executor* executor,
     const util::Deadline& deadline) {
-  // Poll the deadline every this many worker rows. Each row is O(m) pair
-  // tests, so the check amortizes to nothing while still bounding overrun.
-  constexpr int kRowsPerDeadlineCheck = 32;
+  const InstanceSoA& soa = instance.soa();
+  const int num_workers = instance.num_workers();
 
-  std::vector<std::vector<TaskId>> edges(instance.num_workers());
+  // Shards run the batched kernel row driver over disjoint worker ranges,
+  // parking each row in a per-shard arena (no per-worker vector growth;
+  // the assembly below does one bulk copy per row). The deadline is polled
+  // inside the driver every kKernelRowsPerPoll rows.
+  std::vector<EdgeRow> rows(static_cast<size_t>(num_workers));
+  util::Executor& exec = util::OrSerial(executor);
+  std::vector<util::Arena> arenas(static_cast<size_t>(exec.width()));
   std::atomic<bool> interrupted{false};
-  util::OrSerial(executor).ShardedFor(
-      instance.num_workers(),
-      [&](int /*shard*/, int64_t begin, int64_t end) {
-        for (int64_t j = begin; j < end; ++j) {
-          if ((j - begin) % kRowsPerDeadlineCheck == 0 &&
-              (interrupted.load(std::memory_order_relaxed) ||
-               deadline.Exhausted())) {
-            interrupted.store(true, std::memory_order_relaxed);
-            return;
-          }
-          for (TaskId i = 0; i < instance.num_tasks(); ++i) {
-            if (IsValidPair(instance.task(i),
-                            instance.worker(static_cast<WorkerId>(j)),
-                            instance.now(), instance.policy())) {
-              edges[j].push_back(i);
-            }
-          }
-        }
-      });
+  exec.ShardedFor(num_workers, [&](int shard, int64_t begin, int64_t end) {
+    const bool completed =
+        ValidPairsRows(soa, begin, end, deadline, &arenas[shard], rows.data());
+    if (!completed) interrupted.store(true, std::memory_order_relaxed);
+  });
   if (interrupted.load(std::memory_order_relaxed)) {
     return util::InterruptedStatus(deadline, "graph build interrupted");
   }
-  return FromEdges(instance, std::move(edges));
+  return FromRows(instance.num_tasks(), num_workers, rows.data());
 }
 
 CandidateGraph CandidateGraph::FromEdges(
     const Instance& instance, std::vector<std::vector<TaskId>> edges) {
+  edges.resize(static_cast<size_t>(instance.num_workers()));
+  std::vector<EdgeRow> rows(edges.size());
+  for (size_t j = 0; j < edges.size(); ++j) {
+    rows[j] = {edges[j].data(), static_cast<int32_t>(edges[j].size())};
+  }
+  return FromRows(instance.num_tasks(), instance.num_workers(), rows.data());
+}
+
+CandidateGraph CandidateGraph::FromRows(int num_tasks, int num_workers,
+                                        const EdgeRow* rows) {
   CandidateGraph graph;
-  graph.worker_tasks_ = std::move(edges);
-  graph.worker_tasks_.resize(instance.num_workers());
-  graph.task_workers_.assign(instance.num_tasks(), {});
-  for (WorkerId j = 0; j < graph.num_workers(); ++j) {
-    for (TaskId i : graph.worker_tasks_[j]) {
-      graph.task_workers_[i].push_back(j);
-      ++graph.num_edges_;
+  graph.worker_offsets_.assign(static_cast<size_t>(num_workers) + 1, 0);
+  for (int j = 0; j < num_workers; ++j) {
+    graph.worker_offsets_[j + 1] = graph.worker_offsets_[j] + rows[j].count;
+  }
+  graph.num_edges_ = graph.worker_offsets_[num_workers];
+  graph.worker_edges_.resize(static_cast<size_t>(graph.num_edges_));
+  for (int j = 0; j < num_workers; ++j) {
+    if (rows[j].count > 0) {
+      std::memcpy(graph.worker_edges_.data() + graph.worker_offsets_[j],
+                  rows[j].data,
+                  static_cast<size_t>(rows[j].count) * sizeof(TaskId));
+    }
+  }
+
+  // Transpose: counting sort by task id; scanning workers in ascending
+  // order makes every WorkersOf row ascending.
+  graph.task_offsets_.assign(static_cast<size_t>(num_tasks) + 1, 0);
+  for (TaskId i : graph.worker_edges_) graph.task_offsets_[i + 1] += 1;
+  for (int i = 0; i < num_tasks; ++i) {
+    graph.task_offsets_[i + 1] += graph.task_offsets_[i];
+  }
+  graph.task_edges_.resize(static_cast<size_t>(graph.num_edges_));
+  std::vector<int64_t> cursor(graph.task_offsets_.begin(),
+                              graph.task_offsets_.end() - 1);
+  for (int j = 0; j < num_workers; ++j) {
+    for (int64_t e = graph.worker_offsets_[j]; e < graph.worker_offsets_[j + 1];
+         ++e) {
+      graph.task_edges_[cursor[graph.worker_edges_[e]]++] = j;
     }
   }
   return graph;
@@ -82,8 +122,9 @@ CandidateGraph CandidateGraph::FromEdges(
 
 double CandidateGraph::LogPopulation() const {
   double log_n = 0.0;
-  for (const auto& tasks : worker_tasks_) {
-    if (!tasks.empty()) log_n += std::log(static_cast<double>(tasks.size()));
+  for (int j = 0; j < num_workers(); ++j) {
+    const int deg = Degree(j);
+    if (deg > 0) log_n += std::log(static_cast<double>(deg));
   }
   return log_n;
 }

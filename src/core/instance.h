@@ -1,14 +1,22 @@
 #ifndef RDBSC_CORE_INSTANCE_H_
 #define RDBSC_CORE_INSTANCE_H_
 
+#include <cstdint>
+#include <memory>
+#include <span>
 #include <vector>
 
 #include "core/model.h"
 #include "util/deadline.h"
 #include "util/executor.h"
+#include "util/mutex.h"
 #include "util/status.h"
+#include "util/thread_annotations.h"
 
 namespace rdbsc::core {
+
+class InstanceSoA;  // core/kernels.h
+struct EdgeRow;     // core/kernels.h
 
 /// A snapshot of the crowdsourcing system: the current task set T, worker
 /// set W, the wall-clock time `now`, and the arrival policy. Solvers operate
@@ -35,21 +43,43 @@ class Instance {
   const Task& task(TaskId id) const { return tasks_[id]; }
   const Worker& worker(WorkerId id) const { return workers_[id]; }
 
+  /// The columnar companion (task columns + per-worker kernel geometry;
+  /// see core/kernels.h), built on first use and cached for the lifetime
+  /// of the instance. Thread-safe; the returned view is immutable, so
+  /// solver shards share it freely. Copies of the instance share the
+  /// cache (the underlying data cannot diverge -- instances are
+  /// immutable after construction).
+  const InstanceSoA& soa() const;
+
   /// Validates basic well-formedness (positive durations, confidences in
   /// [0,1], positive velocities). Solvers assume a valid instance.
   util::Status Validate() const;
 
  private:
+  /// Lazily built SoA view, double-checked under its own mutex (same
+  /// discipline as GridIndex::TCellCache). Heap-allocated and shared so
+  /// the instance stays cheaply copyable.
+  struct SoaCache {
+    mutable util::Mutex mu;
+    std::shared_ptr<const InstanceSoA> value GUARDED_BY(mu);
+  };
+
   std::vector<Task> tasks_;
   std::vector<Worker> workers_;
   double now_ = 0.0;
   ArrivalPolicy policy_ = ArrivalPolicy::kStrict;
+  std::shared_ptr<SoaCache> soa_cache_ = std::make_shared<SoaCache>();
 };
 
 /// The bipartite validity graph of Figure 4: for every worker the list of
 /// tasks it can validly serve and the transpose. Built once per solve; the
 /// grid index (src/index) offers a faster construction path for large
 /// instances, producing the same edges.
+///
+/// Storage is CSR (one flat id array plus offsets per side): rows come out
+/// of the build kernels as exact-size arena spans, so assembly is two flat
+/// copies instead of per-worker vector growth, and row accessors return
+/// std::span views into contiguous memory.
 class CandidateGraph {
  public:
   /// Builds the graph by testing every (task, worker) pair; O(m*n).
@@ -60,7 +90,9 @@ class CandidateGraph {
   /// `deadline` is polled between row blocks, so a wall-clock budget or
   /// cancellation cuts the O(m*n) scan short with kDeadlineExceeded /
   /// kCancelled. The edge set is identical to the serial Build for every
-  /// executor width (rows are independent; merge is by worker id).
+  /// executor width (rows are independent; merge is by worker id), and to
+  /// a scalar IsValidPair scan (the batched kernel's exact-equality
+  /// contract, core/kernels.h).
   static util::StatusOr<CandidateGraph> Build(const Instance& instance,
                                               util::Executor* executor,
                                               const util::Deadline& deadline);
@@ -70,18 +102,23 @@ class CandidateGraph {
   static CandidateGraph FromEdges(const Instance& instance,
                                   std::vector<std::vector<TaskId>> edges);
 
-  /// Valid tasks of worker `j` (the edges incident to the worker node).
-  const std::vector<TaskId>& TasksOf(WorkerId j) const {
-    return worker_tasks_[j];
+  /// Valid tasks of worker `j` (the edges incident to the worker node),
+  /// ascending.
+  std::span<const TaskId> TasksOf(WorkerId j) const {
+    const auto a = static_cast<size_t>(worker_offsets_[j]);
+    const auto b = static_cast<size_t>(worker_offsets_[j + 1]);
+    return {worker_edges_.data() + a, b - a};
   }
-  /// Valid workers of task `i`.
-  const std::vector<WorkerId>& WorkersOf(TaskId i) const {
-    return task_workers_[i];
+  /// Valid workers of task `i`, ascending.
+  std::span<const WorkerId> WorkersOf(TaskId i) const {
+    const auto a = static_cast<size_t>(task_offsets_[i]);
+    const auto b = static_cast<size_t>(task_offsets_[i + 1]);
+    return {task_edges_.data() + a, b - a};
   }
 
   /// deg(w_j) in the paper's sampling analysis.
   int Degree(WorkerId j) const {
-    return static_cast<int>(worker_tasks_[j].size());
+    return static_cast<int>(worker_offsets_[j + 1] - worker_offsets_[j]);
   }
 
   /// Total number of valid task-worker pairs.
@@ -91,12 +128,27 @@ class CandidateGraph {
   /// Workers with no valid task contribute factor 1.
   double LogPopulation() const;
 
-  int num_tasks() const { return static_cast<int>(task_workers_.size()); }
-  int num_workers() const { return static_cast<int>(worker_tasks_.size()); }
+  int num_tasks() const {
+    return task_offsets_.empty() ? 0
+                                 : static_cast<int>(task_offsets_.size()) - 1;
+  }
+  int num_workers() const {
+    return worker_offsets_.empty()
+               ? 0
+               : static_cast<int>(worker_offsets_.size()) - 1;
+  }
 
  private:
-  std::vector<std::vector<TaskId>> worker_tasks_;
-  std::vector<std::vector<WorkerId>> task_workers_;
+  /// Flat assembly from per-worker rows (arena spans or vector views):
+  /// prefix-sum offsets, one bulk copy per row, then the transpose in
+  /// ascending worker order.
+  static CandidateGraph FromRows(int num_tasks, int num_workers,
+                                 const EdgeRow* rows);
+
+  std::vector<int64_t> worker_offsets_;  // n + 1 entries (empty when n == 0)
+  std::vector<TaskId> worker_edges_;
+  std::vector<int64_t> task_offsets_;    // m + 1 entries (empty when m == 0)
+  std::vector<WorkerId> task_edges_;
   int64_t num_edges_ = 0;
 };
 

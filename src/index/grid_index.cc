@@ -270,6 +270,20 @@ const std::vector<std::vector<int>>* GridIndex::WarmReachability(
   return &tcells_->lists;
 }
 
+std::pair<std::vector<core::TaskBlock>, size_t> GridIndex::BuildTaskBlocks()
+    const {
+  std::vector<core::TaskBlock> blocks(cells_.size());
+  size_t max_size = 0;
+  for (size_t c = 0; c < cells_.size(); ++c) {
+    const Cell& cell = cells_[c];
+    if (cell.tasks.empty()) continue;
+    blocks[c].Reserve(cell.tasks.size());
+    for (const auto& [tid, task] : cell.tasks) blocks[c].Add(tid, task);
+    max_size = std::max(max_size, blocks[c].size());
+  }
+  return {std::move(blocks), max_size};
+}
+
 util::StatusOr<std::vector<std::vector<core::TaskId>>>
 GridIndex::RetrieveEdges(int num_workers, RetrievalStats* stats,
                          util::Executor* executor,
@@ -283,17 +297,22 @@ GridIndex::RetrieveEdges(int num_workers, RetrievalStats* stats,
   if (tcell_lists == nullptr) {
     return util::InterruptedStatus(deadline, "retrieval interrupted");
   }
+  const auto [blocks, max_block] = BuildTaskBlocks();
 
   // Phase 2 (sharded over source cells): the per-cell pair tests, which
-  // dominate retrieval cost. Every worker lives in exactly one cell, so
-  // shards write disjoint rows of `edges` and the merged edge set is
-  // independent of shard boundaries.
+  // dominate retrieval cost, batched through the SoA kernel (exact same
+  // edge set as the scalar IsValidPair loop; core/kernels.h). Every worker
+  // lives in exactly one cell, so shards write disjoint rows of `edges`
+  // and the merged edge set is independent of shard boundaries; each
+  // per-worker row is sorted, so the worker-outer loop order is
+  // output-identical to the historical target-cell-outer order.
   std::vector<std::vector<core::TaskId>> edges(num_workers);
   util::Executor& exec = util::OrSerial(executor);
   std::vector<RetrievalStats> shard_stats(exec.width());
   std::atomic<bool> interrupted{false};
   exec.ShardedFor(num_cells(), [&](int shard, int64_t begin, int64_t end) {
     RetrievalStats local;
+    std::vector<uint8_t> cls(max_block);
     for (int64_t from_id = begin; from_id < end; ++from_id) {
       const Cell& from = cells_[from_id];
       if (from.workers.empty()) continue;
@@ -302,20 +321,15 @@ GridIndex::RetrieveEdges(int num_workers, RetrievalStats* stats,
         interrupted.store(true, std::memory_order_relaxed);
         break;
       }
-      for (int to_id : (*tcell_lists)[from_id]) {
-        const Cell& to = cells_[to_id];
-        for (const auto& [wid, worker] : from.workers) {
-          assert(wid < num_workers);
-          for (const auto& [tid, task] : to.tasks) {
-            ++local.pair_tests;
-            if (core::IsValidPair(task, worker, now_, policy_)) {
-              edges[wid].push_back(tid);
-              ++local.edges;
-            }
-          }
-        }
-      }
       for (const auto& [wid, worker] : from.workers) {
+        assert(wid < num_workers);
+        const core::WorkerGeom geom = core::PrecomputeWorker(worker, now_);
+        for (int to_id : (*tcell_lists)[from_id]) {
+          const core::TaskBlock& block = blocks[to_id];
+          local.pair_tests += static_cast<int64_t>(block.size());
+          local.edges += static_cast<int64_t>(core::ValidPairsRow(
+              geom, worker, now_, policy_, block, cls.data(), &edges[wid]));
+        }
         std::sort(edges[wid].begin(), edges[wid].end());
       }
     }
@@ -339,6 +353,7 @@ GridIndex::RetrievePairs(RetrievalStats* stats, util::Executor* executor,
     return util::InterruptedStatus(deadline, "retrieval interrupted");
   }
 
+  const auto [blocks, max_block] = BuildTaskBlocks();
   util::Executor& exec = util::OrSerial(executor);
   std::vector<RetrievalStats> shard_stats(exec.width());
   std::vector<std::vector<std::pair<core::WorkerId, core::TaskId>>>
@@ -347,6 +362,8 @@ GridIndex::RetrievePairs(RetrievalStats* stats, util::Executor* executor,
   exec.ShardedFor(num_cells(), [&](int shard, int64_t begin, int64_t end) {
     RetrievalStats local;
     auto& pairs = shard_pairs[shard];
+    std::vector<uint8_t> cls(max_block);
+    std::vector<core::TaskId> row;
     for (int64_t from_id = begin; from_id < end; ++from_id) {
       const Cell& from = cells_[from_id];
       if (from.workers.empty()) continue;
@@ -355,16 +372,16 @@ GridIndex::RetrievePairs(RetrievalStats* stats, util::Executor* executor,
         interrupted.store(true, std::memory_order_relaxed);
         break;
       }
-      for (int to_id : (*tcell_lists)[from_id]) {
-        const Cell& to = cells_[to_id];
-        for (const auto& [wid, worker] : from.workers) {
-          for (const auto& [tid, task] : to.tasks) {
-            ++local.pair_tests;
-            if (core::IsValidPair(task, worker, now_, policy_)) {
-              pairs.emplace_back(wid, tid);
-              ++local.edges;
-            }
-          }
+      for (const auto& [wid, worker] : from.workers) {
+        const core::WorkerGeom geom = core::PrecomputeWorker(worker, now_);
+        for (int to_id : (*tcell_lists)[from_id]) {
+          const core::TaskBlock& block = blocks[to_id];
+          local.pair_tests += static_cast<int64_t>(block.size());
+          row.clear();
+          core::ValidPairsRow(geom, worker, now_, policy_, block, cls.data(),
+                              &row);
+          for (core::TaskId tid : row) pairs.emplace_back(wid, tid);
+          local.edges += static_cast<int64_t>(row.size());
         }
       }
     }

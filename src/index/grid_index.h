@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "core/instance.h"
+#include "core/kernels.h"
 #include "core/model.h"
 #include "geo/box.h"
 #include "util/deadline.h"
@@ -176,6 +177,13 @@ class GridIndex {
   /// deadline or within its direction cover (the pruning rule).
   bool CanPrune(const Cell& from, int from_id, const Cell& to,
                 int to_id) const;
+
+  /// Columnar copies of every cell's task list, built once per retrieval
+  /// pass so each surviving (worker, target-cell) combination is one
+  /// batched kernel row instead of an IsValidPair-per-task loop. Returns
+  /// the per-cell blocks plus the largest block size (classification
+  /// scratch bound).
+  std::pair<std::vector<core::TaskBlock>, size_t> BuildTaskBlocks() const;
 
   /// Per-source-cell cached tcell_lists (sorted), built on demand, plus
   /// their validity bits and rebuild counter -- everything the const

@@ -1,0 +1,82 @@
+#ifndef RDBSC_UTIL_ARENA_H_
+#define RDBSC_UTIL_ARENA_H_
+
+#include <algorithm>
+#include <cstddef>
+#include <memory>
+#include <type_traits>
+#include <vector>
+
+namespace rdbsc::util {
+
+/// A monotonic chunk allocator for build-scoped scratch storage:
+/// allocations are bump-pointer cheap, never individually freed, and all
+/// die together with the arena. The candidate-graph assembly uses one
+/// arena per shard to park exact-size edge rows, replacing the growth
+/// churn of per-worker std::vector<TaskId> (repeated reallocation plus
+/// copy of every partially grown row).
+///
+/// Not thread-safe: use one arena per shard and join before reading.
+class Arena {
+ public:
+  explicit Arena(size_t min_chunk_bytes = size_t{1} << 16)
+      : min_chunk_bytes_(min_chunk_bytes) {}
+
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+  Arena(Arena&&) = default;
+  Arena& operator=(Arena&&) = default;
+
+  /// Uninitialized storage for `n` objects of T, aligned for T. The arena
+  /// never runs destructors, so T must be trivially destructible. Returns
+  /// nullptr for n == 0.
+  template <typename T>
+  T* AllocateArray(size_t n) {
+    static_assert(std::is_trivially_destructible_v<T>,
+                  "arena storage is reclaimed without running destructors");
+    if (n == 0) return nullptr;
+    const size_t bytes = n * sizeof(T);
+    size_t offset = 0;
+    if (!chunks_.empty()) {
+      offset = (chunks_.back().used + alignof(T) - 1) & ~(alignof(T) - 1);
+    }
+    if (chunks_.empty() || offset + bytes > chunks_.back().size) {
+      NewChunk(bytes);
+      offset = 0;  // operator new storage is max_align-aligned
+    }
+    Chunk& chunk = chunks_.back();
+    chunk.used = offset + bytes;
+    return reinterpret_cast<T*>(chunk.data.get() + offset);
+  }
+
+  /// Total bytes reserved across all chunks (capacity, for stats).
+  size_t bytes_reserved() const {
+    size_t total = 0;
+    for (const Chunk& chunk : chunks_) total += chunk.size;
+    return total;
+  }
+
+ private:
+  struct Chunk {
+    std::unique_ptr<std::byte[]> data;
+    size_t size = 0;
+    size_t used = 0;
+  };
+
+  void NewChunk(size_t at_least) {
+    // Geometric growth keeps the chunk count logarithmic in total bytes.
+    size_t size = std::max(min_chunk_bytes_, at_least);
+    if (!chunks_.empty()) size = std::max(size, chunks_.back().size * 2);
+    Chunk chunk;
+    chunk.data = std::make_unique<std::byte[]>(size);
+    chunk.size = size;
+    chunks_.push_back(std::move(chunk));
+  }
+
+  size_t min_chunk_bytes_;
+  std::vector<Chunk> chunks_;
+};
+
+}  // namespace rdbsc::util
+
+#endif  // RDBSC_UTIL_ARENA_H_

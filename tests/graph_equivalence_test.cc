@@ -31,7 +31,8 @@ std::vector<std::vector<core::TaskId>> SortedRows(
     const core::CandidateGraph& graph) {
   std::vector<std::vector<core::TaskId>> rows(graph.num_workers());
   for (core::WorkerId j = 0; j < graph.num_workers(); ++j) {
-    rows[j] = graph.TasksOf(j);
+    const auto row = graph.TasksOf(j);
+    rows[j].assign(row.begin(), row.end());
     std::sort(rows[j].begin(), rows[j].end());
   }
   return rows;

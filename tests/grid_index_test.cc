@@ -27,7 +27,8 @@ void ExpectSameEdges(const Instance& instance, const GridIndex& index) {
   std::vector<std::vector<TaskId>> indexed =
       index.RetrieveEdges(instance.num_workers()).value();
   for (WorkerId j = 0; j < instance.num_workers(); ++j) {
-    std::vector<TaskId> expected = brute.TasksOf(j);
+    const auto row = brute.TasksOf(j);
+    std::vector<TaskId> expected(row.begin(), row.end());
     std::sort(expected.begin(), expected.end());
     EXPECT_EQ(indexed[j], expected) << "worker " << j;
   }

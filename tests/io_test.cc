@@ -1,5 +1,6 @@
 #include "io/csv.h"
 
+#include <algorithm>
 #include <cstdio>
 #include <fstream>
 #include <string>
@@ -86,7 +87,8 @@ TEST(CsvTest, InstanceRoundTripPreservesValidPairs) {
       core::CandidateGraph::Build(loaded.value());
   ASSERT_EQ(original.NumEdges(), reloaded.NumEdges());
   for (core::WorkerId j = 0; j < instance.num_workers(); ++j) {
-    EXPECT_EQ(original.TasksOf(j), reloaded.TasksOf(j));
+    EXPECT_TRUE(std::ranges::equal(original.TasksOf(j), reloaded.TasksOf(j)))
+        << "worker " << j;
   }
 }
 

@@ -4,6 +4,7 @@
 // RetrievalStats totals, and identical D&C / sampling assignments and
 // objectives. Threads only change wall-clock time, never answers.
 
+#include <algorithm>
 #include <cstdint>
 #include <vector>
 
@@ -60,11 +61,12 @@ TEST(ParallelDeterminismTest, CandidateGraphBuildMatchesSerial) {
           CandidateGraph::Build(instance, &pool, util::Deadline()).value();
       ASSERT_EQ(parallel.NumEdges(), serial.NumEdges()) << threads;
       for (WorkerId j = 0; j < instance.num_workers(); ++j) {
-        ASSERT_EQ(parallel.TasksOf(j), serial.TasksOf(j))
+        ASSERT_TRUE(std::ranges::equal(parallel.TasksOf(j), serial.TasksOf(j)))
             << threads << " threads, worker " << j;
       }
       for (TaskId i = 0; i < instance.num_tasks(); ++i) {
-        ASSERT_EQ(parallel.WorkersOf(i), serial.WorkersOf(i))
+        ASSERT_TRUE(
+            std::ranges::equal(parallel.WorkersOf(i), serial.WorkersOf(i)))
             << threads << " threads, task " << i;
       }
     }

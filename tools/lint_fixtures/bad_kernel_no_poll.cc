@@ -1,0 +1,32 @@
+// Fixture: a kernel row driver that never polls its Deadline must be
+// flagged. ValidPairsRows owns the innermost O(m*n) loop of graph
+// construction; skipping the between-blocks poll makes every build
+// uncancellable. Never compiled -- parsed by lint_invariants.py
+// --self-test.
+#include <cstdint>
+
+namespace util {
+class Deadline;
+class Arena;
+}  // namespace util
+
+class InstanceSoA;
+struct EdgeRow;
+
+// Body never mentions the deadline: the row loop runs to completion no
+// matter what budget or cancellation the caller set.
+bool ValidPairsRows(  // EXPECT-LINT(missing-deadline-poll)
+    const InstanceSoA& soa, int64_t begin, int64_t end,
+    const util::Deadline& ignored, util::Arena* arena, EdgeRow* rows) {
+  for (int64_t j = begin; j < end; ++j) {
+    (void)soa;
+    (void)arena;
+    (void)rows;
+  }
+  return true;
+}
+
+// Declarations (no body) are fine.
+bool ValidPairsRows(const InstanceSoA& soa, int64_t begin, int64_t end,
+                    const util::Deadline& deadline, util::Arena* arena,
+                    EdgeRow* rows);

@@ -11,10 +11,12 @@ the compiler nor clang-tidy can express:
                           breaking the bit-identical determinism contract.
                           Collect keys, sort, then iterate -- or justify
                           with a LINT-ALLOW.
-  missing-deadline-poll   Every solver SolveImpl body in src/core must poll
-                          its util::Deadline (Exhausted()/Check()) or
-                          forward it into a helper that does. A solver that
-                          ignores the deadline cannot be cancelled or
+  missing-deadline-poll   Every solver SolveImpl body in src/core (and the
+                          batched kernel row driver ValidPairsRows in
+                          src/core/kernels.*) must poll its util::Deadline
+                          (Exhausted()/Check()) or forward it into a helper
+                          that does. A solver or kernel loop that ignores
+                          the deadline cannot be cancelled or
                           budget-limited.
   ambient-time            No wall-clock reads (time(), system_clock) in
                           src/core, src/index, src/engine, or src/obs.
@@ -247,7 +249,10 @@ def check_unordered_iter(src: SourceFile) -> list[Finding]:
 # Rule: missing-deadline-poll
 # ---------------------------------------------------------------------------
 
-SOLVEIMPL_RE = re.compile(r"\bSolveImpl\s*\(")
+# SolveImpl: the solver entry points. ValidPairsRows: the batched kernel
+# row driver (core/kernels.cc) that owns the innermost O(m*n) loop -- it
+# must poll between row blocks or graph builds become uncancellable.
+SOLVEIMPL_RE = re.compile(r"\b(?:SolveImpl|ValidPairsRows)\s*\(")
 DEADLINE_USE_RE = re.compile(r"\bdeadline\b")
 
 
@@ -274,8 +279,8 @@ def check_missing_deadline_poll(src: SourceFile) -> list[Finding]:
                 src.display,
                 line,
                 "missing-deadline-poll",
-                "SolveImpl body never polls or forwards its Deadline; the "
-                "solver cannot be cancelled or budget-limited",
+                "SolveImpl/ValidPairsRows body never polls or forwards its "
+                "Deadline; the solver cannot be cancelled or budget-limited",
             )
         )
     return findings
