@@ -1,0 +1,139 @@
+// Declarative-workload replay bench: compiles one workloads/*.wl scenario
+// (src/wl) and replays it at a sweep of dispatch worker counts, twice per
+// count, asserting the determinism contract as it goes -- every replay's
+// per-ticket fingerprint vector must be bit-identical to the first one.
+// A divergence prints the first differing slot and exits non-zero, so CI
+// smoke runs double as a determinism gate. Tables report throughput and
+// latency per worker count; those are the only numbers allowed to vary.
+//
+// Flags (see bench/harness.h for the shared ones):
+//   --workload=FILE  the scenario to replay (default: the checked-in
+//                    rush_hour.wl)
+//   --dilation=X     open-loop pacing scale (default 0: flood -- pacing
+//                    changes latency numbers, never fingerprints)
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench/harness.h"
+#include "wl/compile.h"
+#include "wl/runner.h"
+#include "wl/spec.h"
+
+#ifndef RDBSC_WORKLOADS_DIR
+#define RDBSC_WORKLOADS_DIR "workloads"
+#endif
+
+using namespace rdbsc;
+
+namespace {
+
+const char* FlagValue(int argc, char** argv, const char* name) {
+  size_t len = std::strlen(name);
+  for (int a = 1; a < argc; ++a) {
+    if (std::strncmp(argv[a], name, len) == 0 && argv[a][len] == '=') {
+      return argv[a] + len + 1;
+    }
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::BenchOptions options = bench::ParseOptions(argc, argv);
+  const char* flag;
+  std::string path = (flag = FlagValue(argc, argv, "--workload"))
+                         ? flag
+                         : std::string(RDBSC_WORKLOADS_DIR) + "/rush_hour.wl";
+  double dilation =
+      (flag = FlagValue(argc, argv, "--dilation")) ? std::atof(flag) : 0.0;
+
+  util::StatusOr<wl::WorkloadSpec> spec = wl::ParseWorkloadFile(path);
+  if (!spec.ok()) {
+    std::fprintf(stderr, "parse error: %s\n",
+                 spec.status().message().c_str());
+    return 1;
+  }
+  util::StatusOr<wl::CompiledWorkload> compiled =
+      wl::CompileWorkload(spec.value());
+  if (!compiled.ok()) {
+    std::fprintf(stderr, "compile error: %s\n",
+                 compiled.status().message().c_str());
+    return 1;
+  }
+
+  bench::BenchReport report("workload_replay_" + compiled.value().name,
+                            options);
+  std::printf("workload %s (%s): %lld ops, dilation %g\n",
+              compiled.value().name.c_str(), path.c_str(),
+              static_cast<long long>(compiled.value().total_ops), dilation);
+
+  const std::vector<int> worker_counts = {1, 2, 8};
+  const int reruns = 2;
+  std::vector<std::string> reference;
+  std::vector<std::string> row_labels;
+  std::vector<std::vector<double>> cells;
+
+  for (int workers : worker_counts) {
+    for (int run = 0; run < reruns; ++run) {
+      wl::ReplayOptions replay;
+      replay.num_workers = workers;
+      replay.time_dilation = dilation;
+      replay.metrics = &report.metrics();
+      util::StatusOr<wl::ReplayReport> result =
+          wl::ReplayWorkload(compiled.value(), replay);
+      if (!result.ok()) {
+        std::fprintf(stderr, "replay error: %s\n",
+                     result.status().message().c_str());
+        return 1;
+      }
+      const std::vector<std::string>& prints = result.value().fingerprints;
+      if (reference.empty()) {
+        reference = prints;
+      } else if (prints != reference) {
+        size_t first = 0;
+        while (first < prints.size() && first < reference.size() &&
+               prints[first] == reference[first]) {
+          ++first;
+        }
+        std::fprintf(stderr,
+                     "DETERMINISM VIOLATION: workers=%d run=%d diverges at "
+                     "op %zu\n  expected %s\n  got      %s\n",
+                     workers, run, first,
+                     first < reference.size() ? reference[first].c_str()
+                                              : "<missing>",
+                     first < prints.size() ? prints[first].c_str()
+                                           : "<missing>");
+        return 1;
+      }
+      double wall = result.value().wall_seconds;
+      double throughput =
+          wall > 0.0 ? static_cast<double>(prints.size()) / wall : 0.0;
+      std::printf(
+          "workers=%d run=%d: %zu ops in %.3fs (%.0f ops/s) digest %s\n",
+          workers, run, prints.size(), wall, throughput,
+          wl::FingerprintDigest(prints).c_str());
+      row_labels.push_back("workers=" + std::to_string(workers) + " run=" +
+                           std::to_string(run));
+      double p99 = 0.0;
+      for (const wl::PhaseReport& phase : result.value().phases) {
+        if (phase.latency.p99() > p99) p99 = phase.latency.p99();
+      }
+      cells.push_back({static_cast<double>(prints.size()), wall, throughput,
+                       p99});
+    }
+  }
+
+  std::printf("determinism: %zu fingerprints bit-identical across %zu "
+              "replays ({1,2,8} workers x %d runs)\n",
+              reference.size(), worker_counts.size() * reruns, reruns);
+  report.AddTable("workload replay", "statistic", row_labels,
+                  {"ops", "wall_seconds", "ops_per_second", "p99_seconds"},
+                  cells);
+  report.Write();
+  return 0;
+}

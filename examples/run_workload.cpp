@@ -7,6 +7,7 @@
 //   $ ./examples/run_workload --tasks=t.csv --workers=w.csv --solver=greedy
 //   $ ./examples/run_workload --m=100 --n=100 --out-dir=/tmp/run1
 //   $ ./examples/run_workload --server --submitters=8 --threads=4
+//   $ ./examples/run_workload --workload=workloads/rush_hour.wl --out=r.json
 //   $ ./examples/run_workload --list-solvers
 //
 // Flags: --m, --n, --dist=uniform|skewed|real, --solver=<registry name>
@@ -54,6 +55,9 @@
 #include "gen/workload.h"
 #include "io/csv.h"
 #include "obs/histogram.h"
+#include "wl/compile.h"
+#include "wl/runner.h"
+#include "wl/spec.h"
 
 using namespace rdbsc;
 
@@ -100,11 +104,89 @@ bool ParseCacheMode(const char* value, engine::CacheMode* mode) {
 
 }  // namespace
 
+/// `--workload=FILE` mode: parse + compile a declarative .wl scenario
+/// (src/wl) and replay it against an engine::Server. `--threads=N` sets
+/// the dispatch workers, `--dilation=X` scales open-loop pacing (0 floods;
+/// per-ticket results are pacing-independent), `--out=FILE` writes the
+/// schema-valid results document.
+int RunDeclarativeWorkload(int argc, char** argv, const char* path) {
+  const char* flag;
+  wl::ReplayOptions options;
+  options.num_workers =
+      (flag = FlagValue(argc, argv, "--threads")) ? std::atoi(flag) : 2;
+  options.time_dilation =
+      (flag = FlagValue(argc, argv, "--dilation")) ? std::atof(flag) : 1.0;
+  const char* out_path = FlagValue(argc, argv, "--out");
+
+  util::StatusOr<wl::WorkloadSpec> spec = wl::ParseWorkloadFile(path);
+  if (!spec.ok()) {
+    std::fprintf(stderr, "parse error: %s\n",
+                 spec.status().message().c_str());
+    return 1;
+  }
+  util::StatusOr<wl::CompiledWorkload> compiled =
+      wl::CompileWorkload(spec.value());
+  if (!compiled.ok()) {
+    std::fprintf(stderr, "compile error: %s\n",
+                 compiled.status().message().c_str());
+    return 1;
+  }
+  std::printf("workload %s: %lld ops over %zu phase(s), %d worker(s)\n",
+              compiled.value().name.c_str(),
+              static_cast<long long>(compiled.value().total_ops),
+              compiled.value().phases.size(), options.num_workers);
+
+  util::StatusOr<wl::ReplayReport> report =
+      wl::ReplayWorkload(compiled.value(), options);
+  if (!report.ok()) {
+    std::fprintf(stderr, "replay error: %s\n",
+                 report.status().message().c_str());
+    return 1;
+  }
+  for (const wl::PhaseReport& phase : report.value().phases) {
+    std::printf(
+        "phase %-16s ops=%-5lld ok=%-5lld cancelled=%-4lld errors=%-4lld "
+        "p50=%.4fs p99=%.4fs wall=%.3fs\n",
+        phase.name.c_str(), static_cast<long long>(phase.ops),
+        static_cast<long long>(phase.ok),
+        static_cast<long long>(phase.cancelled),
+        static_cast<long long>(phase.errors), phase.latency.p50(),
+        phase.latency.p99(), phase.wall_seconds);
+  }
+  std::printf("fingerprints: %s\n",
+              wl::FingerprintDigest(report.value().fingerprints).c_str());
+  std::printf("server: submitted=%lld completed=%lld cancelled=%lld "
+              "cache_hits=%lld collapsed=%lld generations=%d\n",
+              static_cast<long long>(report.value().server.submitted),
+              static_cast<long long>(report.value().server.completed),
+              static_cast<long long>(report.value().server.cancelled),
+              static_cast<long long>(report.value().server.cache_hits),
+              static_cast<long long>(report.value().server.collapsed),
+              report.value().server_generations);
+
+  if (out_path != nullptr) {
+    std::string json =
+        wl::ResultsJson(compiled.value(), report.value(), options);
+    std::FILE* out = std::fopen(out_path, "w");
+    if (out == nullptr) {
+      std::fprintf(stderr, "cannot open %s\n", out_path);
+      return 1;
+    }
+    std::fwrite(json.data(), 1, json.size(), out);
+    std::fclose(out);
+    std::printf("results: %s\n", out_path);
+  }
+  return 0;
+}
+
 int main(int argc, char** argv) {
   if (HasFlag(argc, argv, "--list-solvers")) {
     std::printf("registered solvers:\n");
     PrintSolverNames(stdout);
     return 0;
+  }
+  if (const char* workload_path = FlagValue(argc, argv, "--workload")) {
+    return RunDeclarativeWorkload(argc, argv, workload_path);
   }
 
   const char* flag;

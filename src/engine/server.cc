@@ -32,6 +32,8 @@ const util::StatusOr<EngineResult>* Ticket::TryGet() const {
   return state_->done ? &state_->result : nullptr;
 }
 
+void Ticket::Cancel() { state_->cancel.Cancel(); }
+
 bool Ticket::WaitFor(double seconds) const {
   const auto deadline =
       std::chrono::steady_clock::now() +
@@ -198,8 +200,12 @@ util::StatusOr<Ticket> Server::Submit(core::Instance instance,
   // may time out where this request would not), so only unlimited-budget
   // requests participate. A pool-limited server caps every budget, which
   // makes them finite too.
+  // A request cancelled at dispatch must neither lead a group (followers
+  // would inherit its kCancelled outcome) nor ride one (it would receive
+  // the leader's OK result instead of cancelling).
   const bool single_flight_eligible =
-      mode != CacheMode::kOff && requested_budget <= 0.0 && !budget_limited_;
+      mode != CacheMode::kOff && requested_budget <= 0.0 &&
+      !budget_limited_ && !controls.cancel_at_dispatch;
   // Only computed when this request could lead or ride a single-flight
   // group: RunIsolated derives its own cache key at dispatch, so hashing
   // here for ineligible requests would be pure admission-path overhead.
@@ -328,6 +334,7 @@ util::StatusOr<Ticket> Server::Submit(core::Instance instance,
     state->instance = std::move(instance);
     state->budget_seconds = budget;
     state->cache_mode = mode;
+    state->cancel_at_dispatch = controls.cancel_at_dispatch;
     if (single_flight_eligible) {
       // A leader may have registered this fingerprint while mu_ was
       // released (a kBlock wait above), and write-only duplicates skip
@@ -364,6 +371,7 @@ util::StatusOr<Ticket> Server::Submit(core::Instance instance,
 void Server::RunNext() {
   std::shared_ptr<internal::TicketState> state;
   bool is_leader = false;
+  std::vector<std::shared_ptr<internal::TicketState>> aborted;
   {
     util::MutexLock lock(mu_);
     if (queue_.empty()) {
@@ -373,17 +381,40 @@ void Server::RunNext() {
     auto it = queue_.begin();
     state = it->second;
     queue_.erase(it);
-    is_leader = state->single_flight;
-    state->dispatched = true;
-    state->dispatch_time = std::chrono::steady_clock::now();
-    ++in_flight_;
+    // Per-ticket cancellation that landed before dispatch: retire the
+    // request without solving. cancel_at_dispatch admissions always take
+    // this path (the deterministic scripted-cancel contract); a racing
+    // Ticket::Cancel takes it only when it beat the pop. AbortTicketLocked
+    // also releases any followers a Ticket::Cancel'd leader carried
+    // (cancel_at_dispatch requests never register as leaders).
+    if (state->cancel_at_dispatch || state->cancel.cancelled()) {
+      // The request never ran: its budget goes back to the pool.
+      if (budget_limited_) budget_remaining_ += state->budget_seconds;
+      AbortTicketLocked(state,
+                        util::Status::Cancelled("request cancelled"),
+                        aborted);
+      if (--pending_pool_tasks_ == 0) idle_cv_.NotifyAll();
+    } else {
+      is_leader = state->single_flight;
+      state->dispatched = true;
+      state->dispatch_time = std::chrono::steady_clock::now();
+      ++in_flight_;
+    }
   }
   // A queue slot freed; wake one kBlock submitter.
   space_cv_.NotifyOne();
+  if (!aborted.empty()) {
+    for (const auto& cancelled : aborted) {
+      Complete(cancelled, util::Status::Cancelled("request cancelled"));
+    }
+    return;
+  }
 
   // A single-flight leader's fingerprint was already computed at
   // admission; reuse it so dispatch does not hash the instance again.
-  util::Deadline deadline(state->budget_seconds, &cancel_);
+  // The deadline carries both the server-wide shutdown token and the
+  // ticket's own, so Ticket::Cancel reaches an in-flight solve too.
+  util::Deadline deadline(state->budget_seconds, &cancel_, &state->cancel);
   util::StatusOr<EngineResult> result = engine_.RunIsolated(
       state->instance, deadline, cache_.get(), state->cache_mode,
       is_leader ? &state->fingerprint : nullptr);

@@ -104,6 +104,14 @@ struct SubmitControls {
   /// priority -- a follower more urgent than its still-queued leader
   /// promotes the leader to its own priority.
   CacheMode cache = CacheMode::kDefault;
+  /// When true the request is admitted and queued normally but completes
+  /// with kCancelled at dispatch instead of solving. Cancellation is
+  /// decided at admission, so -- unlike Ticket::Cancel, which races the
+  /// dispatcher -- the outcome is the same on every replay whatever the
+  /// worker count: scripted load harnesses (src/wl) compile their cancel
+  /// ops to this. Such a request never participates in single-flight
+  /// collapsing (its kCancelled outcome must not be shared).
+  bool cancel_at_dispatch = false;
 };
 
 /// Counter snapshot returned by Server::Stats. Latency percentiles are
@@ -181,6 +189,14 @@ struct TicketState {
   /// copy of the leader's outcome, never dispatched themselves.
   std::vector<std::shared_ptr<TicketState>> followers;
 
+  /// Per-request cancellation. `cancel_at_dispatch` is written once at
+  /// admission under the server's mu_ (see the discipline note above);
+  /// `cancel` is an atomic flag tripped by Ticket::Cancel at any time and
+  /// polled by the dispatch path (before solving) and, through the request
+  /// Deadline, by the running solver.
+  util::CancelToken cancel;
+  bool cancel_at_dispatch = false;
+
   mutable util::Mutex mu;
   mutable util::CondVar cv;
   bool done GUARDED_BY(mu) = false;
@@ -208,6 +224,15 @@ class Ticket {
   const util::StatusOr<EngineResult>* TryGet() const;
   /// Blocks up to `seconds`; true once the request finished.
   bool WaitFor(double seconds) const;
+  /// Best-effort cancellation: a still-queued request completes with
+  /// kCancelled at dispatch without solving, an in-flight one aborts with
+  /// kCancelled at its next deadline poll, and a finished one is
+  /// unaffected. Which of the three applies races the dispatcher -- for a
+  /// replay-deterministic cancel, decide at admission instead
+  /// (SubmitControls::cancel_at_dispatch). Cancelling a single-flight
+  /// leader cancels the followers riding it (they share the leader's
+  /// outcome by the collapse contract).
+  void Cancel();
 
  private:
   friend class Server;

@@ -44,11 +44,15 @@ class Deadline {
   Deadline() = default;
 
   /// Expires `budget_seconds` of wall-clock time from now; a budget <= 0
-  /// means unlimited. `cancel` (optional, unowned) trips the deadline the
-  /// moment it is cancelled, whatever the remaining budget.
+  /// means unlimited. `cancel` and `cancel2` (optional, unowned) each trip
+  /// the deadline the moment they are cancelled, whatever the remaining
+  /// budget -- two slots so a caller can combine an operation-wide token
+  /// with a per-request one (engine::Server: server shutdown + per-ticket
+  /// cancellation) without allocating a combined token.
   explicit Deadline(double budget_seconds,
-                    const CancelToken* cancel = nullptr)
-      : cancel_(cancel) {
+                    const CancelToken* cancel = nullptr,
+                    const CancelToken* cancel2 = nullptr)
+      : cancel_(cancel), cancel2_(cancel2) {
     if (budget_seconds > 0.0) {
       has_deadline_ = true;
       deadline_ = std::chrono::steady_clock::now() +
@@ -59,17 +63,21 @@ class Deadline {
   }
 
   /// True when there is neither a time budget nor a token to poll.
-  bool unlimited() const { return !has_deadline_ && cancel_ == nullptr; }
+  bool unlimited() const {
+    return !has_deadline_ && cancel_ == nullptr && cancel2_ == nullptr;
+  }
 
-  /// True once the budget has elapsed or the token was cancelled.
+  /// True once the budget has elapsed or a token was cancelled.
   bool Exhausted() const {
     if (cancel_ != nullptr && cancel_->cancelled()) return true;
+    if (cancel2_ != nullptr && cancel2_->cancelled()) return true;
     return has_deadline_ && std::chrono::steady_clock::now() >= deadline_;
   }
 
   /// OK while running is allowed; kCancelled / kDeadlineExceeded once not.
   Status Check() const {
-    if (cancel_ != nullptr && cancel_->cancelled()) {
+    if ((cancel_ != nullptr && cancel_->cancelled()) ||
+        (cancel2_ != nullptr && cancel2_->cancelled())) {
       return Status::Cancelled("solve cancelled by caller");
     }
     if (has_deadline_ && std::chrono::steady_clock::now() >= deadline_) {
@@ -82,6 +90,7 @@ class Deadline {
   bool has_deadline_ = false;
   std::chrono::steady_clock::time_point deadline_{};
   const CancelToken* cancel_ = nullptr;
+  const CancelToken* cancel2_ = nullptr;
 };
 
 /// Maps an interruption observed by a sharded loop back to the deadline's

@@ -1,0 +1,90 @@
+#ifndef RDBSC_WL_RUNNER_H_
+#define RDBSC_WL_RUNNER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "engine/server.h"
+#include "obs/registry.h"
+#include "util/status.h"
+#include "wl/compile.h"
+
+namespace rdbsc::wl {
+
+/// How to replay a compiled workload.
+struct ReplayOptions {
+  /// Server dispatch threads (clamped to >= 1). Per-ticket results are
+  /// bit-identical across worker counts -- that is the contract the
+  /// replay tests assert at {1, 2, 8}.
+  int num_workers = 1;
+  /// Scales open-loop arrival offsets into wall-clock sleeps: 1.0 replays
+  /// the compiled pacing, 0.0 floods (no sleeps at all -- the CI setting;
+  /// fingerprints are pacing-independent by construction, only latency
+  /// metrics change).
+  double time_dilation = 1.0;
+  /// Optional external sink for the wl.* and engine.* metrics (unowned,
+  /// must outlive the call); null records into a replay-local registry.
+  /// Either way ReplayReport::metrics carries the final snapshot.
+  obs::Registry* metrics = nullptr;
+};
+
+/// Per-phase outcome tallies plus the submit -> completion latency
+/// distribution of the phase's ops.
+struct PhaseReport {
+  std::string name;
+  int64_t ops = 0;
+  int64_t ok = 0;
+  int64_t cancelled = 0;  ///< compiled cancel ops (kCancelled results)
+  int64_t errors = 0;     ///< any other non-OK completion
+  double wall_seconds = 0.0;
+  obs::HistogramSnapshot latency;
+};
+
+/// Everything one replay produced. `fingerprints` holds one
+/// engine::ResultFingerprint per compiled op in (phase, submitter,
+/// op-index) order -- scheduling-independent, so two replays compare with
+/// a single ==. Wall-clock fields and metrics are observational and may
+/// differ between replays; fingerprints may not.
+struct ReplayReport {
+  std::vector<std::string> fingerprints;
+  std::vector<PhaseReport> phases;
+  /// Counters summed over every server generation (a `restart on` phase
+  /// drains and replaces the server); the latency/queue fields are the
+  /// final generation's.
+  engine::ServerStats server;
+  int server_generations = 0;
+  double wall_seconds = 0.0;
+  /// Final snapshot of the replay registry: wl.ops{phase,op,outcome}
+  /// counters, wl.op_seconds{phase} histograms, the engine.* stage
+  /// metrics, and each generation's server.* metrics re-labelled with
+  /// {gen=N}.
+  obs::RegistrySnapshot metrics;
+};
+
+/// Replays `compiled` against a fresh engine::Server: one real thread per
+/// scripted submitter, phases strictly in order with a full barrier (all
+/// tickets completed) between consecutive phases. Closed-mode submitters
+/// wait for each ticket before their next op; open-mode submitters submit
+/// the whole schedule (paced by arrival offsets when time_dilation > 0)
+/// and then wait. Fails only on setup errors (e.g. unknown solver); op
+/// failures land in the fingerprints and tallies instead.
+util::StatusOr<ReplayReport> ReplayWorkload(const CompiledWorkload& compiled,
+                                            const ReplayOptions& options = {});
+
+/// Digest of a fingerprint vector: "n=<count>;h=<32 hex>". One comparable
+/// line per replay for benches and logs; tests compare full vectors for
+/// better failure messages.
+std::string FingerprintDigest(const std::vector<std::string>& fingerprints);
+
+/// Renders a replay as a schema-valid results document
+/// (obs::kResultsSchemaName, validated by tools/check_bench_json.py):
+/// per-phase outcome and latency tables, server totals, the full metric
+/// snapshot, and the fingerprint digest.
+std::string ResultsJson(const CompiledWorkload& compiled,
+                        const ReplayReport& report,
+                        const ReplayOptions& options);
+
+}  // namespace rdbsc::wl
+
+#endif  // RDBSC_WL_RUNNER_H_

@@ -383,6 +383,75 @@ TEST(ServerTest, ShutdownIsIdempotent) {
   EXPECT_TRUE(ticket.Wait().ok());
 }
 
+TEST(ServerTest, CancelAtDispatchCompletesCancelledWithoutSolving) {
+  auto server = MakeServer(BaseConfig(2));
+  SubmitControls controls;
+  controls.cancel_at_dispatch = true;
+  Ticket ticket = server->Submit(QuickInstance(), controls).value();
+  EXPECT_EQ(ticket.Wait().status().code(), util::StatusCode::kCancelled);
+  server->Shutdown(ShutdownMode::kDrain);
+  ServerStats stats = server->Stats();
+  EXPECT_EQ(stats.cancelled, 1);
+  EXPECT_EQ(stats.completed, 0);
+  EXPECT_EQ(stats.admitted, 1);
+}
+
+// The scripted-cancel determinism contract the workload DSL builds on:
+// a fixed submission list mixing solves and cancel_at_dispatch requests
+// produces the same per-ticket fingerprints at every worker count.
+TEST(ServerTest, CancelAtDispatchScriptReplaysIdenticallyAcrossWorkers) {
+  std::vector<std::string> baseline;
+  for (int workers : {1, 2, 8}) {
+    auto server = MakeServer(BaseConfig(workers));
+    std::vector<Ticket> tickets;
+    for (int i = 0; i < 12; ++i) {
+      SubmitControls controls;
+      controls.cancel_at_dispatch = i % 3 == 0;
+      tickets.push_back(
+          server->Submit(QuickInstance(static_cast<uint64_t>(100 + i)),
+                         controls)
+              .value());
+    }
+    std::vector<std::string> prints;
+    prints.reserve(tickets.size());
+    for (Ticket& ticket : tickets) {
+      prints.push_back(engine::ResultFingerprint(ticket.Wait()));
+    }
+    server->Shutdown(ShutdownMode::kDrain);
+    if (baseline.empty()) {
+      baseline = prints;
+      for (size_t i = 0; i < prints.size(); ++i) {
+        const bool cancelled = i % 3 == 0;
+        EXPECT_EQ(prints[i].find("code=0") == 0, !cancelled) << prints[i];
+      }
+    } else {
+      EXPECT_EQ(prints, baseline) << workers << " workers";
+    }
+  }
+}
+
+TEST(ServerTest, TicketCancelAbortsQueuedRequest) {
+  auto server = MakeServer(BaseConfig(1));
+  Ticket gate = server->Submit(GateInstance()).value();
+  WaitUntil([&] { return server->Stats().in_flight == 1; });
+  Ticket queued = server->Submit(QuickInstance()).value();
+  // The gate still has hundreds of ms to run; `queued` cannot have been
+  // dispatched, so its cancel lands pre-dispatch deterministically.
+  queued.Cancel();
+  EXPECT_EQ(queued.Wait().status().code(), util::StatusCode::kCancelled);
+  // In-flight cancellation is best-effort: the gate aborts at its next
+  // deadline poll unless it finished first.
+  gate.Cancel();
+  const util::StatusOr<EngineResult>& gate_result = gate.Wait();
+  EXPECT_TRUE(gate_result.ok() ||
+              gate_result.status().code() == util::StatusCode::kCancelled)
+      << gate_result.status().ToString();
+  server->Shutdown(ShutdownMode::kDrain);
+  ServerStats stats = server->Stats();
+  EXPECT_GE(stats.cancelled, 1);
+  EXPECT_EQ(stats.queue_depth, 0);
+}
+
 // The race-focused satellite: concurrent Submit + Shutdown(kCancel) +
 // deadline expiry, looped. Every ticket must resolve to exactly one of
 // {OK, kCancelled, kDeadlineExceeded}, the counters must reconcile, and

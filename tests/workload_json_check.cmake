@@ -1,0 +1,19 @@
+# ctest helper (see tests/CMakeLists.txt `workload_json_check`): replays a
+# declarative workload through the run_workload example with --out, then
+# validates the emitted results document with tools/check_bench_json.py.
+# Variables: RUN_WORKLOAD, WORKLOAD, CHECKER, PYTHON, OUT.
+
+execute_process(
+  COMMAND ${RUN_WORKLOAD} --workload=${WORKLOAD} --threads=2 --dilation=0
+          --out=${OUT}
+  RESULT_VARIABLE replay_rc)
+if(NOT replay_rc EQUAL 0)
+  message(FATAL_ERROR "run_workload --workload=${WORKLOAD} exited ${replay_rc}")
+endif()
+
+execute_process(
+  COMMAND ${PYTHON} ${CHECKER} ${OUT}
+  RESULT_VARIABLE check_rc)
+if(NOT check_rc EQUAL 0)
+  message(FATAL_ERROR "check_bench_json.py rejected ${OUT} (exit ${check_rc})")
+endif()

@@ -1,0 +1,89 @@
+// Workload lint: a non-gtest ctest (label `lint`) that walks the
+// checked-in workloads/ directory and verifies every scenario at the
+// bottom of the repo's quality funnel -- each top-level *.wl must parse
+// AND compile (so a bad edit fails CI before any replay runs), and every
+// fragments/*.wl library must at least parse on its own. Prints one line
+// per file; exits non-zero listing every failure.
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "wl/compile.h"
+#include "wl/spec.h"
+
+#ifndef RDBSC_WORKLOADS_DIR
+#define RDBSC_WORKLOADS_DIR "workloads"
+#endif
+
+namespace fs = std::filesystem;
+
+int main() {
+  const fs::path root = RDBSC_WORKLOADS_DIR;
+  if (!fs::is_directory(root)) {
+    std::fprintf(stderr, "workload_lint: no such directory %s\n",
+                 root.string().c_str());
+    return 1;
+  }
+
+  std::vector<fs::path> files;
+  for (const auto& entry : fs::recursive_directory_iterator(root)) {
+    if (entry.is_regular_file() && entry.path().extension() == ".wl") {
+      files.push_back(entry.path());
+    }
+  }
+  std::sort(files.begin(), files.end());
+  if (files.empty()) {
+    std::fprintf(stderr, "workload_lint: no .wl files under %s\n",
+                 root.string().c_str());
+    return 1;
+  }
+
+  std::vector<std::string> failures;
+  int scenarios = 0;
+  for (const fs::path& path : files) {
+    const bool fragment = path.parent_path().filename() == "fragments";
+    rdbsc::util::StatusOr<rdbsc::wl::WorkloadSpec> spec =
+        rdbsc::wl::ParseWorkloadFile(path.string());
+    if (!spec.ok()) {
+      failures.push_back(spec.status().message());
+      std::printf("FAIL  %s (parse)\n", path.string().c_str());
+      continue;
+    }
+    if (fragment) {
+      // Fragment libraries carry templates/settings only; they are not
+      // required to compile stand-alone (usually they have no phases).
+      std::printf("ok    %s (fragment, parses)\n", path.string().c_str());
+      continue;
+    }
+    rdbsc::util::StatusOr<rdbsc::wl::CompiledWorkload> compiled =
+        rdbsc::wl::CompileWorkload(spec.value());
+    if (!compiled.ok()) {
+      failures.push_back(path.string() + ": " + compiled.status().message());
+      std::printf("FAIL  %s (compile)\n", path.string().c_str());
+      continue;
+    }
+    ++scenarios;
+    std::printf("ok    %s (%lld ops, %zu phases)\n", path.string().c_str(),
+                static_cast<long long>(compiled.value().total_ops),
+                compiled.value().phases.size());
+  }
+
+  if (!failures.empty()) {
+    std::fprintf(stderr, "workload_lint: %zu failure(s)\n", failures.size());
+    for (const std::string& failure : failures) {
+      std::fprintf(stderr, "  %s\n", failure.c_str());
+    }
+    return 1;
+  }
+  if (scenarios == 0) {
+    std::fprintf(stderr,
+                 "workload_lint: no top-level scenarios compiled\n");
+    return 1;
+  }
+  std::printf("workload_lint: %zu file(s) clean, %d scenario(s) compile\n",
+              files.size(), scenarios);
+  return 0;
+}

@@ -1,0 +1,39 @@
+// Fixture: the src/wl determinism contract -- workload compilation must
+// draw only from spec-seeded util::Rng streams, never ambient sources,
+// and must not leak unordered-container iteration order into schedules.
+// Never compiled -- parsed by tools/lint_invariants.py --self-test.
+#include <chrono>
+#include <random>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+struct FakeOp {
+  unsigned long long instance_seed;
+  double arrival_offset_seconds;
+};
+
+// A compiler that seeds schedules from the wall clock or an entropy
+// source produces a different workload every run; replays could never
+// agree.
+FakeOp CompileOneOp() {
+  FakeOp op;
+  std::random_device entropy;                          // EXPECT-LINT(ambient-rng)
+  op.instance_seed = entropy();
+  auto now = std::chrono::system_clock::now();         // EXPECT-LINT(ambient-time)
+  op.arrival_offset_seconds =
+      std::chrono::duration<double>(now.time_since_epoch()).count();
+  return op;
+}
+
+// Phase lookup tables are fine as unordered maps -- but emitting
+// schedules by iterating one bakes the hash order into the compiled
+// artifact, so two compiles of one spec can disagree.
+std::vector<std::string> EmitPhases(
+    const std::unordered_map<std::string, int>& phase_ops) {
+  std::vector<std::string> out;
+  for (const auto& entry : phase_ops) {  // EXPECT-LINT(unordered-iter)
+    out.push_back(entry.first + ":" + std::to_string(entry.second));
+  }
+  return out;
+}

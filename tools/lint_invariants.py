@@ -378,10 +378,17 @@ def check_unguarded_mutex(src: SourceFile) -> list[Finding]:
 # skips util/mutex.h itself (it *defines* the annotated wrappers).
 RULE_SCOPES = {
     "unordered-iter": ("src/core", "src/engine", "src/sim", "src/index",
-                       "src/obs"),
+                       "src/obs", "src/wl"),
     "missing-deadline-poll": ("src/core",),
-    "ambient-time": ("src/core", "src/engine", "src/index", "src/obs"),
-    "ambient-rng": ("src/core", "src/engine", "src/index", "src/obs"),
+    # src/wl compiles *all* workload randomness ahead of replay and its
+    # fingerprints must be wall-clock free, so it inherits the ambient
+    # rules: schedules draw only from util::Rng streams seeded by the
+    # spec, and replay may touch steady_clock (pacing/latency) but never
+    # system_clock/time().
+    "ambient-time": ("src/core", "src/engine", "src/index", "src/obs",
+                     "src/wl"),
+    "ambient-rng": ("src/core", "src/engine", "src/index", "src/obs",
+                    "src/wl"),
     "unguarded-mutex": ("src",),
 }
 

@@ -1,0 +1,34 @@
+# Cache storm: an open-loop flood where only three distinct instances
+# exist, so the queue fills with duplicates -- the read-write cache and
+# single-flight collapsing absorb most of the work. Cancel ops ride along
+# to prove cancelled requests never poison the collapse groups.
+
+workload cache_storm
+seed 1337
+solver dc
+policy block
+queue_depth 64
+cache rw
+cache_entries 256 64
+
+phase storm {
+  mode open
+  submitters 4
+  rate 100
+  duration 0.24
+  arrival burst
+  tasks 8 8
+  workers 16 16
+  seed_pool 3
+  mix cached 6 submit 2 cancel 1
+}
+
+phase revisit {
+  mode closed
+  submitters 2
+  iterations 4
+  tasks 8 8
+  workers 16 16
+  seed_pool 3
+  cache ro
+}

@@ -1,0 +1,40 @@
+# Drain / restart: `restart on` phases drain the server (every queued
+# request completes) and replace it with a fresh one -- the server-owned
+# cache dies with its generation, so identical traffic after a restart
+# solves cold again while results stay bit-identical. Uses the shed
+# policy at capacity-safe load (submitters <= queue_depth) to exercise
+# the kShedOldest admission path deterministically.
+
+workload drain_restart
+seed 5
+solver dc
+policy shed
+queue_depth 16
+cache rw
+cache_entries 128 32
+
+template steady {
+  mode closed
+  submitters 4
+  iterations 4
+  tasks 8 8
+  workers 18 18
+  seed_pool 6
+  priority 0 2
+}
+
+phase warm extends steady {
+}
+
+# Fresh server: the same hot set must miss (cold cache) yet produce the
+# same per-ticket results.
+phase cold extends steady {
+  restart on
+}
+
+phase wind_down extends steady {
+  restart on
+  submitters 2
+  iterations 3
+  mix submit 2 cancel 1
+}

@@ -1,0 +1,33 @@
+# Shared phase fragments for the checked-in scenarios. This file is only
+# ever included -- it defines templates and no phases, so it compiles to
+# nothing on its own.
+
+# Small, fast requests: the bread-and-butter traffic every scenario mixes
+# in. Instance sizes match tests/stress_util.h's stress scripts.
+template small_traffic {
+  mode closed
+  submitters 4
+  iterations 6
+  tasks 6 12
+  workers 10 24
+  priority 0 3
+  seed_pool 1000000
+  dist uniform
+  cache default
+  mix submit 1
+}
+
+# Heavier requests for pressure phases: more tasks and workers per
+# instance, a priority spread wide enough to exercise the queue ordering.
+template heavy_traffic {
+  mode closed
+  submitters 6
+  iterations 4
+  tasks 12 20
+  workers 24 40
+  priority 0 8
+  seed_pool 1000000
+  dist uniform
+  cache default
+  mix submit 3 urgent 1
+}

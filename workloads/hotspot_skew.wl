@@ -1,0 +1,44 @@
+# Hotspot skew: tasks and workers cluster around the city center
+# (gen::SpatialDistribution::kSkewed) and a tiny seed pool makes the same
+# few hot instances recur, so the read-write cache and urgent-priority
+# traffic both get exercised. Fixed instance sizes keep the hot set small
+# (instance identity includes the size).
+
+workload hotspot_skew
+seed 7
+solver dc
+policy block
+queue_depth 64
+cache rw
+cache_entries 512 128
+
+include "fragments/common.wl"
+
+template hotspot_base extends small_traffic {
+  dist skewed
+  seed_pool 12
+  tasks 8 8
+  workers 20 20
+}
+
+# Warm the cache without serving from it (write-only).
+phase warmup extends hotspot_base {
+  submitters 3
+  iterations 4
+  cache wo
+}
+
+# The hot period: most traffic re-requests the warmed instances.
+phase hotspot extends hotspot_base {
+  submitters 6
+  iterations 8
+  priority 0 4
+  mix submit 2 cached 3 urgent 1
+}
+
+# Read-only probing must not evict what the hot period relies on.
+phase probe extends hotspot_base {
+  submitters 2
+  iterations 4
+  cache ro
+}

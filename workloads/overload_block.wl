@@ -1,0 +1,32 @@
+# Adversarial overload under the blocking admission policy: a two-slot
+# queue against a burst flood. Submitters stall in Submit until a slot
+# frees -- deterministic backpressure, the only overload behaviour that
+# cannot depend on dispatch timing (rejections and sheds would).
+
+workload overload_block
+seed 99
+solver greedy
+policy block
+queue_depth 2
+cache off
+
+phase flood {
+  mode open
+  submitters 4
+  rate 400
+  duration 0.05
+  arrival burst
+  tasks 6 10
+  workers 10 20
+  priority 0 6
+  mix submit 5 urgent 2 cancel 1
+}
+
+phase pressure {
+  mode closed
+  submitters 8
+  iterations 3
+  tasks 6 10
+  workers 10 20
+  priority 0 2
+}

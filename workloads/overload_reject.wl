@@ -1,0 +1,35 @@
+# Admission at the capacity edge under the reject policy: worst-case
+# outstanding submissions exactly equal queue_depth, the largest load the
+# compiler's determinism guard admits for reject/shed policies (one more
+# would make rejections timing-dependent). The kReject admission path is
+# exercised on every Submit without ever being forced to fire.
+
+workload overload_reject
+seed 23
+solver dc
+policy reject
+queue_depth 8
+cache off
+
+# Closed loop: at most one outstanding request per submitter.
+phase closed_edge {
+  mode closed
+  submitters 8
+  iterations 4
+  tasks 6 12
+  workers 12 24
+  priority 0 3
+  mix submit 3 cancel 1
+}
+
+# Open loop: every op of the phase can be outstanding at once, so the
+# whole phase must fit the queue (2 submitters x 4 ops = queue_depth).
+phase open_edge {
+  mode open
+  submitters 2
+  rate 50
+  iterations 4
+  arrival fixed
+  tasks 6 12
+  workers 12 24
+}

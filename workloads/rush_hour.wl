@@ -1,0 +1,45 @@
+# Rush-hour ramp: open-loop traffic that climbs from a trickle through a
+# poisson ramp into a bursty peak, then settles into a closed-loop
+# cooldown. Blocking admission with a small queue gives deterministic
+# backpressure at the peak.
+
+workload rush_hour
+seed 42
+solver dc
+policy block
+queue_depth 32
+cache off
+
+include "fragments/common.wl"
+
+phase quiet extends small_traffic {
+  mode open
+  submitters 2
+  rate 20
+  duration 0.5
+  arrival fixed
+}
+
+phase ramp extends small_traffic {
+  mode open
+  submitters 3
+  rate 80
+  duration 0.2
+  arrival poisson
+  priority 0 5
+}
+
+phase peak extends heavy_traffic {
+  mode open
+  submitters 2
+  rate 160
+  duration 0.15
+  arrival burst
+  tasks 8 14
+  workers 16 28
+}
+
+phase cooldown extends small_traffic {
+  submitters 2
+  iterations 3
+}
