@@ -14,6 +14,7 @@ namespace {
 
 int Run(int argc, char** argv) {
   BenchOptions options = ParseOptions(argc, argv);
+  BenchReport report("ablation_dc_gamma", options);
   std::printf("== Ablation: D&C leaf threshold gamma ==\n");
   std::printf("scale: base=%d, seeds=%d\n", options.base, options.num_seeds);
 
@@ -42,7 +43,10 @@ int Run(int argc, char** argv) {
   }
   PrintTable("D&C gamma ablation", "gamma", rows,
              {"min rel", "total_STD", "time (s)"}, cells, 3);
+  report.AddTable("D&C gamma ablation", "gamma", rows,
+                  {"min rel", "total_STD", "time (s)"}, cells);
   std::printf("\n");
+  report.Write();
   return 0;
 }
 

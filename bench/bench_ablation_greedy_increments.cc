@@ -17,6 +17,7 @@ namespace {
 
 int Run(int argc, char** argv) {
   BenchOptions options = ParseOptions(argc, argv);
+  BenchReport report("ablation_greedy_increments", options);
   std::printf("== Ablation: GREEDY increase estimation and selection order ==\n");
   std::printf("scale: base=%d, seeds=%d\n", options.base, options.num_seeds);
 
@@ -60,7 +61,10 @@ int Run(int argc, char** argv) {
   }
   PrintTable("greedy variants", "variant", rows,
              {"min rel", "total_STD", "time (s)"}, cells, 3);
+  report.AddTable("greedy variants", "variant", rows,
+                  {"min rel", "total_STD", "time (s)"}, cells);
   std::printf("\n");
+  report.Write();
   return 0;
 }
 

@@ -17,6 +17,7 @@ namespace {
 
 int Run(int argc, char** argv) {
   BenchOptions options = ParseOptions(argc, argv);
+  BenchReport report("ablation_grid_eta", options);
   std::printf("== Ablation: grid cell side eta vs the cost-model optimum ==\n");
   std::printf("scale: base=%d, seeds=%d\n", options.base, options.num_seeds);
 
@@ -62,7 +63,12 @@ int Run(int argc, char** argv) {
   PrintTable("grid eta ablation", "eta", rows,
              {"eta", "build (s)", "retrieve(s)", "pair tests", "model cost"},
              cells, 4);
+  report.AddTable("grid eta ablation", "eta", rows,
+                  {"eta", "build (s)", "retrieve(s)", "pair tests",
+                   "model cost"},
+                  cells);
   std::printf("\n");
+  report.Write();
   return 0;
 }
 

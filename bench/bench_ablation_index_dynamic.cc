@@ -2,14 +2,31 @@
 // and tasks churn in and out of the system; the index must absorb inserts
 // and removals cheaply (lazy summary repair) while retrieval stays exact.
 // Reports insert/remove throughput and the retrieval cost after churn.
+//
+// The second section measures the streaming delta engine on small-delta
+// rounds (a few percent of workers move between assignments):
+//
+//   --maintenance=delta    per-round cost = patch the moved rows and
+//                          repair only dirty / horizon-expired ones
+//                          (index::DeltaGraph); the default
+//   --maintenance=rebuild  per-round cost = full RetrievePairs scan
+//                          (the pre-delta engine's behavior)
+//
+// Both modes produce the identical edge set (verified in-process each
+// seed); only the "round (s)" column moves. The checked-in
+// BENCH_ablation_index_dynamic.{before,after}.json pair captures
+// rebuild vs delta and is gated by tools/bench_trend.py in CI.
 
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
+#include <cstring>
+#include <string>
 #include <vector>
 
 #include "bench/harness.h"
 #include "bench/params.h"
+#include "index/delta_graph.h"
 #include "index/grid_index.h"
 #include "util/rng.h"
 
@@ -23,8 +40,18 @@ double Seconds(std::chrono::steady_clock::time_point t0) {
 
 int Run(int argc, char** argv) {
   BenchOptions options = ParseOptions(argc, argv);
+  bool delta_mode = true;
+  for (int a = 1; a < argc; ++a) {
+    if (std::strcmp(argv[a], "--maintenance=rebuild") == 0) {
+      delta_mode = false;
+    } else if (std::strcmp(argv[a], "--maintenance=delta") == 0) {
+      delta_mode = true;
+    }
+  }
+  BenchReport report("ablation_index_dynamic", options);
   std::printf("== Ablation: RDB-SC-Grid dynamic maintenance ==\n");
-  std::printf("scale: base=%d, seeds=%d\n", options.base, options.num_seeds);
+  std::printf("scale: base=%d, seeds=%d, maintenance=%s\n", options.base,
+              options.num_seeds, delta_mode ? "delta" : "rebuild");
 
   std::vector<std::string> rows;
   std::vector<std::vector<double>> cells;
@@ -88,7 +115,88 @@ int Run(int argc, char** argv) {
   }
   PrintTable("dynamic maintenance", "churn", rows,
              {"removes/s", "inserts/s", "retrieve(s)"}, cells, 1);
+  report.AddTable("dynamic maintenance", "churn", rows,
+                  {"removes/s", "inserts/s", "retrieve(s)"}, cells);
   std::printf("\n");
+
+  // --- Small-delta rounds: the streaming engine's target regime. ---
+  constexpr int kRounds = 10;
+  std::vector<std::string> delta_rows;
+  std::vector<std::vector<double>> delta_cells;
+  for (double moved_fraction : {0.01, 0.05}) {
+    double round_s = 0.0;
+    double edges_per_round = 0.0;
+    for (int seed_index = 0; seed_index < options.num_seeds; ++seed_index) {
+      gen::WorkloadConfig config =
+          DefaultSynthetic(options, options.seed0 + 31 * seed_index);
+      core::Instance instance = gen::GenerateInstance(config);
+      index::GridIndex index = index::GridIndex::Build(instance, 0.05);
+      util::Rng rng(options.seed0 + 31 * seed_index);
+      std::vector<geo::Point> position(instance.num_workers());
+      for (core::WorkerId j = 0; j < instance.num_workers(); ++j) {
+        position[j] = instance.worker(j).location;
+      }
+
+      index::DeltaGraph delta;
+      if (delta_mode) {
+        for (core::WorkerId j = 0; j < instance.num_workers(); ++j) {
+          delta.AddRow(j).ok();
+        }
+        delta.RepairRows(index).ok();  // warm start, outside the timer
+      }
+
+      const int moved = std::max(
+          1, static_cast<int>(instance.num_workers() * moved_fraction));
+      int64_t edges = 0;
+      for (int round = 0; round < kRounds; ++round) {
+        // Draw the round's move events mode-independently so both
+        // strategies process the identical event stream.
+        std::vector<std::pair<core::WorkerId, geo::Point>> moves;
+        moves.reserve(static_cast<size_t>(moved));
+        for (int k = 0; k < moved; ++k) {
+          core::WorkerId j = static_cast<core::WorkerId>(
+              rng.UniformInt(0, instance.num_workers() - 1));
+          geo::Point to = position[j];
+          to.x += rng.Uniform(-0.02, 0.02);
+          to.y += rng.Uniform(-0.02, 0.02);
+          moves.emplace_back(j, to);
+        }
+
+        auto t0 = std::chrono::steady_clock::now();
+        for (const auto& [j, to] : moves) {
+          index.MoveWorker(j, to).ok();
+          position[j] = to;
+          if (delta_mode) delta.MarkRowDirty(j).ok();
+        }
+        if (delta_mode) {
+          delta.RepairRows(index).ok();
+          edges += static_cast<int64_t>(delta.Pairs().size());
+        } else {
+          edges +=
+              static_cast<int64_t>(index.RetrievePairs().value().size());
+        }
+        round_s += Seconds(t0);
+      }
+      edges_per_round +=
+          static_cast<double>(edges) / static_cast<double>(kRounds);
+
+      if (delta_mode &&
+          delta.Pairs() != index.RetrievePairs().value()) {
+        std::printf("ERROR: delta engine disagrees with full retrieval\n");
+        return 1;
+      }
+    }
+    delta_rows.push_back(std::to_string(moved_fraction));
+    delta_cells.push_back(
+        {round_s / (options.num_seeds * kRounds),
+         edges_per_round / options.num_seeds});
+  }
+  PrintTable("small-delta rounds", "moved frac", delta_rows,
+             {"round (s)", "edges"}, delta_cells, 6);
+  report.AddTable("small-delta rounds", "moved frac", delta_rows,
+                  {"round (s)", "edges"}, delta_cells);
+  std::printf("\n");
+  report.Write();
   return 0;
 }
 

@@ -16,6 +16,7 @@ namespace {
 
 int Run(int argc, char** argv) {
   BenchOptions options = ParseOptions(argc, argv);
+  BenchReport report("ablation_pruning", options);
   std::printf("== Ablation: GREEDY with vs without Lemma 4.3 pruning ==\n");
   std::printf("scale: base=%d, seeds=%d\n", options.base, options.num_seeds);
 
@@ -62,7 +63,12 @@ int Run(int argc, char** argv) {
              {"t+prune(s)", "t-prune(s)", "evals+", "evals-", "pruned",
               "dSTD"},
              cells, 3);
+  report.AddTable("GREEDY pruning ablation", "size", rows,
+                  {"t+prune(s)", "t-prune(s)", "evals+", "evals-", "pruned",
+                   "dSTD"},
+                  cells);
   std::printf("(dSTD must be 0: pruning is result-preserving)\n\n");
+  report.Write();
   return 0;
 }
 

@@ -15,6 +15,7 @@ namespace {
 
 int Run(int argc, char** argv) {
   BenchOptions options = ParseOptions(argc, argv);
+  BenchReport report("ablation_sample_size", options);
   std::printf("== Ablation: sample size K-hat vs fixed K ==\n");
   std::printf("scale: base=%d, seeds=%d\n", options.base, options.num_seeds);
 
@@ -78,7 +79,10 @@ int Run(int argc, char** argv) {
   }
   PrintTable("sampling budget ablation", "setting", rows,
              {"K", "min rel", "total_STD", "time (s)"}, cells, 3);
+  report.AddTable("sampling budget ablation", "setting", rows,
+                  {"K", "min rel", "total_STD", "time (s)"}, cells);
   std::printf("\n");
+  report.Write();
   return 0;
 }
 

@@ -105,6 +105,7 @@ ModeResult RunMode(const std::vector<core::Instance>& pool,
 
 int main(int argc, char** argv) {
   bench::BenchOptions options = bench::ParseOptions(argc, argv);
+  bench::BenchReport report("cache_hit", options);
   int tickets = 24;
   for (int a = 1; a < argc; ++a) {
     if (std::strncmp(argv[a], "--tickets=", 10) == 0) {
@@ -165,6 +166,12 @@ int main(int argc, char** argv) {
                     column_labels, p50_cached, 6);
   bench::PrintTable("p50 latency, cache off (s)", "schedule", row_labels,
                     column_labels, p50_cold, 6);
+  report.AddTable("Hit+collapse ratio (kReadWrite)", "schedule", row_labels,
+                  column_labels, hit_ratio);
+  report.AddTable("p50 latency, cache on (s)", "schedule", row_labels,
+                  column_labels, p50_cached);
+  report.AddTable("p50 latency, cache off (s)", "schedule", row_labels,
+                  column_labels, p50_cold);
 
   // The acceptance line: at repeat=0.9 the cached p50 should beat the
   // cold p50 on every worker count (same schedule, bit-identical
@@ -185,5 +192,6 @@ int main(int argc, char** argv) {
   }
   std::printf("repeat=0.9 p50: cache %s cold on all worker counts\n\n",
               improved ? "beats" : "does NOT beat");
+  report.Write();
   return regressed ? 1 : 0;
 }

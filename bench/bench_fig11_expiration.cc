@@ -13,6 +13,7 @@ namespace {
 
 int Run(int argc, char** argv) {
   BenchOptions options = ParseOptions(argc, argv);
+  BenchReport report("fig11_expiration", options);
   struct Range {
     const char* label;
     double lo, hi;
@@ -33,7 +34,8 @@ int Run(int argc, char** argv) {
   }
   RunQualitySweep(
       "Figure 11: Effect of Tasks' Expiration Time Range rt (real data)",
-      "rt", points, options);
+      "rt", points, options, &report);
+  report.Write();
   return 0;
 }
 

@@ -10,6 +10,7 @@ namespace {
 
 int Run(int argc, char** argv) {
   BenchOptions options = ParseOptions(argc, argv);
+  BenchReport report("fig12_reliability", options);
   struct Range {
     const char* label;
     double lo;
@@ -30,7 +31,8 @@ int Run(int argc, char** argv) {
   }
   RunQualitySweep(
       "Figure 12: Effect of Workers' Reliability [p_min, p_max] (real data)",
-      "[p_min,p_max]", points, options);
+      "[p_min,p_max]", points, options, &report);
+  report.Write();
   return 0;
 }
 

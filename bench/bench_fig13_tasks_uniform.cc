@@ -7,8 +7,10 @@
 int main(int argc, char** argv) {
   using namespace rdbsc::bench;
   BenchOptions options = ParseOptions(argc, argv);
+  BenchReport report("fig13_tasks_uniform", options);
   RunQualitySweep(
       "Figure 13: Effect of the Number of Tasks m (UNIFORM)",
-      "m", TaskCountSweep(options, rdbsc::gen::SpatialDistribution::kUniform), options);
+      "m", TaskCountSweep(options, rdbsc::gen::SpatialDistribution::kUniform), options, &report);
+  report.Write();
   return 0;
 }

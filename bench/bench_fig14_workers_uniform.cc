@@ -7,8 +7,10 @@
 int main(int argc, char** argv) {
   using namespace rdbsc::bench;
   BenchOptions options = ParseOptions(argc, argv);
+  BenchReport report("fig14_workers_uniform", options);
   RunQualitySweep(
       "Figure 14: Effect of the Number of Workers n (UNIFORM)",
-      "n", WorkerCountSweep(options, rdbsc::gen::SpatialDistribution::kUniform), options);
+      "n", WorkerCountSweep(options, rdbsc::gen::SpatialDistribution::kUniform), options, &report);
+  report.Write();
   return 0;
 }

@@ -7,8 +7,10 @@
 int main(int argc, char** argv) {
   using namespace rdbsc::bench;
   BenchOptions options = ParseOptions(argc, argv);
+  BenchReport report("fig15_angles_uniform", options);
   RunQualitySweep(
       "Figure 15: Effect of the Range of Moving Angles (UNIFORM)",
-      "(a+-a-)", AngleRangeSweep(options, rdbsc::gen::SpatialDistribution::kUniform), options);
+      "(a+-a-)", AngleRangeSweep(options, rdbsc::gen::SpatialDistribution::kUniform), options, &report);
+  report.Write();
   return 0;
 }

@@ -10,6 +10,7 @@ namespace {
 
 int Run(int argc, char** argv) {
   BenchOptions options = ParseOptions(argc, argv);
+  BenchReport report("fig22_beta", options);
   struct Range {
     const char* label;
     double lo, hi;
@@ -31,7 +32,8 @@ int Run(int argc, char** argv) {
   }
   RunQualitySweep(
       "Figure 22: Effect of the Requester-Specified Weight beta (real data)",
-      "beta", points, options);
+      "beta", points, options, &report);
+  report.Write();
   return 0;
 }
 

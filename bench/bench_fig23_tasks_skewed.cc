@@ -7,8 +7,10 @@
 int main(int argc, char** argv) {
   using namespace rdbsc::bench;
   BenchOptions options = ParseOptions(argc, argv);
+  BenchReport report("fig23_tasks_skewed", options);
   RunQualitySweep(
       "Figure 23: Effect of the Number of Tasks m (SKEWED)",
-      "m", TaskCountSweep(options, rdbsc::gen::SpatialDistribution::kSkewed), options);
+      "m", TaskCountSweep(options, rdbsc::gen::SpatialDistribution::kSkewed), options, &report);
+  report.Write();
   return 0;
 }

@@ -7,8 +7,10 @@
 int main(int argc, char** argv) {
   using namespace rdbsc::bench;
   BenchOptions options = ParseOptions(argc, argv);
+  BenchReport report("fig24_workers_skewed", options);
   RunQualitySweep(
       "Figure 24: Effect of the Number of Workers n (SKEWED)",
-      "n", WorkerCountSweep(options, rdbsc::gen::SpatialDistribution::kSkewed), options);
+      "n", WorkerCountSweep(options, rdbsc::gen::SpatialDistribution::kSkewed), options, &report);
+  report.Write();
   return 0;
 }

@@ -7,8 +7,10 @@
 int main(int argc, char** argv) {
   using namespace rdbsc::bench;
   BenchOptions options = ParseOptions(argc, argv);
+  BenchReport report("fig25_velocity_uniform", options);
   RunQualitySweep(
       "Figure 25: Effect of the Range of Velocities [v-,v+] (UNIFORM)",
-      "[v-,v+]", VelocitySweep(options, rdbsc::gen::SpatialDistribution::kUniform), options);
+      "[v-,v+]", VelocitySweep(options, rdbsc::gen::SpatialDistribution::kUniform), options, &report);
+  report.Write();
   return 0;
 }

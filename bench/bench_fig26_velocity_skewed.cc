@@ -7,8 +7,10 @@
 int main(int argc, char** argv) {
   using namespace rdbsc::bench;
   BenchOptions options = ParseOptions(argc, argv);
+  BenchReport report("fig26_velocity_skewed", options);
   RunQualitySweep(
       "Figure 26: Effect of the Range of Velocities [v-,v+] (SKEWED)",
-      "[v-,v+]", VelocitySweep(options, rdbsc::gen::SpatialDistribution::kSkewed), options);
+      "[v-,v+]", VelocitySweep(options, rdbsc::gen::SpatialDistribution::kSkewed), options, &report);
+  report.Write();
   return 0;
 }

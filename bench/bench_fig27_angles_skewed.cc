@@ -7,8 +7,10 @@
 int main(int argc, char** argv) {
   using namespace rdbsc::bench;
   BenchOptions options = ParseOptions(argc, argv);
+  BenchReport report("fig27_angles_skewed", options);
   RunQualitySweep(
       "Figure 27: Effect of the Range of Moving Angles (SKEWED)",
-      "(a+-a-)", AngleRangeSweep(options, rdbsc::gen::SpatialDistribution::kSkewed), options);
+      "(a+-a-)", AngleRangeSweep(options, rdbsc::gen::SpatialDistribution::kSkewed), options, &report);
+  report.Write();
   return 0;
 }

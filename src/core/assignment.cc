@@ -5,6 +5,7 @@
 #include <cstddef>
 #include <limits>
 
+#include "core/kernels.h"
 #include "util/math.h"
 
 namespace rdbsc::core {
@@ -44,17 +45,33 @@ AssignmentState::AssignmentState(const Instance& instance)
       task_workers_(instance.num_tasks()),
       task_obs_(instance.num_tasks()),
       task_r_(instance.num_tasks(), 0.0),
-      task_std_(instance.num_tasks(), 0.0) {}
+      task_std_(instance.num_tasks(), 0.0),
+      obs_rows_(instance.num_workers()),
+      obs_row_ready_(instance.num_workers(), 0) {}
+
+const std::vector<Observation>& AssignmentState::ObservationRowOf(
+    WorkerId j) const {
+  if (!obs_row_ready_[j]) {
+    ObservationRow(instance_->worker(j), instance_->now(),
+                   instance_->policy(), instance_->soa().task_block(),
+                   &obs_rows_[j]);
+    obs_row_ready_[j] = 1;
+  }
+  return obs_rows_[j];
+}
+
+Observation AssignmentState::ObservationFor(TaskId i, WorkerId j) const {
+  if (obs_row_ready_[j]) return obs_rows_[j][static_cast<size_t>(i)];
+  return MakeObservation(instance_->task(i), instance_->worker(j),
+                         instance_->now(), instance_->policy());
+}
 
 void AssignmentState::Add(TaskId i, WorkerId j) {
   assert(assignment_.TaskOf(j) == kNoTask && "worker already assigned");
   assignment_.Assign(j, i);
   if (task_workers_[i].empty()) ++num_nonempty_;
   task_workers_[i].push_back(j);
-  task_obs_[i].push_back(MakeObservation(instance_->task(i),
-                                         instance_->worker(j),
-                                         instance_->now(),
-                                         instance_->policy()));
+  task_obs_[i].push_back(ObservationFor(i, j));
   task_r_[i] += util::ReliabilityWeight(instance_->worker(j).confidence);
   RecomputeTask(i);
 }
@@ -121,8 +138,7 @@ ObjectiveValue AssignmentState::Objectives() const {
 
 ObjectiveValue AssignmentState::PreviewAdd(TaskId i, WorkerId j) const {
   std::vector<Observation> obs = task_obs_[i];
-  obs.push_back(MakeObservation(instance_->task(i), instance_->worker(j),
-                                instance_->now(), instance_->policy()));
+  obs.push_back(ObservationRowOf(j)[static_cast<size_t>(i)]);
   double new_std = ExpectedStd(instance_->task(i), obs);
   double new_r =
       task_r_[i] + util::ReliabilityWeight(instance_->worker(j).confidence);
@@ -140,16 +156,14 @@ ObjectiveValue AssignmentState::PreviewAdd(TaskId i, WorkerId j) const {
 
 double AssignmentState::PreviewTaskStd(TaskId i, WorkerId j) const {
   std::vector<Observation> obs = task_obs_[i];
-  obs.push_back(MakeObservation(instance_->task(i), instance_->worker(j),
-                                instance_->now(), instance_->policy()));
+  obs.push_back(ObservationRowOf(j)[static_cast<size_t>(i)]);
   return ExpectedStd(instance_->task(i), obs);
 }
 
 DiversityBounds AssignmentState::PreviewTaskStdBounds(TaskId i,
                                                       WorkerId j) const {
   std::vector<Observation> obs = task_obs_[i];
-  obs.push_back(MakeObservation(instance_->task(i), instance_->worker(j),
-                                instance_->now(), instance_->policy()));
+  obs.push_back(ObservationRowOf(j)[static_cast<size_t>(i)]);
   return ExpectedStdBounds(instance_->task(i), obs);
 }
 

@@ -115,6 +115,17 @@ class AssignmentState {
  private:
   void RecomputeTask(TaskId i);
 
+  /// The observation of (task i, worker j): served from the lazily built
+  /// per-worker row when one exists, otherwise computed scalar. Rows are
+  /// built (whole, through the batched core::ObservationRow kernel over
+  /// the instance's SoA task block) by the Preview* entry points, which
+  /// solvers call many times per worker and round; the one-shot Add path
+  /// never forces a row, so replay-heavy users (Reset, sampling's
+  /// EvaluateAssignment) keep their O(1)-observations-per-Add cost.
+  /// Bit-identical either way: the row kernel is the scalar sequence.
+  Observation ObservationFor(TaskId i, WorkerId j) const;
+  const std::vector<Observation>& ObservationRowOf(WorkerId j) const;
+
   const Instance* instance_;
   Assignment assignment_;
   std::vector<std::vector<WorkerId>> task_workers_;
@@ -123,6 +134,13 @@ class AssignmentState {
   std::vector<double> task_std_;
   double total_std_ = 0.0;
   int num_nonempty_ = 0;
+
+  /// Lazy per-worker observation rows (indexed by worker, then task).
+  /// mutable + unsynchronized: AssignmentState is single-threaded by
+  /// design -- every solver owns its states per shard (D&C leaves,
+  /// sampling evaluations); nothing shares one across threads.
+  mutable std::vector<std::vector<Observation>> obs_rows_;
+  mutable std::vector<uint8_t> obs_row_ready_;
 };
 
 /// Evaluates an assignment's objectives from scratch (convenience wrapper

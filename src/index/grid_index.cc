@@ -20,6 +20,7 @@ GridIndex::GridIndex(double eta, double now, core::ArrivalPolicy policy)
   cells_per_axis_ = std::min(cells_per_axis_, kMaxCellsPerAxis);
   eta_ = 1.0 / cells_per_axis_;
   cells_.resize(static_cast<size_t>(cells_per_axis_) * cells_per_axis_);
+  blocks_.resize(cells_.size());
   util::MutexLock lock(tcells_->mu);
   tcells_->lists.resize(cells_.size());
   tcells_->valid.assign(cells_.size(), 0);
@@ -81,16 +82,6 @@ void GridIndex::AbsorbWorker(Cell* cell, const core::Worker& worker) {
   }
 }
 
-void GridIndex::AbsorbTask(Cell* cell, const core::Task& task) {
-  if (cell->tasks.size() == 1) {
-    cell->s_min = task.start;
-    cell->e_max = task.end;
-  } else {
-    cell->s_min = std::min(cell->s_min, task.start);
-    cell->e_max = std::max(cell->e_max, task.end);
-  }
-}
-
 void GridIndex::RebuildSummaries(int cell_id) {
   Cell& cell = cells_[cell_id];
   cell.v_max = 0.0;
@@ -99,12 +90,24 @@ void GridIndex::RebuildSummaries(int cell_id) {
   for (const auto& [id, worker] : cell.workers) {
     AbsorbWorker(&cell, worker);
   }
-  cell.s_min = std::numeric_limits<double>::infinity();
-  cell.e_max = -std::numeric_limits<double>::infinity();
-  for (const auto& [id, task] : cell.tasks) {
-    cell.s_min = std::min(cell.s_min, task.start);
-    cell.e_max = std::max(cell.e_max, task.end);
+  // An empty task list folds back to the constructed state (not +-inf), so
+  // an emptied cell is bit-identical to a never-touched one.
+  cell.s_min = 0.0;
+  cell.e_max = 0.0;
+  for (size_t k = 0; k < cell.tasks.size(); ++k) {
+    const core::Task& task = cell.tasks[k].second;
+    cell.s_min = k == 0 ? task.start : std::min(cell.s_min, task.start);
+    cell.e_max = k == 0 ? task.end : std::max(cell.e_max, task.end);
   }
+}
+
+void GridIndex::RebuildBlock(int cell_id) {
+  const Cell& cell = cells_[cell_id];
+  core::TaskBlock block;
+  block.Reserve(cell.tasks.size());
+  for (const auto& [tid, task] : cell.tasks) block.Add(tid, task);
+  max_block_ = std::max(max_block_, block.size());
+  blocks_[static_cast<size_t>(cell_id)] = std::move(block);
 }
 
 util::Status GridIndex::InsertWorker(core::WorkerId id,
@@ -115,8 +118,15 @@ util::Status GridIndex::InsertWorker(core::WorkerId id,
   int cell_id = CellOf(worker.location);
   worker_cell_[id] = cell_id;
   Cell& cell = cells_[cell_id];
-  cell.workers.emplace_back(id, worker);
-  AbsorbWorker(&cell, worker);
+  auto pos = std::lower_bound(
+      cell.workers.begin(), cell.workers.end(), id,
+      [](const auto& entry, core::WorkerId v) { return entry.first < v; });
+  cell.workers.emplace(pos, id, worker);
+  // Refold rather than absorb: CoverUnion is order-dependent, so folding
+  // the sorted member list keeps the summary canonical under any insert
+  // order (ascending-id bulk loads are unchanged -- there absorb and
+  // refold coincide).
+  RebuildSummaries(cell_id);
   InvalidateReachability(cell_id);
   return util::Status::OK();
 }
@@ -128,11 +138,10 @@ util::Status GridIndex::RemoveWorker(core::WorkerId id) {
   }
   int cell_id = it->second;
   Cell& cell = cells_[cell_id];
-  auto pos = std::find_if(cell.workers.begin(), cell.workers.end(),
-                          [id](const auto& entry) {
-                            return entry.first == id;
-                          });
-  assert(pos != cell.workers.end());
+  auto pos = std::lower_bound(
+      cell.workers.begin(), cell.workers.end(), id,
+      [](const auto& entry, core::WorkerId v) { return entry.first < v; });
+  assert(pos != cell.workers.end() && pos->first == id);
   cell.workers.erase(pos);
   // Summaries may have shrunk; rebuild eagerly so the const retrieval
   // paths never have to repair cells (they may run concurrently).
@@ -142,6 +151,52 @@ util::Status GridIndex::RemoveWorker(core::WorkerId id) {
   return util::Status::OK();
 }
 
+util::Status GridIndex::MoveWorker(core::WorkerId id, geo::Point to) {
+  auto it = worker_cell_.find(id);
+  if (it == worker_cell_.end()) {
+    return util::Status::NotFound("worker id not indexed");
+  }
+  int from_cell = it->second;
+  Cell& from = cells_[from_cell];
+  auto pos = std::lower_bound(
+      from.workers.begin(), from.workers.end(), id,
+      [](const auto& entry, core::WorkerId v) { return entry.first < v; });
+  assert(pos != from.workers.end() && pos->first == id);
+  int to_cell = CellOf(to);
+  if (to_cell == from_cell) {
+    // Same-cell jitter: location feeds no summary (v_max / dir_cover /
+    // task bounds are location-free), so this is a pure payload update --
+    // no refold, no reachability churn.
+    pos->second.location = to;
+    return util::Status::OK();
+  }
+  core::Worker moved = pos->second;
+  moved.location = to;
+  from.workers.erase(pos);
+  RebuildSummaries(from_cell);
+  InvalidateReachability(from_cell);
+  Cell& dest = cells_[to_cell];
+  auto dpos = std::lower_bound(
+      dest.workers.begin(), dest.workers.end(), id,
+      [](const auto& entry, core::WorkerId v) { return entry.first < v; });
+  dest.workers.emplace(dpos, id, moved);
+  RebuildSummaries(to_cell);
+  InvalidateReachability(to_cell);
+  it->second = to_cell;
+  return util::Status::OK();
+}
+
+const core::Worker* GridIndex::FindWorker(core::WorkerId id) const {
+  auto it = worker_cell_.find(id);
+  if (it == worker_cell_.end()) return nullptr;
+  const Cell& cell = cells_[it->second];
+  auto pos = std::lower_bound(
+      cell.workers.begin(), cell.workers.end(), id,
+      [](const auto& entry, core::WorkerId v) { return entry.first < v; });
+  assert(pos != cell.workers.end() && pos->first == id);
+  return &pos->second;
+}
+
 util::Status GridIndex::InsertTask(core::TaskId id, const core::Task& task) {
   if (task_cell_.contains(id)) {
     return util::Status::AlreadyExists("task id already indexed");
@@ -149,8 +204,12 @@ util::Status GridIndex::InsertTask(core::TaskId id, const core::Task& task) {
   int cell_id = CellOf(task.location);
   task_cell_[id] = cell_id;
   Cell& cell = cells_[cell_id];
-  cell.tasks.emplace_back(id, task);
-  AbsorbTask(&cell, task);
+  auto pos = std::lower_bound(
+      cell.tasks.begin(), cell.tasks.end(), id,
+      [](const auto& entry, core::TaskId v) { return entry.first < v; });
+  cell.tasks.emplace(pos, id, task);
+  RebuildSummaries(cell_id);
+  RebuildBlock(cell_id);
   PatchReachability(cell_id);
   return util::Status::OK();
 }
@@ -162,13 +221,13 @@ util::Status GridIndex::RemoveTask(core::TaskId id) {
   }
   int cell_id = it->second;
   Cell& cell = cells_[cell_id];
-  auto pos = std::find_if(cell.tasks.begin(), cell.tasks.end(),
-                          [id](const auto& entry) {
-                            return entry.first == id;
-                          });
-  assert(pos != cell.tasks.end());
+  auto pos = std::lower_bound(
+      cell.tasks.begin(), cell.tasks.end(), id,
+      [](const auto& entry, core::TaskId v) { return entry.first < v; });
+  assert(pos != cell.tasks.end() && pos->first == id);
   cell.tasks.erase(pos);
   RebuildSummaries(cell_id);
+  RebuildBlock(cell_id);
   task_cell_.erase(it);
   PatchReachability(cell_id);
   return util::Status::OK();
@@ -270,20 +329,6 @@ const std::vector<std::vector<int>>* GridIndex::WarmReachability(
   return &tcells_->lists;
 }
 
-std::pair<std::vector<core::TaskBlock>, size_t> GridIndex::BuildTaskBlocks()
-    const {
-  std::vector<core::TaskBlock> blocks(cells_.size());
-  size_t max_size = 0;
-  for (size_t c = 0; c < cells_.size(); ++c) {
-    const Cell& cell = cells_[c];
-    if (cell.tasks.empty()) continue;
-    blocks[c].Reserve(cell.tasks.size());
-    for (const auto& [tid, task] : cell.tasks) blocks[c].Add(tid, task);
-    max_size = std::max(max_size, blocks[c].size());
-  }
-  return {std::move(blocks), max_size};
-}
-
 util::StatusOr<std::vector<std::vector<core::TaskId>>>
 GridIndex::RetrieveEdges(int num_workers, RetrievalStats* stats,
                          util::Executor* executor,
@@ -297,7 +342,11 @@ GridIndex::RetrieveEdges(int num_workers, RetrievalStats* stats,
   if (tcell_lists == nullptr) {
     return util::InterruptedStatus(deadline, "retrieval interrupted");
   }
-  const auto [blocks, max_block] = BuildTaskBlocks();
+  // The scans below read the delta-maintained per-cell blocks directly
+  // (repaired on task churn), so a retrieval pass no longer rebuilds the
+  // columnar mirror of every cell.
+  const std::vector<core::TaskBlock>& blocks = blocks_;
+  const size_t max_block = max_block_;
 
   // Phase 2 (sharded over source cells): the per-cell pair tests, which
   // dominate retrieval cost, batched through the SoA kernel (exact same
@@ -353,7 +402,8 @@ GridIndex::RetrievePairs(RetrievalStats* stats, util::Executor* executor,
     return util::InterruptedStatus(deadline, "retrieval interrupted");
   }
 
-  const auto [blocks, max_block] = BuildTaskBlocks();
+  const std::vector<core::TaskBlock>& blocks = blocks_;
+  const size_t max_block = max_block_;
   util::Executor& exec = util::OrSerial(executor);
   std::vector<RetrievalStats> shard_stats(exec.width());
   std::vector<std::vector<std::pair<core::WorkerId, core::TaskId>>>
@@ -406,6 +456,57 @@ GridIndex::RetrievePairs(RetrievalStats* stats, util::Executor* executor,
 void GridIndex::set_now(double now) {
   assert(now >= now_ && "the index clock must be non-decreasing");
   now_ = now;
+}
+
+util::StatusOr<WorkerRowResult> GridIndex::RetrieveWorkerRow(
+    core::WorkerId id) const {
+  auto it = worker_cell_.find(id);
+  if (it == worker_cell_.end()) {
+    return util::Status::NotFound("worker id not indexed");
+  }
+  const core::Worker* worker = FindWorker(id);
+  assert(worker != nullptr);
+  WorkerRowResult result;
+  result.stable_until = std::numeric_limits<double>::infinity();
+  // The cached tcell_list is a conservative superset of the fresh one
+  // (pruning is monotone in the non-decreasing clock), and a cell pruned
+  // at any earlier clock can never host a valid -- or future-valid -- pair
+  // for this cell's workers, so scanning it yields exactly the
+  // IsValidPair edge row and a sound horizon over every pair that could
+  // ever activate. The reference stays valid until the next mutation, and
+  // mutators require exclusive access.
+  const std::vector<int>& targets = CachedReachable(it->second);
+  for (int to_id : targets) {
+    const Cell& to = cells_[to_id];
+    ++result.cells_scanned;
+    result.pair_tests += static_cast<int64_t>(to.tasks.size());
+    for (const auto& [tid, task] : to.tasks) {
+      const core::PairWindow pw =
+          core::ClassifyPairWindow(task, *worker, now_, policy_);
+      if (pw.valid) result.tasks.push_back(tid);
+      result.stable_until = std::min(result.stable_until, pw.stable_until);
+    }
+  }
+  // Ids ascend within a cell but cells are scanned in tcell order; one
+  // global sort canonicalizes (same convention as RetrievePairs).
+  std::sort(result.tasks.begin(), result.tasks.end());
+  return result;
+}
+
+CellState GridIndex::DebugCellState(int cell) const {
+  const Cell& c = cells_[cell];
+  CellState state;
+  state.workers.reserve(c.workers.size());
+  for (const auto& [wid, w] : c.workers) state.workers.push_back(wid);
+  state.tasks.reserve(c.tasks.size());
+  for (const auto& [tid, t] : c.tasks) state.tasks.push_back(tid);
+  state.v_max = c.v_max;
+  state.has_dir_cover = c.has_dir_cover;
+  state.dir_lo = c.dir_cover.lo();
+  state.dir_width = c.dir_cover.width();
+  state.s_min = c.s_min;
+  state.e_max = c.e_max;
+  return state;
 }
 
 std::vector<int> GridIndex::ReachableCells(geo::Point location) const {

@@ -36,13 +36,51 @@ struct RetrievalStats {
   }
 };
 
+/// The valid-task row of one worker plus its stability horizon, as
+/// computed by GridIndex::RetrieveWorkerRow: `tasks` holds exactly the
+/// (sorted) task ids IsValidPair accepts for the worker at the index
+/// clock, and the verdict set is guaranteed unchanged for every later
+/// clock <= `stable_until` (see core::PairWindow). DeltaGraph caches
+/// these rows and recomputes each one only when its horizon expires.
+struct WorkerRowResult {
+  std::vector<core::TaskId> tasks;
+  double stable_until = 0.0;
+  int cells_scanned = 0;
+  int64_t pair_tests = 0;
+};
+
+/// A copy of one cell's membership and summary state, for the delta ==
+/// rebuild bit-identity property suite (delta_index_test compares every
+/// cell of a delta-maintained index against a rebuilt-from-scratch one).
+struct CellState {
+  std::vector<core::WorkerId> workers;
+  std::vector<core::TaskId> tasks;
+  double v_max = 0.0;
+  bool has_dir_cover = false;
+  double dir_lo = 0.0;
+  double dir_width = 0.0;
+  double s_min = 0.0;
+  double e_max = 0.0;
+
+  bool operator==(const CellState&) const = default;
+};
+
 /// RDB-SC-Grid (Section 7): a uniform grid over [0,1]^2 with cell side eta.
 /// Each cell keeps its workers and tasks together with summary bounds
 /// (maximum speed, a covering direction interval, earliest start / latest
 /// deadline), enabling the cell-level pruning rule when retrieving valid
-/// task-and-worker pairs. Workers and tasks can be inserted and removed
-/// dynamically; summaries are rebuilt eagerly on removal so every
+/// task-and-worker pairs. Workers and tasks can be inserted, moved and
+/// removed dynamically; summaries, the per-cell SoA task blocks, and the
+/// reachability cache are repaired eagerly per mutated cell so every
 /// read-only entry point sees consistent cells.
+///
+/// Canonical cell state: members are kept sorted by id and summaries are
+/// refolded in that order on every mutation, so a cell's entire state is a
+/// pure function of its member set -- an index maintained through any
+/// sequence of insert/move/remove events is bit-identical, cell for cell,
+/// to one rebuilt from scratch over the surviving members (the delta
+/// engine's determinism contract; CoverUnion folds are order-dependent,
+/// which is exactly why the fold order must be canonicalized).
 ///
 /// Thread safety: mutators (Insert*/Remove*/set_now) require exclusive
 /// access, but any number of threads may run the const retrieval methods
@@ -75,10 +113,19 @@ class GridIndex {
   util::Status InsertWorker(core::WorkerId id, const core::Worker& worker);
   /// Removes a worker; fails with kNotFound when absent.
   util::Status RemoveWorker(core::WorkerId id);
+  /// Moves an indexed worker to `to` (the WorkerMoved delta event). A
+  /// same-cell jitter is a pure payload update (location feeds no cell
+  /// summary); a cross-cell move repairs exactly the two affected cells.
+  /// Fails with kNotFound when absent.
+  util::Status MoveWorker(core::WorkerId id, geo::Point to);
   /// Inserts a task under `id`; fails with kAlreadyExists on duplicates.
   util::Status InsertTask(core::TaskId id, const core::Task& task);
   /// Removes a task; fails with kNotFound when absent.
   util::Status RemoveTask(core::TaskId id);
+
+  /// The indexed worker payload, or nullptr when absent. Stable until the
+  /// next mutation of the worker's cell.
+  const core::Worker* FindWorker(core::WorkerId id) const;
 
   /// Retrieves all valid (worker, task) pairs using the cell-level pruning.
   /// The result is indexed by worker id (ids must be < `num_workers`).
@@ -99,11 +146,21 @@ class GridIndex {
                 util::Executor* executor = nullptr,
                 const util::Deadline& deadline = util::Deadline()) const;
 
+  /// The valid-task row of one indexed worker at the current clock, with
+  /// its stability horizon (see WorkerRowResult): the scalar
+  /// ClassifyPairWindow oracle over every task block of the worker's
+  /// cached tcell_list. Emits exactly the ids RetrievePairs would emit for
+  /// this worker (cached lists are conservative supersets, and pruned
+  /// cells can never host a valid -- or future-valid -- pair for this
+  /// cell's workers). Fails with kNotFound for an unindexed worker.
+  util::StatusOr<WorkerRowResult> RetrieveWorkerRow(core::WorkerId id) const;
+
   /// Advances the clock used by validity tests and temporal pruning.
   /// Must be non-decreasing: cached reachability lists stay conservative
   /// (supersets) only when deadlines can only get closer.
   void set_now(double now);
   double now() const { return now_; }
+  core::ArrivalPolicy policy() const { return policy_; }
 
   /// The target-cell list of the cell containing `location`: ids of cells
   /// holding at least one task some worker of that cell might reach
@@ -130,6 +187,13 @@ class GridIndex {
   int num_workers() const { return static_cast<int>(worker_cell_.size()); }
   int num_tasks() const { return static_cast<int>(task_cell_.size()); }
 
+  /// Id of the cell containing `p` (delta callers use this to attribute
+  /// touched-cell metrics to mutations).
+  int CellIndexOf(geo::Point p) const { return CellOf(p); }
+
+  /// Copy of one cell's membership and summaries (bit-identity suite).
+  CellState DebugCellState(int cell) const;
+
  private:
   struct Cell {
     std::vector<std::pair<core::WorkerId, core::Worker>> workers;
@@ -146,10 +210,15 @@ class GridIndex {
   int CellOf(geo::Point p) const;
   geo::Box BoxOf(int cell) const;
   static void AbsorbWorker(Cell* cell, const core::Worker& worker);
-  static void AbsorbTask(Cell* cell, const core::Task& task);
-  /// Recomputes a cell's summaries from scratch (called eagerly after a
-  /// removal shrinks them).
+  /// Recomputes a cell's summaries from scratch, folding members in
+  /// sorted-id order (called eagerly after every membership change; the
+  /// canonical fold order is what makes delta == rebuild bit-identical).
   void RebuildSummaries(int cell_id);
+  /// Recomputes a cell's SoA task block from its (sorted) task list and
+  /// bumps the scratch-size bound. Called eagerly on task churn so
+  /// retrieval passes read maintained blocks instead of rebuilding all of
+  /// them per pass.
+  void RebuildBlock(int cell_id);
 
   /// Invalidates the cached tcell_list of `cell` (worker churn there).
   void InvalidateReachability(int cell) EXCLUDES(tcells_->mu);
@@ -178,13 +247,6 @@ class GridIndex {
   bool CanPrune(const Cell& from, int from_id, const Cell& to,
                 int to_id) const;
 
-  /// Columnar copies of every cell's task list, built once per retrieval
-  /// pass so each surviving (worker, target-cell) combination is one
-  /// batched kernel row instead of an IsValidPair-per-task loop. Returns
-  /// the per-cell blocks plus the largest block size (classification
-  /// scratch bound).
-  std::pair<std::vector<core::TaskBlock>, size_t> BuildTaskBlocks() const;
-
   /// Per-source-cell cached tcell_lists (sorted), built on demand, plus
   /// their validity bits and rebuild counter -- everything the const
   /// retrieval paths may touch concurrently, guarded by one mutex.
@@ -203,6 +265,13 @@ class GridIndex {
   double now_;
   core::ArrivalPolicy policy_;
   std::vector<Cell> cells_;
+  /// Maintained columnar mirror of every cell's (sorted) task list -- the
+  /// SoA spans the retrieval scans batch through the kernels. blocks_[c]
+  /// is repaired on task churn in cell c only; max_block_ is a monotone
+  /// upper bound on block sizes (classification scratch bound; never
+  /// shrunk, so removals stay O(affected cell)).
+  std::vector<core::TaskBlock> blocks_;
+  size_t max_block_ = 0;
   std::unordered_map<core::WorkerId, int> worker_cell_;
   std::unordered_map<core::TaskId, int> task_cell_;
   std::unique_ptr<TCellCache> tcells_ = std::make_unique<TCellCache>();

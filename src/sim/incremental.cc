@@ -1,6 +1,7 @@
 #include "sim/incremental.h"
 
 #include <algorithm>
+#include <cassert>
 #include <limits>
 #include <vector>
 
@@ -26,6 +27,9 @@ util::Status IncrementalAssigner::AddTask(core::TaskId id,
   if (!status.ok()) return status;
   tasks_.emplace(id, task);
   ledger_.emplace(id, LedgerEntry{task, {}});
+  if (mode_ == MaintenanceMode::kDelta) {
+    delta_.OnTaskArrived(index_, id, task);
+  }
   return util::Status::OK();
 }
 
@@ -35,6 +39,7 @@ util::Status IncrementalAssigner::RemoveTask(core::TaskId id) {
     return util::Status::NotFound("task id not registered");
   }
   index_.RemoveTask(id).ok();
+  if (mode_ == MaintenanceMode::kDelta) delta_.OnTaskRemoved(id);
   tasks_.erase(it);
   // Pending commitments to the vanished task are voided: the workers
   // become available again and their provisional contributions disappear.
@@ -50,6 +55,7 @@ util::Status IncrementalAssigner::RemoveTask(core::TaskId id) {
     record.committed = core::kNoTask;
     record.busy = false;
     index_.InsertWorker(wid, record.worker).ok();
+    if (mode_ == MaintenanceMode::kDelta) delta_.AddRow(wid).ok();
     auto& contributions = ledger_.at(id).contributions;
     std::erase_if(contributions, [wid](const auto& entry) {
       return entry.first == wid;
@@ -65,6 +71,7 @@ util::Status IncrementalAssigner::AddWorker(core::WorkerId id,
   }
   util::Status status = index_.InsertWorker(id, worker);
   if (!status.ok()) return status;
+  if (mode_ == MaintenanceMode::kDelta) delta_.AddRow(id).ok();
   WorkerRecord record;
   record.worker = worker;
   workers_.emplace(id, record);
@@ -76,7 +83,10 @@ util::Status IncrementalAssigner::RemoveWorker(core::WorkerId id) {
   if (it == workers_.end()) {
     return util::Status::NotFound("worker id not registered");
   }
-  if (!it->second.busy) index_.RemoveWorker(id).ok();
+  if (!it->second.busy) {
+    index_.RemoveWorker(id).ok();
+    if (mode_ == MaintenanceMode::kDelta) delta_.RemoveRow(id).ok();
+  }
   if (it->second.committed != core::kNoTask && it->second.busy) {
     // The worker left mid-route: void the provisional contribution.
     auto ledger_it = ledger_.find(it->second.committed);
@@ -101,7 +111,96 @@ util::Status IncrementalAssigner::CompleteWorker(core::WorkerId id,
   it->second.busy = false;
   it->second.committed = core::kNoTask;
   it->second.worker.location = position;
-  return index_.InsertWorker(id, it->second.worker);
+  util::Status status = index_.InsertWorker(id, it->second.worker);
+  if (status.ok() && mode_ == MaintenanceMode::kDelta) {
+    delta_.AddRow(id).ok();
+  }
+  return status;
+}
+
+util::Status IncrementalAssigner::MoveWorker(core::WorkerId id,
+                                             geo::Point to) {
+  auto it = workers_.find(id);
+  if (it == workers_.end()) {
+    return util::Status::NotFound("worker id not registered");
+  }
+  if (it->second.busy) {
+    return util::Status::FailedPrecondition(
+        "committed worker cannot be moved");
+  }
+  util::Status status = index_.MoveWorker(id, to);
+  if (!status.ok()) return status;
+  it->second.worker.location = to;
+  // Only this worker's candidate row changed; everything else keeps its
+  // stability horizon.
+  if (mode_ == MaintenanceMode::kDelta) delta_.MarkRowDirty(id).ok();
+  return util::Status::OK();
+}
+
+util::Status IncrementalAssigner::ApplyEvents(const EventBatch& batch) {
+  index_.set_now(std::max(batch.now, index_.now()));
+  EventBatch events = batch;
+  events.Canonicalize();
+  for (const TaskExpired& event : events.expired) {
+    if (util::Status s = RemoveTask(event.id); !s.ok()) return s;
+  }
+  for (const WorkerCompleted& event : events.completed) {
+    if (util::Status s = CompleteWorker(event.id, event.position); !s.ok()) {
+      return s;
+    }
+  }
+  for (const TaskArrived& event : events.arrived) {
+    if (util::Status s = AddTask(event.id, event.task); !s.ok()) return s;
+  }
+  for (const WorkerMoved& event : events.moved) {
+    if (util::Status s = MoveWorker(event.id, event.to); !s.ok()) return s;
+  }
+  return util::Status::OK();
+}
+
+void IncrementalAssigner::set_maintenance_mode(MaintenanceMode mode) {
+  if (mode == mode_) return;
+  mode_ = mode;
+  if (mode_ == MaintenanceMode::kDelta) {
+    ResyncDelta();
+  } else {
+    delta_.Reset();
+  }
+}
+
+void IncrementalAssigner::set_metrics(obs::Registry* metrics) {
+  metrics_ = metrics;
+  // Start the per-round diffs from here: work done before the sink was
+  // attached is not retroactively reported.
+  reported_delta_ = delta_.stats();
+}
+
+void IncrementalAssigner::ResyncDelta() {
+  delta_.Reset();
+  std::vector<core::WorkerId> available;
+  // LINT-ALLOW(unordered-iter): key collection only; sorted below
+  for (const auto& [wid, record] : workers_) {
+    if (!record.busy) available.push_back(wid);
+  }
+  std::sort(available.begin(), available.end());
+  // Rows are born dirty: the next Update recomputes them all, after
+  // which delta maintenance is exact again.
+  for (core::WorkerId wid : available) delta_.AddRow(wid).ok();
+}
+
+void IncrementalAssigner::ReportDeltaMetrics() {
+  if (metrics_ == nullptr) return;
+  const index::DeltaStats diff = delta_.stats() - reported_delta_;
+  reported_delta_ = delta_.stats();
+  metrics_->GetCounter("sim.delta.cells_touched")
+      .Increment(diff.cells_touched);
+  metrics_->GetCounter("sim.delta.edges_repaired")
+      .Increment(diff.edges_repaired);
+  metrics_->GetCounter("sim.delta.rows_recomputed")
+      .Increment(diff.rows_recomputed);
+  metrics_->GetCounter("sim.delta.rows_reused").Increment(diff.rows_reused);
+  metrics_->GetCounter("sim.delta.compactions").Increment(diff.compactions);
+  metrics_->GetCounter("sim.delta.bulk_refills").Increment(diff.bulk_refills);
 }
 
 util::StatusOr<std::vector<std::pair<core::TaskId, core::WorkerId>>>
@@ -143,7 +242,10 @@ IncrementalAssigner::Update(double now) {
   }
 
   std::vector<std::pair<core::TaskId, core::WorkerId>> committed;
-  if (snapshot_tasks.empty() || snapshot_workers.empty()) return committed;
+  if (snapshot_tasks.empty() || snapshot_workers.empty()) {
+    ReportDeltaMetrics();
+    return committed;
+  }
 
   const size_t num_snapshot_workers = snapshot_workers.size();
   core::Instance snapshot(std::move(snapshot_tasks),
@@ -160,10 +262,23 @@ IncrementalAssigner::Update(double now) {
     ++round_stats_.graph_reuses;
     graph = graph_memo_;
   } else {
-    // Valid pairs among available workers and open tasks, via the index.
-    // Unlimited deadline and serial retrieval: never fails.
-    std::vector<std::pair<core::WorkerId, core::TaskId>> pairs =
-        index_.RetrievePairs().value();
+    // Valid pairs among available workers and open tasks. kDelta repairs
+    // only dirty / horizon-expired rows and materializes the maintained
+    // edit structure; kRebuild pays the full index retrieval. Unlimited
+    // deadline and serial retrieval either way: never fails.
+    std::vector<std::pair<core::WorkerId, core::TaskId>> pairs;
+    if (mode_ == MaintenanceMode::kDelta) {
+      delta_.RepairRows(index_).ok();
+      pairs = delta_.Pairs();
+#ifndef NDEBUG
+      // The tentpole contract, checked on every Debug round: the
+      // delta-maintained edge set is bit-identical to a full rebuild.
+      assert(pairs == index_.RetrievePairs().value() &&
+             "delta-maintained pairs diverged from index rebuild");
+#endif
+    } else {
+      pairs = index_.RetrievePairs().value();
+    }
     std::vector<std::vector<core::TaskId>> edges(num_snapshot_workers);
     for (const auto& [wid, tid] : pairs) {
       auto w_it = worker_local.find(wid);
@@ -197,8 +312,10 @@ IncrementalAssigner::Update(double now) {
         tasks_.at(tid), record.worker, now, policy_);
     ledger_.at(tid).contributions.emplace_back(wid, record.observation);
     index_.RemoveWorker(wid).ok();
+    if (mode_ == MaintenanceMode::kDelta) delta_.RemoveRow(wid).ok();
     committed.emplace_back(tid, wid);
   }
+  ReportDeltaMetrics();
   return committed;
 }
 

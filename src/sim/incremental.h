@@ -10,7 +10,10 @@
 #include "core/diversity.h"
 #include "core/model.h"
 #include "core/solver.h"
+#include "index/delta_graph.h"
 #include "index/grid_index.h"
+#include "obs/registry.h"
+#include "sim/events.h"
 #include "util/hash.h"
 #include "util/status.h"
 
@@ -22,6 +25,18 @@ namespace rdbsc::sim {
 struct RoundCacheStats {
   int64_t rounds = 0;
   int64_t graph_reuses = 0;
+};
+
+/// How an IncrementalAssigner keeps its candidate edge set current.
+enum class MaintenanceMode {
+  /// Event-driven deltas (index::DeltaGraph): mutations patch only the
+  /// affected rows and Update repairs just the horizon-expired ones.
+  /// Bit-identical to kRebuild by contract (Debug builds cross-check
+  /// every round; tests/delta_index_test.cc proves it property-style).
+  kDelta,
+  /// Full RetrievePairs scan every non-memoized round -- the paper's
+  /// baseline, kept as the reference oracle and benchmark counterpart.
+  kRebuild,
 };
 
 /// The incremental updating strategy of Figure 10, decoupled from the toy
@@ -61,6 +76,39 @@ class IncrementalAssigner {
   /// rejected): the commitment is kept for objective accounting but the
   /// worker becomes assignable again from `position`.
   util::Status CompleteWorker(core::WorkerId id, geo::Point position);
+
+  /// Moves an *available* worker to `to`. A same-cell move touches no
+  /// index summaries at all; a cross-cell move repairs exactly two cells.
+  /// Either way only the worker's own candidate row is invalidated.
+  /// Fails with kNotFound for unknown ids, kFailedPrecondition for busy
+  /// (committed, un-indexed) workers.
+  util::Status MoveWorker(core::WorkerId id, geo::Point to);
+
+  /// Applies one round's event batch in the canonical type-major order
+  /// (expired, completed, arrived, moved; ascending id within each group
+  /// -- the batch is canonicalized internally) after advancing the clock
+  /// to `batch.now`. Stops at the first failing event; already-applied
+  /// events stay applied. The usual streaming round is
+  /// `ApplyEvents(batch)` then `Update(batch.now)`.
+  util::Status ApplyEvents(const EventBatch& batch);
+
+  /// Switches maintenance strategy. Entering kDelta resynchronizes the
+  /// delta graph from the index (every row reborn dirty), so the switch
+  /// is allowed at any point of the lifecycle.
+  void set_maintenance_mode(MaintenanceMode mode);
+  MaintenanceMode maintenance_mode() const { return mode_; }
+
+  /// Optional metrics sink (unowned; must outlive the assigner). Each
+  /// Update reports that round's maintenance work as sim.delta.* counter
+  /// increments (cells_touched, edges_repaired, rows_recomputed,
+  /// rows_reused, compactions, bulk_refills).
+  void set_metrics(obs::Registry* metrics);
+
+  /// Cumulative delta-maintenance cost counters (all zero in kRebuild).
+  const index::DeltaStats& delta_stats() const { return delta_.stats(); }
+
+  /// The maintained grid index (inspection / tests).
+  const index::GridIndex& index() const { return index_; }
 
   /// One round of Figure 10: assigns available workers to open tasks that
   /// are still live at `now` (expired tasks are dropped first). Returns
@@ -107,10 +155,21 @@ class IncrementalAssigner {
     std::vector<std::pair<core::WorkerId, core::Observation>> contributions;
   };
 
+  /// Rebuilds the delta graph's row set from the current index contents
+  /// (used when entering kDelta mid-lifecycle).
+  void ResyncDelta();
+  /// Sends the per-round diff of delta_.stats() to the metrics sink.
+  void ReportDeltaMetrics();
+
   core::Solver* solver_;
   core::ArrivalPolicy policy_;
   double eta_;
   index::GridIndex index_;
+  MaintenanceMode mode_ = MaintenanceMode::kDelta;
+  index::DeltaGraph delta_;
+  /// stats() watermark of the last ReportDeltaMetrics call.
+  index::DeltaStats reported_delta_;
+  obs::Registry* metrics_ = nullptr;
   std::unordered_map<core::TaskId, core::Task> tasks_;
   std::unordered_map<core::WorkerId, WorkerRecord> workers_;
   std::unordered_map<core::TaskId, LedgerEntry> ledger_;

@@ -1,0 +1,50 @@
+#include "sim/streaming.h"
+
+#include <memory>
+#include <utility>
+
+#include "core/registry.h"
+
+namespace rdbsc::sim {
+namespace {
+
+/// Fallback grid granularity when the config leaves eta unset: sized for
+/// the small-extent scenes streaming sessions start from (cf. the
+/// platform's campus). Callers with known geometry pass config.eta.
+constexpr double kDefaultStreamingEta = 0.05;
+
+}  // namespace
+
+util::StatusOr<std::unique_ptr<StreamingSession>> StreamingSession::Create(
+    const rdbsc::EngineConfig& config, MaintenanceMode mode,
+    core::ArrivalPolicy policy) {
+  util::StatusOr<std::unique_ptr<core::Solver>> solver =
+      core::SolverRegistry::Global().Create(config.solver_name,
+                                            config.solver_options);
+  if (!solver.ok()) return solver.status();
+  const double eta = config.eta > 0.0 ? config.eta : kDefaultStreamingEta;
+  return std::unique_ptr<StreamingSession>(
+      new StreamingSession(std::move(solver).value(), eta, mode, policy,
+                           config.metrics));
+}
+
+StreamingSession::StreamingSession(std::unique_ptr<core::Solver> solver,
+                                   double eta, MaintenanceMode mode,
+                                   core::ArrivalPolicy policy,
+                                   obs::Registry* metrics)
+    : solver_(std::move(solver)),
+      assigner_(std::make_unique<IncrementalAssigner>(solver_.get(), eta,
+                                                      policy)) {
+  assigner_->set_maintenance_mode(mode);
+  if (metrics != nullptr) assigner_->set_metrics(metrics);
+}
+
+util::StatusOr<std::vector<std::pair<core::TaskId, core::WorkerId>>>
+StreamingSession::Round(const EventBatch& batch) {
+  if (util::Status applied = assigner_->ApplyEvents(batch); !applied.ok()) {
+    return applied;
+  }
+  return assigner_->Update(batch.now);
+}
+
+}  // namespace rdbsc::sim

@@ -1,0 +1,61 @@
+#ifndef RDBSC_SIM_STREAMING_H_
+#define RDBSC_SIM_STREAMING_H_
+
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "core/model.h"
+#include "core/solver.h"
+#include "engine/engine.h"
+#include "sim/events.h"
+#include "sim/incremental.h"
+#include "util/status.h"
+
+namespace rdbsc::sim {
+
+/// The engine-layer streaming entry point: a long-lived session that
+/// consumes typed event batches and runs one assignment round per batch
+/// (`ApplyEvents -> Solve`), with the index and candidate graph maintained
+/// as deltas between rounds instead of being rebuilt.
+///
+/// Configured like a one-shot engine (solver name/options, eta, metrics
+/// all come from engine::EngineConfig) so callers can switch an existing
+/// engine::Engine::Run loop to streaming without a second config type.
+/// The round trajectory is bit-identical to MaintenanceMode::kRebuild --
+/// and to feeding the same world states through one-shot engine runs with
+/// the same solver -- by the DeltaGraph contract.
+class StreamingSession {
+ public:
+  /// Resolves the solver through the global registry; fails with its
+  /// kNotFound on unknown names. `config.eta` sizes the grid index
+  /// (<= 0 falls back to a small-campus default); `config.metrics`, when
+  /// set, receives the per-round sim.delta.* maintenance counters.
+  static util::StatusOr<std::unique_ptr<StreamingSession>> Create(
+      const rdbsc::EngineConfig& config,
+      MaintenanceMode mode = MaintenanceMode::kDelta,
+      core::ArrivalPolicy policy = core::ArrivalPolicy::kAllowWait);
+
+  /// One streaming round: applies `batch` (canonical type-major order,
+  /// clock advanced to batch.now) and assigns the now-available workers
+  /// to the now-open tasks. Returns the newly committed pairs.
+  util::StatusOr<std::vector<std::pair<core::TaskId, core::WorkerId>>>
+  Round(const EventBatch& batch);
+
+  /// The underlying assigner, for direct AddTask/AddWorker bootstrap,
+  /// objectives, and stats inspection.
+  IncrementalAssigner& assigner() { return *assigner_; }
+  const IncrementalAssigner& assigner() const { return *assigner_; }
+
+ private:
+  StreamingSession(std::unique_ptr<core::Solver> solver, double eta,
+                   MaintenanceMode mode, core::ArrivalPolicy policy,
+                   obs::Registry* metrics);
+
+  std::unique_ptr<core::Solver> solver_;
+  std::unique_ptr<IncrementalAssigner> assigner_;
+};
+
+}  // namespace rdbsc::sim
+
+#endif  // RDBSC_SIM_STREAMING_H_

@@ -1,0 +1,36 @@
+// Fixture: a delta-apply repair driver that never polls its Deadline must
+// be flagged. RepairRows recomputes every dirty / horizon-expired
+// candidate row of the streaming delta engine; skipping the between-rows
+// poll makes event-batch rounds uncancellable. Never compiled -- parsed
+// by lint_invariants.py --self-test.
+#include <map>
+
+namespace util {
+class Deadline;
+class Status;
+}  // namespace util
+
+namespace index {
+class GridIndex;
+}  // namespace index
+
+struct Row {
+  bool dirty = true;
+};
+
+std::map<int, Row> rows_;
+
+// Declarations (no body) are fine.
+util::Status RepairRows(const index::GridIndex& index,
+                        const util::Deadline& deadline);
+
+// Body never mentions the deadline: the repair loop walks every expired
+// row to completion no matter what budget or cancellation the caller set.
+util::Status RepairRows(  // EXPECT-LINT(missing-deadline-poll)
+    const index::GridIndex& index, const util::Deadline& ignored) {
+  for (auto& [id, row] : rows_) {
+    (void)index;
+    row.dirty = false;
+  }
+  return {};
+}

@@ -11,21 +11,23 @@ the compiler nor clang-tidy can express:
                           breaking the bit-identical determinism contract.
                           Collect keys, sort, then iterate -- or justify
                           with a LINT-ALLOW.
-  missing-deadline-poll   Every solver SolveImpl body in src/core (and the
+  missing-deadline-poll   Every solver SolveImpl body in src/core (plus the
                           batched kernel row driver ValidPairsRows in
-                          src/core/kernels.*) must poll its util::Deadline
-                          (Exhausted()/Check()) or forward it into a helper
-                          that does. A solver or kernel loop that ignores
-                          the deadline cannot be cancelled or
-                          budget-limited.
+                          src/core/kernels.* and the delta-apply repair
+                          driver RepairRows in src/index) must poll its
+                          util::Deadline (Exhausted()/Check()) or forward
+                          it into a helper that does. A solver, kernel, or
+                          delta-repair loop that ignores the deadline
+                          cannot be cancelled or budget-limited.
   ambient-time            No wall-clock reads (time(), system_clock) in
-                          src/core, src/index, src/engine, or src/obs.
-                          Wall time is non-reproducible;
-                          std::chrono::steady_clock is fine for durations.
+                          src/core, src/index, src/engine, src/obs,
+                          src/sim, or src/wl. Wall time is
+                          non-reproducible; std::chrono::steady_clock is
+                          fine for durations.
   ambient-rng             No ambient randomness (rand()/srand()/
                           std::random_device) in src/core, src/index,
-                          src/engine, or src/obs. All randomized
-                          algorithms must draw
+                          src/engine, src/obs, src/sim, or src/wl. All
+                          randomized algorithms must draw
                           from an explicitly seeded engine so runs replay.
   unguarded-mutex         No naked std::mutex members (use util::Mutex from
                           util/mutex.h so -Wthread-safety sees it), and
@@ -252,7 +254,10 @@ def check_unordered_iter(src: SourceFile) -> list[Finding]:
 # SolveImpl: the solver entry points. ValidPairsRows: the batched kernel
 # row driver (core/kernels.cc) that owns the innermost O(m*n) loop -- it
 # must poll between row blocks or graph builds become uncancellable.
-SOLVEIMPL_RE = re.compile(r"\b(?:SolveImpl|ValidPairsRows)\s*\(")
+# RepairRows: the delta-apply repair driver (index/delta_graph.cc) that
+# recomputes dirty / horizon-expired candidate rows -- same contract, or
+# streaming rounds become uncancellable.
+SOLVEIMPL_RE = re.compile(r"\b(?:SolveImpl|ValidPairsRows|RepairRows)\s*\(")
 DEADLINE_USE_RE = re.compile(r"\bdeadline\b")
 
 
@@ -379,16 +384,19 @@ def check_unguarded_mutex(src: SourceFile) -> list[Finding]:
 RULE_SCOPES = {
     "unordered-iter": ("src/core", "src/engine", "src/sim", "src/index",
                        "src/obs", "src/wl"),
-    "missing-deadline-poll": ("src/core",),
+    "missing-deadline-poll": ("src/core", "src/index"),
     # src/wl compiles *all* workload randomness ahead of replay and its
     # fingerprints must be wall-clock free, so it inherits the ambient
     # rules: schedules draw only from util::Rng streams seeded by the
     # spec, and replay may touch steady_clock (pacing/latency) but never
-    # system_clock/time().
+    # system_clock/time(). src/sim joined with the streaming delta engine
+    # (events.h / streaming.* and the delta-maintained platform tick):
+    # event application and round trajectories must replay bit-identically,
+    # so the simulator draws only from seeded util::Rng streams too.
     "ambient-time": ("src/core", "src/engine", "src/index", "src/obs",
-                     "src/wl"),
+                     "src/sim", "src/wl"),
     "ambient-rng": ("src/core", "src/engine", "src/index", "src/obs",
-                    "src/wl"),
+                    "src/sim", "src/wl"),
     "unguarded-mutex": ("src",),
 }
 
